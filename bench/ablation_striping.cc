@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: striping unit of the conventional SSD.
+ *
+ * The Huawei Gen3 stripes at 8 KB so one request parallelizes across all
+ * channels; SDF takes the opposite extreme (whole-unit channel affinity).
+ * Sweeping the stripe unit shows the trade: small stripes help a single
+ * large request's latency; large stripes preserve per-channel locality
+ * (lower split/merge overhead) and help highly concurrent small requests.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace sdf;
+    bench::PrintPreamble("Ablation — conventional SSD striping unit",
+                         "§2.3 'exposing internal parallelism' design choice");
+
+    util::TablePrinter table("Striping unit vs throughput (MB/s)");
+    table.SetHeader({"Stripe", "512KB read QD1", "512KB read QD64",
+                     "8MB read QD16"});
+
+    for (uint32_t stripe_kib : {8u, 64u, 512u, 2048u}) {
+        ssd::ConventionalSsdConfig cfg = ssd::HuaweiGen3Config(0.04);
+        cfg.stripe_bytes = stripe_kib * util::kKiB;
+        std::vector<std::string> row{std::to_string(stripe_kib) + " KiB"};
+
+        for (auto [qd, req] : {std::pair{1u, 512 * util::kKiB},
+                               std::pair{64u, 512 * util::kKiB},
+                               std::pair{16u, 8 * util::kMiB}}) {
+            sim::Simulator sim;
+            ssd::ConventionalSsd device(sim, cfg);
+            host::IoStack stack(sim, host::KernelIoStackSpec());
+            device.PreconditionFill(0.9);
+            workload::RawRunConfig run;
+            run.warmup = util::MsToNs(300);
+            run.duration = util::SecToNs(1.5);
+            const double mbps =
+                workload::RunConvReads(sim, device, stack, qd, req,
+                                       workload::Pattern::kRandom, run)
+                    .mbps;
+            row.push_back(util::TablePrinter::Num(mbps, 0));
+        }
+        table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("Expectation: 8 KiB stripes win at QD1 (one request uses\n"
+                "all channels); channel-affine large stripes catch up or\n"
+                "win once concurrency supplies the parallelism — the\n"
+                "workload property SDF's design leans on.\n");
+    return 0;
+}

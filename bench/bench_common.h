@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Shared setup for the benchmark binaries: assembles the full CCDB stack
+ * (device + block layer / extent store + slices + network) on either the
+ * SDF or a conventional SSD, with the capacity scaling and preloading the
+ * experiments need.
+ *
+ * Every experiment uses capacity-scaled devices (structure and all ratios
+ * preserved) so a full table regenerates in seconds; EXPERIMENTS.md
+ * documents the scaling.
+ */
+#ifndef SDF_BENCH_BENCH_COMMON_H
+#define SDF_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocklayer/block_layer.h"
+#include "host/io_stack.h"
+#include "kv/patch_storage.h"
+#include "kv/slice.h"
+#include "net/network.h"
+#include "sdf/sdf_device.h"
+#include "sim/simulator.h"
+#include "ssd/conventional_ssd.h"
+#include "workload/kv_driver.h"
+#include "workload/raw_device.h"
+
+namespace sdf::bench {
+
+/** Which storage device backs the KV stack. */
+enum class DeviceKind
+{
+    kBaiduSdf,
+    kHuaweiGen3,
+    kIntel320,
+};
+
+inline const char *
+DeviceName(DeviceKind kind)
+{
+    switch (kind) {
+      case DeviceKind::kBaiduSdf: return "Baidu SDF";
+      case DeviceKind::kHuaweiGen3: return "Huawei Gen3";
+      case DeviceKind::kIntel320: return "Intel 320";
+    }
+    return "?";
+}
+
+/** A complete single-node CCDB deployment for one experiment run. */
+class KvTestbed
+{
+  public:
+    /**
+     * @param kind Backing device.
+     * @param slice_count Slices hosted on the node.
+     * @param clients Network clients (usually == slice_count).
+     * @param capacity_scale Device scale factor.
+     */
+    KvTestbed(DeviceKind kind, uint32_t slice_count, uint32_t clients,
+              double capacity_scale, kv::SliceConfig slice_cfg = {})
+        : net_(sim_, net::NetworkSpec{}, clients)
+    {
+        if (kind == DeviceKind::kBaiduSdf) {
+            sdf_device_ = std::make_unique<core::SdfDevice>(
+                sim_, core::BaiduSdfConfig(capacity_scale));
+            layer_ = std::make_unique<blocklayer::BlockLayer>(
+                sim_, *sdf_device_, blocklayer::BlockLayerConfig{});
+            stack_ = std::make_unique<host::IoStack>(
+                sim_, host::SdfUserStackSpec());
+            storage_ = std::make_unique<kv::SdfPatchStorage>(*layer_,
+                                                             stack_.get());
+        } else {
+            auto cfg = kind == DeviceKind::kHuaweiGen3
+                           ? ssd::HuaweiGen3Config(capacity_scale)
+                           : ssd::Intel320Config(capacity_scale);
+            ssd_device_ = std::make_unique<ssd::ConventionalSsd>(sim_, cfg);
+            stack_ = std::make_unique<host::IoStack>(
+                sim_, host::KernelIoStackSpec());
+            storage_ = std::make_unique<kv::SsdPatchStorage>(
+                *ssd_device_, 8 * util::kMiB, stack_.get());
+        }
+        for (uint32_t s = 0; s < slice_count; ++s) {
+            slices_.push_back(std::make_unique<kv::Slice>(sim_, *storage_,
+                                                          ids_, slice_cfg));
+        }
+    }
+
+    /**
+     * Preload each slice with @p bytes_per_slice of @p value_size values;
+     * conventional devices are also brought to a matching fill level.
+     * @return per-slice key lists.
+     */
+    std::vector<std::vector<uint64_t>>
+    Preload(uint64_t bytes_per_slice, uint32_t value_size)
+    {
+        auto keys =
+            workload::PreloadSlices(SlicePtrs(), bytes_per_slice, value_size);
+        if (ssd_device_) {
+            const double fill =
+                static_cast<double>(bytes_per_slice) * slices_.size() /
+                static_cast<double>(ssd_device_->user_capacity());
+            ssd_device_->PreconditionFill(std::min(fill * 1.02, 1.0));
+        }
+        return keys;
+    }
+
+    std::vector<kv::Slice *>
+    SlicePtrs()
+    {
+        std::vector<kv::Slice *> out;
+        out.reserve(slices_.size());
+        for (auto &s : slices_) out.push_back(s.get());
+        return out;
+    }
+
+    sim::Simulator &sim() { return sim_; }
+    net::Network &net() { return net_; }
+    core::SdfDevice *sdf_device() { return sdf_device_.get(); }
+    ssd::ConventionalSsd *ssd_device() { return ssd_device_.get(); }
+
+  private:
+    sim::Simulator sim_;
+    std::unique_ptr<core::SdfDevice> sdf_device_;
+    std::unique_ptr<ssd::ConventionalSsd> ssd_device_;
+    std::unique_ptr<blocklayer::BlockLayer> layer_;
+    std::unique_ptr<host::IoStack> stack_;
+    std::unique_ptr<kv::PatchStorage> storage_;
+    kv::IdAllocator ids_;
+    std::vector<std::unique_ptr<kv::Slice>> slices_;
+    net::Network net_;
+};
+
+/** Print the standard bench preamble. */
+inline void
+PrintPreamble(const char *experiment, const char *paper_ref)
+{
+    std::printf("SDF reproduction — %s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_ref);
+    std::printf("(capacity-scaled devices; see EXPERIMENTS.md)\n\n");
+    std::fflush(stdout);
+}
+
+}  // namespace sdf::bench
+
+#endif  // SDF_BENCH_BENCH_COMMON_H

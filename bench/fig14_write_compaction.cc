@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 14: the write path — clients write 100 KB-1 MB values; patch
+ * flushes and LSM compactions generate the device traffic. Slice count
+ * swept 1 to 32; reports the write and (compaction-) read components of
+ * storage throughput.
+ *
+ * Paper shape: SDF throughput grows with slice count, peaking ~1 GB/s at
+ * >= 16 slices with a healthy compaction (read) share that shrinks as
+ * client writes take priority at 32. The Huawei Gen3 starts much higher
+ * at 1-2 slices (channel striping parallelizes a single patch write) but
+ * is flat beyond that, and its compaction share collapses (< 15 %),
+ * leaving data unsorted.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace sdf;
+    using bench::DeviceKind;
+    bench::PrintPreamble("Figure 14 — KV writes with compaction",
+                         "Figure 14 (values 100 KB - 1 MB, unbatched)");
+
+    util::TablePrinter table(
+        "Figure 14: storage throughput (MB/s) = write + compaction read");
+    table.SetHeader({"Slices", "SDF write", "SDF read", "SDF read%",
+                     "Huawei write", "Huawei read", "Huawei read%"});
+
+    for (uint32_t slices : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        std::vector<std::string> row{util::TablePrinter::Int(slices)};
+        for (DeviceKind kind :
+             {DeviceKind::kBaiduSdf, DeviceKind::kHuaweiGen3}) {
+            kv::SliceConfig scfg;
+            scfg.compaction_trigger = 4;
+            bench::KvTestbed bed(kind, slices, slices, 0.10, scfg);
+            workload::KvRunConfig run;
+            run.warmup = util::SecToNs(1.0);
+            run.duration = util::SecToNs(6.0);
+            const auto r = workload::RunKvWrites(
+                bed.sim(), bed.net(), bed.SlicePtrs(), 100 * util::kKiB,
+                util::kMiB, run);
+            const double total = r.device_write_mbps + r.device_read_mbps;
+            row.push_back(util::TablePrinter::Num(r.device_write_mbps, 0));
+            row.push_back(util::TablePrinter::Num(r.device_read_mbps, 0));
+            row.push_back(util::TablePrinter::Num(
+                total > 0 ? 100.0 * r.device_read_mbps / total : 0.0, 0) +
+                "%");
+        }
+        table.AddRow(std::move(row));
+    }
+
+    table.Print();
+    std::printf("Paper: SDF peaks ~1 GB/s total at >= 16 slices; the read\n"
+                "(compaction) share shrinks from 16 to 32 slices as client\n"
+                "writes take priority. Huawei is high at 1-2 slices but\n"
+                "flat after, with compaction share < 15 %% at 32 slices.\n");
+    return 0;
+}

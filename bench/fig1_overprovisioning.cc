@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 1: random 4 KB write throughput of the low-end SSD (Intel 320)
+ * as a function of the over-provisioning ratio {0 %, 7 %, 25 %, 50 %}.
+ *
+ * Paper shape: ~2 MB/s at 0 %, a steep rise to ~8 MB/s at 7 %, then a
+ * flattening curve (~9.7 at 25 %, ~11.5 at 50 %) — GC write amplification
+ * explodes as spare space vanishes.
+ *
+ * Setup: the device starts from a fragmented steady-state layout
+ * (PreconditionFillRandom) — the state a long random-write history leaves
+ * behind — then serves uniform random 4 KB writes. The device is
+ * capacity-scaled with a reduced erase-block page count so each point
+ * runs in seconds; GC behaviour depends on the spare-space *fraction*,
+ * which is preserved (see EXPERIMENTS.md).
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace sdf;
+    bench::PrintPreamble(
+        "Figure 1 — random-write throughput vs over-provisioning",
+        "Figure 1 (Intel 320, 4 KB random writes)");
+
+    util::TablePrinter table("Figure 1: throughput vs over-provisioning");
+    table.SetHeader({"OP ratio", "Throughput (MB/s)", "Write amp",
+                     "GC erases", "vs 0% OP"});
+
+    double baseline = 0.0;
+    for (double op : {0.0, 0.07, 0.25, 0.50}) {
+        ssd::ConventionalSsdConfig cfg = ssd::Intel320Config(1.0);
+        cfg.op_ratio = op;
+        // Tractable geometry: small enough that the warmup overwrites the
+        // device several times (true GC steady state), with the per-channel
+        // spare-space *fraction* — what GC behaviour depends on — kept
+        // small as on the real device.
+        cfg.flash.geometry.channels = 4;
+        cfg.flash.geometry.blocks_per_plane = 120;
+        cfg.flash.geometry.pages_per_block = 32;
+        cfg.gc_low_watermark = 3;
+        cfg.gc_high_watermark = 5;
+        cfg.dram_cache_bytes = 8 * util::kMiB;
+
+        sim::Simulator sim;
+        ssd::ConventionalSsd device(sim, cfg);
+        host::IoStack stack(sim, host::KernelIoStackSpec());
+        device.PreconditionFillRandom(1.0);
+
+        const uint32_t page = cfg.flash.geometry.page_size;
+        workload::RawRunConfig meas;
+        meas.warmup = util::SecToNs(150.0);  // ~2-3 device overwrites.
+        meas.duration = util::SecToNs(40.0);
+        const auto result = workload::RunConvWrites(
+            sim, device, stack, 32, page, workload::Pattern::kRandom, meas);
+
+        if (op == 0.0) baseline = result.mbps;
+        table.AddRow({util::TablePrinter::Num(op * 100, 0) + "%",
+                      util::TablePrinter::Num(result.mbps, 1),
+                      util::TablePrinter::Num(
+                          device.stats().WriteAmplification(), 2),
+                      util::TablePrinter::Int(static_cast<int64_t>(
+                          device.stats().gc_erases)),
+                      "+" + util::TablePrinter::Num(
+                                100.0 * (result.mbps / baseline - 1.0), 0) +
+                          "%"});
+    }
+
+    table.Print();
+    std::printf("Paper: ~2 (0%%), ~8 (7%%), ~9.7 (25%%), ~11.5 (50%%) MB/s;\n"
+                "25%% OP improves ~21%% over 7%%, and >400%% over 0%%.\n");
+    return 0;
+}

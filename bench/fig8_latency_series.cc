@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 8: per-request write latency series on nearly-full devices.
+ *
+ *  - Huawei Gen3, 8 MB writes: wild variation (paper: 7-650 ms, avg 73 ms)
+ *    from write-back caching vs GC bursts.
+ *  - Huawei Gen3, 352 MB writes (8 MB per channel): variance narrows to
+ *    ~25 % of a much larger mean (paper: 2.94 s).
+ *  - Baidu SDF, explicit 8 MB erase+write per channel: flat ~383 ms.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace sdf {
+namespace {
+
+void
+PrintSeries(const char *name, const util::LatencyRecorder &lat, int max_print)
+{
+    std::printf("%s — first %d request latencies (ms):\n  ", name, max_print);
+    const auto &series = lat.series();
+    const int n = std::min<int>(max_print, static_cast<int>(series.size()));
+    for (int i = 0; i < n; ++i) {
+        std::printf("%.0f ", util::NsToMs(series[i]));
+        if ((i + 1) % 20 == 0) std::printf("\n  ");
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sdf
+
+int
+main()
+{
+    using namespace sdf;
+    bench::PrintPreamble("Figure 8 — write latency predictability",
+                         "Figure 8 (200 writes, devices almost full)");
+
+    util::TablePrinter table("Figure 8: write latency statistics (ms)");
+    table.SetHeader({"Device / request", "n", "mean", "min", "max", "stddev",
+                     "stddev/mean"});
+
+    workload::RawRunConfig run;
+    run.warmup = util::SecToNs(2.0);
+    run.duration = util::SecToNs(25.0);
+
+    // (a) Huawei Gen3, 8 MB writes on a fragmented, almost-full device.
+    util::LatencyRecorder huawei8(true);
+    {
+        sim::Simulator sim;
+        ssd::ConventionalSsd device(sim, ssd::HuaweiGen3Config(0.04));
+        host::IoStack stack(sim, host::KernelIoStackSpec());
+        device.PreconditionFillRandom(1.0);
+        auto r = workload::RunConvWrites(sim, device, stack, 2,
+                                         8 * util::kMiB,
+                                         workload::Pattern::kRandom, run);
+        huawei8 = std::move(r.latencies);
+    }
+
+    // (b) Huawei Gen3, 352 MB writes (8 MB per channel's worth).
+    util::LatencyRecorder huawei352(true);
+    {
+        sim::Simulator sim;
+        ssd::ConventionalSsd device(sim, ssd::HuaweiGen3Config(0.04));
+        host::IoStack stack(sim, host::KernelIoStackSpec());
+        device.PreconditionFillRandom(1.0);
+        workload::RawRunConfig long_run = run;
+        long_run.warmup = util::SecToNs(6.0);
+        long_run.duration = util::SecToNs(150.0);
+        auto r = workload::RunConvWrites(sim, device, stack, 2,
+                                         352 * util::kMiB,
+                                         workload::Pattern::kRandom, long_run);
+        huawei352 = std::move(r.latencies);
+    }
+
+    // (c) Baidu SDF: explicit erase + 8 MB write per channel.
+    util::LatencyRecorder sdf8(true);
+    {
+        sim::Simulator sim;
+        core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
+        host::IoStack stack(sim, host::SdfUserStackSpec());
+        workload::PreconditionSdf(device);
+        auto r = workload::RunSdfWrites(sim, device, stack, 44, run);
+        sdf8 = std::move(r.latencies);
+    }
+
+    auto add = [&table](const char *name, const util::LatencyRecorder &l) {
+        table.AddRow({name, util::TablePrinter::Int(static_cast<int64_t>(
+                                l.count())),
+                      util::TablePrinter::Num(l.MeanMs(), 1),
+                      util::TablePrinter::Num(l.MinMs(), 1),
+                      util::TablePrinter::Num(l.MaxMs(), 1),
+                      util::TablePrinter::Num(l.StdDevMs(), 1),
+                      util::TablePrinter::Num(
+                          l.StdDevMs() / std::max(l.MeanMs(), 1e-9), 3)});
+    };
+    add("Huawei Gen3, 8 MB", huawei8);
+    add("Huawei Gen3, 352 MB", huawei352);
+    add("Baidu SDF, 8 MB erase+write", sdf8);
+    table.Print();
+
+    PrintSeries("Huawei Gen3 8 MB", huawei8, 60);
+    PrintSeries("Baidu SDF 8 MB erase+write", sdf8, 60);
+
+    std::printf("\nPaper: Huawei 8 MB varies 7-650 ms (avg 73 ms); Huawei\n"
+                "352 MB has stddev ~25%% of a 2.94 s mean; SDF is flat at\n"
+                "~383 ms with little variation.\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot paths of the simulator and
+ * the library algorithms: event queue throughput, FTL map operations, GC
+ * victim selection, BCH encode/decode, the compaction merge kernel, and
+ * the striping address math.
+ */
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "controller/bch.h"
+#include "ftl/page_map.h"
+#include "ftl/striping.h"
+#include "ftl/wear_leveler.h"
+#include "kv/patch.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace sdf {
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulator sim;
+        int fired = 0;
+        for (int i = 0; i < batch; ++i) {
+            sim.Schedule(i % 1000, [&fired]() { ++fired; });
+        }
+        sim.Run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_PageMapUpdate(benchmark::State &state)
+{
+    ftl::PageMap map(1 << 16, 1 << 17, 256);
+    util::Rng rng(1);
+    uint32_t ppn = 0;
+    for (auto _ : state) {
+        const auto lpn = static_cast<uint32_t>(rng.NextBelow(1 << 16));
+        map.Update(lpn, ppn);
+        ppn = (ppn + 1) % (1 << 17);
+        // Keep the target physical page free.
+        if (map.ReverseLookup(ppn) != ftl::kUnmappedPage) {
+            map.Invalidate(map.ReverseLookup(ppn));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageMapUpdate);
+
+void
+BM_GreedyVictimSelection(benchmark::State &state)
+{
+    const auto blocks = static_cast<uint32_t>(state.range(0));
+    ftl::PageMap map(blocks * 128, blocks * 256, 256);
+    util::Rng rng(2);
+    std::vector<uint32_t> candidates;
+    for (uint32_t b = 0; b < blocks; ++b) candidates.push_back(b);
+    // Distinct physical pages, interleaved over blocks.
+    for (uint32_t lpn = 0; lpn < blocks * 128; ++lpn) {
+        map.Update(lpn, lpn * 2 + static_cast<uint32_t>(rng.NextBelow(2)));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ftl::PickGreedyVictim(map, candidates));
+    }
+    state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_GreedyVictimSelection)->Arg(256)->Arg(2048);
+
+void
+BM_WearLevelerChurn(benchmark::State &state)
+{
+    ftl::DynamicWearLeveler wl;
+    for (uint32_t b = 0; b < 2048; ++b) wl.Release(b, 0);
+    uint32_t ec = 0;
+    for (auto _ : state) {
+        const uint32_t b = wl.Allocate();
+        wl.Release(b, ++ec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WearLevelerChurn);
+
+void
+BM_BchEncode(benchmark::State &state)
+{
+    controller::BchCodec code(10, 4);
+    util::Rng rng(3);
+    std::vector<uint8_t> msg(code.k());
+    for (auto &b : msg) b = static_cast<uint8_t>(rng.NextBelow(2));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.Encode(msg));
+    }
+    state.SetItemsProcessed(state.iterations() * code.k());
+}
+BENCHMARK(BM_BchEncode);
+
+void
+BM_BchDecodeWithErrors(benchmark::State &state)
+{
+    controller::BchCodec code(10, 4);
+    util::Rng rng(4);
+    std::vector<uint8_t> msg(code.k());
+    for (auto &b : msg) b = static_cast<uint8_t>(rng.NextBelow(2));
+    const auto clean = code.Encode(msg);
+    for (auto _ : state) {
+        auto cw = clean;
+        for (int e = 0; e < 3; ++e) cw[rng.NextBelow(code.n())] ^= 1;
+        benchmark::DoNotOptimize(code.Decode(cw));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BchDecodeWithErrors);
+
+void
+BM_CompactionMerge(benchmark::State &state)
+{
+    const auto runs = static_cast<int>(state.range(0));
+    util::Rng rng(5);
+    std::vector<kv::PatchMeta> metas;
+    for (int r = 0; r < runs; ++r) {
+        std::vector<kv::KvItem> items;
+        for (int i = 0; i < 64; ++i) {
+            items.push_back(kv::KvItem{rng.NextBelow(100000), 100 * 1024,
+                                       nullptr});
+        }
+        metas.push_back(kv::PatchMeta::Build(static_cast<uint64_t>(r),
+                                             static_cast<uint64_t>(r), items,
+                                             64ULL * 100 * 1024));
+    }
+    std::vector<const kv::PatchMeta *> inputs;
+    for (const auto &m : metas) inputs.push_back(&m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kv::MergeEntries(inputs, 8 * 1024 * 1024));
+    }
+    state.SetItemsProcessed(state.iterations() * runs * 64);
+}
+BENCHMARK(BM_CompactionMerge)->Arg(4)->Arg(16);
+
+void
+BM_StripingSplit(benchmark::State &state)
+{
+    ftl::StripingLayout layout(44, 8192);
+    util::Rng rng(6);
+    for (auto _ : state) {
+        const uint64_t off = rng.NextBelow(1ULL << 37) / 8192 * 8192;
+        benchmark::DoNotOptimize(layout.Split(off, 512 * 1024));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StripingSplit);
+
+}  // namespace
+}  // namespace sdf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A storage node serving batched KV reads over the network — the
+ * production scenario of the paper's Figures 10-12, runnable end to end.
+ *
+ * Eight slices are preloaded with 512 KB values; eight clients send
+ * batched synchronous read requests; values stream back per sub-request.
+ * Prints per-batch-size throughput so you can watch SDF's exposed channel
+ * parallelism turn request batching into bandwidth.
+ *
+ * Build & run:  ./build/examples/kv_batch_server
+ */
+#include <cstdio>
+
+#include "blocklayer/block_layer.h"
+#include "host/io_stack.h"
+#include "kv/patch_storage.h"
+#include "kv/slice.h"
+#include "net/network.h"
+#include "sdf/sdf_device.h"
+#include "sim/simulator.h"
+#include "workload/kv_driver.h"
+
+int
+main()
+{
+    using namespace sdf;
+
+    std::printf("KV batch server on SDF: 8 slices, 8 clients, 512 KB "
+                "values\n\n");
+    std::printf("  batch   node throughput   per-client\n");
+    std::printf("  -------------------------------------\n");
+
+    for (uint32_t batch : {1u, 8u, 44u}) {
+        // A fresh node per batch size keeps the runs independent.
+        sim::Simulator sim;
+        core::SdfDevice device(sim, core::BaiduSdfConfig(0.06));
+        blocklayer::BlockLayer layer(sim, device,
+                                     blocklayer::BlockLayerConfig{});
+        host::IoStack stack(sim, host::SdfUserStackSpec());
+        kv::SdfPatchStorage storage(layer, &stack);
+        kv::IdAllocator ids;
+
+        const uint32_t slice_count = 8;
+        std::vector<std::unique_ptr<kv::Slice>> slices;
+        std::vector<kv::Slice *> slice_ptrs;
+        for (uint32_t s = 0; s < slice_count; ++s) {
+            slices.push_back(std::make_unique<kv::Slice>(sim, storage, ids,
+                                                         kv::SliceConfig{}));
+            slice_ptrs.push_back(slices.back().get());
+        }
+        const auto keys = workload::PreloadSlices(slice_ptrs,
+                                                  300 * util::kMiB,
+                                                  512 * util::kKiB);
+
+        net::Network net(sim, net::NetworkSpec{}, slice_count);
+        workload::KvRunConfig run;
+        run.warmup = util::MsToNs(400);
+        run.duration = util::SecToNs(2.0);
+        const auto result = workload::RunBatchedRandomReads(
+            sim, net, slice_ptrs, keys, batch, run);
+
+        std::printf("  %-6u  %7.0f MB/s      %6.0f MB/s\n", batch,
+                    result.client_mbps, result.client_mbps / slice_count);
+    }
+
+    std::printf("\nBatching exposes concurrency to the 44 channels: the\n"
+                "node goes from network-latency-bound to device-bandwidth-\n"
+                "bound (the paper's Figure 11 effect).\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reliability walkthrough: wear leveling, wear-out, bad-block management,
+ * and BCH error correction — the machinery behind §2.2's decision to drop
+ * inter-channel parity and rely on per-chip ECC plus replication.
+ *
+ * Part 1 hammers one SDF unit with erase/write cycles on a flash model
+ * with a tiny endurance budget and watches dynamic wear leveling spread
+ * the damage, blocks retire into spares, and the unit eventually die.
+ *
+ * Part 2 pushes random bit errors through a real BCH codec at increasing
+ * raw bit error rates and reports corrected vs uncorrectable pages.
+ *
+ * Build & run:  ./build/examples/wear_and_reliability
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "controller/bch.h"
+#include "nand/error_model.h"
+#include "sdf/sdf_device.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+int
+main()
+{
+    using namespace sdf;
+
+    // ---- Part 1: wear-out on a fragile flash ---------------------------
+    std::printf("Part 1 — dynamic wear leveling and wear-out\n");
+    sim::Simulator sim;
+    core::SdfConfig cfg;
+    cfg.flash.geometry = nand::TinyTestGeometry();
+    cfg.flash.geometry.channels = 1;
+    cfg.flash.geometry.blocks_per_plane = 16;
+    cfg.flash.timing = nand::FastTestTiming();
+    cfg.flash.errors.enabled = true;
+    cfg.flash.errors.endurance_cycles = 60;   // Absurdly fragile, on purpose.
+    cfg.flash.errors.wearout_fail_scale = 0.5;
+    cfg.spare_blocks_per_plane = 4;
+    core::SdfDevice device(sim, cfg);
+
+    std::printf("  %u units exposed over %u blocks/plane (%u spares)\n",
+                device.units_per_channel(),
+                cfg.flash.geometry.blocks_per_plane,
+                cfg.spare_blocks_per_plane);
+
+    int cycles = 0;
+    bool dead = false;
+    while (!dead && cycles < 5000) {
+        device.EraseUnit(0, 0, [&](bool ok) {
+            if (!ok) dead = true;
+        });
+        sim.Run();
+        if (dead || device.unit_state(0, 0) == core::UnitState::kDead) {
+            dead = true;
+            break;
+        }
+        device.WriteUnit(0, 0, nullptr);
+        sim.Run();
+        ++cycles;
+    }
+
+    uint32_t max_ec = 0, worn_blocks = 0;
+    for (uint32_t b = 0; b < cfg.flash.geometry.blocks_per_plane; ++b) {
+        const auto &meta = device.flash().channel(0).block_meta({0, b});
+        max_ec = std::max(max_ec, meta.erase_count);
+        worn_blocks += meta.bad;
+    }
+    std::printf("  unit survived %d erase/write cycles — %.1fx its rated\n"
+                "  endurance, because wear spread over the pool "
+                "(max erase count %u)\n",
+                cycles,
+                static_cast<double>(cycles) / cfg.flash.errors.endurance_cycles,
+                max_ec);
+    std::printf("  blocks retired to spares: %llu (plane 0 bad blocks: %u)\n\n",
+                static_cast<unsigned long long>(device.stats().blocks_retired),
+                worn_blocks);
+
+    // ---- Part 2: BCH against rising raw bit error rates ----------------
+    std::printf("Part 2 — BCH(8191, t=4) vs raw bit error rate\n");
+    controller::BchCodec code(13, 4);
+    nand::ErrorModel model;
+    model.enabled = true;
+    util::Rng rng(5);
+    std::printf("  code: n=%d bits, k=%d data bits, %d parity bits\n",
+                code.n(), code.k(), code.parity_bits());
+
+    std::printf("  %-10s %-10s %-12s %-14s\n", "RBER", "pages", "corrected",
+                "uncorrectable");
+    for (double rber : {1e-5, 1e-4, 3e-4, 1e-3}) {
+        const int pages = 200;
+        int uncorrectable = 0;
+        long corrected_bits = 0;
+        for (int p = 0; p < pages; ++p) {
+            // One codeword stands in for a page's ECC chunk.
+            std::vector<uint8_t> msg(code.k());
+            for (auto &b : msg) b = static_cast<uint8_t>(rng.NextBelow(2));
+            auto cw = code.Encode(msg);
+            for (int bit = 0; bit < code.n(); ++bit) {
+                if (rng.NextBool(rber)) cw[bit] ^= 1;
+            }
+            const auto result = code.Decode(cw);
+            if (!result.ok || code.ExtractMessage(cw) != msg) {
+                ++uncorrectable;
+            } else {
+                corrected_bits += result.corrected;
+            }
+        }
+        std::printf("  %-10.0e %-10d %-12ld %-14d\n", rber, pages,
+                    corrected_bits, uncorrectable);
+    }
+    std::printf("\nAt nominal RBER the BCH absorbs everything; past its\n"
+                "t-bit budget pages fail — which is when SDF falls back on\n"
+                "system-level replication (one uncorrectable error in six\n"
+                "months across 2000+ devices, per §2.2).\n");
+    return 0;
+}

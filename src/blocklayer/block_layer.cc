@@ -1,0 +1,311 @@
+#include "blocklayer/block_layer.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::blocklayer {
+
+BlockLayer::BlockLayer(sim::Simulator &sim, core::SdfDevice &device,
+                       const BlockLayerConfig &config)
+    : sim_(sim), device_(device), config_(config)
+{
+    channels_.resize(device.channel_count());
+    for (auto &ch : channels_) {
+        for (uint32_t u = 0; u < device.units_per_channel(); ++u)
+            ch.clean_units.push_back(u);
+    }
+}
+
+uint64_t
+BlockLayer::FreeUnits() const
+{
+    uint64_t total = 0;
+    for (const auto &ch : channels_)
+        total += ch.clean_units.size() + ch.dirty_units.size();
+    return total;
+}
+
+void
+BlockLayer::Fail(IoCallback done)
+{
+    ++stats_.failed_ops;
+    if (done) {
+        sim_.Schedule(0, [done = std::move(done)]() { done(false); });
+    }
+}
+
+uint32_t
+BlockLayer::ChannelLoad(uint32_t channel) const
+{
+    const ChannelState &cs = channels_[channel];
+    return static_cast<uint32_t>(cs.queues[0].size() + cs.queues[1].size()) +
+           cs.reads_inflight + cs.writes_inflight;
+}
+
+uint32_t
+BlockLayer::PickWriteChannel(uint64_t id) const
+{
+    if (config_.placement_policy == PlacementPolicy::kIdHash)
+        return ChannelOf(id);
+    // Least-loaded placement (the paper's future-work scheduler): lowest
+    // queue depth wins; ties broken by free-unit count, then by the hash
+    // channel so an idle system still round-robins.
+    uint32_t best = ChannelOf(id);
+    auto better = [this](uint32_t a, uint32_t b) {
+        const uint32_t la = ChannelLoad(a), lb = ChannelLoad(b);
+        if (la != lb) return la < lb;
+        const size_t fa =
+            channels_[a].clean_units.size() + channels_[a].dirty_units.size();
+        const size_t fb =
+            channels_[b].clean_units.size() + channels_[b].dirty_units.size();
+        return fa > fb;
+    };
+    for (uint32_t c = 0; c < channels_.size(); ++c) {
+        if (better(c, best)) best = c;
+    }
+    return best;
+}
+
+void
+BlockLayer::Put(uint64_t id, IoCallback done, const uint8_t *data,
+                int priority)
+{
+    ++stats_.puts;
+    if (id_map_.count(id)) {
+        Fail(std::move(done));  // IDs are write-once.
+        return;
+    }
+    const uint32_t ch = PickWriteChannel(id);
+    ChannelState &cs = channels_[ch];
+    if (cs.clean_units.empty() && cs.dirty_units.empty() &&
+        !cs.bg_erase_running) {
+        Fail(std::move(done));  // Channel out of space.
+        return;
+    }
+    Enqueue(ch, Op{false, id, 0, device_.unit_bytes(), std::move(done), data,
+                   nullptr, priority, next_seq_++});
+}
+
+void
+BlockLayer::Get(uint64_t id, uint64_t offset, uint64_t length,
+                IoCallback done, std::vector<uint8_t> *out, int priority)
+{
+    ++stats_.gets;
+    auto it = id_map_.find(id);
+    if (it == id_map_.end()) {
+        Fail(std::move(done));
+        return;
+    }
+    const uint32_t ch = it->second.first;
+    Op op{true, id, offset, length, std::move(done), nullptr, out, priority,
+          next_seq_++};
+    Enqueue(ch, std::move(op));
+}
+
+bool
+BlockLayer::Delete(uint64_t id)
+{
+    auto it = id_map_.find(id);
+    if (it == id_map_.end()) return false;
+    ++stats_.deletes;
+    const auto [ch, unit] = it->second;
+    id_map_.erase(it);
+    channels_[ch].dirty_units.push_back(unit);
+    if (config_.erase_policy == ErasePolicy::kBackground)
+        MaybeBackgroundErase(ch);
+    return true;
+}
+
+bool
+BlockLayer::DebugInstall(uint64_t id)
+{
+    if (id_map_.count(id)) return false;
+    const uint32_t ch = ChannelOf(id);
+    ChannelState &cs = channels_[ch];
+    if (cs.clean_units.empty()) return false;
+    const uint32_t unit = cs.clean_units.front();
+    if (device_.unit_state(ch, unit) != core::UnitState::kUnwritten)
+        return false;  // Only fresh units can be force-installed.
+    cs.clean_units.pop_front();
+    device_.DebugForceWritten(ch, unit);
+    id_map_[id] = {ch, unit};
+    return true;
+}
+
+void
+BlockLayer::Enqueue(uint32_t ch, Op op)
+{
+    const int cls = op.priority == kClientPriority ? 0 : 1;
+    channels_[ch].queues[cls].push_back(std::move(op));
+    Dispatch(ch);
+}
+
+void
+BlockLayer::Dispatch(uint32_t ch)
+{
+    ChannelState &cs = channels_[ch];
+    // Issue from the high-priority class first; within a class, reads may
+    // overtake writes under kReadPriority.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto &queue : cs.queues) {
+            if (queue.empty()) continue;
+            if (TryIssue(ch, queue, /*allow_write=*/true)) {
+                progressed = true;
+                break;
+            }
+            // Blocked: don't let the low class overtake the high class.
+            break;
+        }
+    }
+    if (config_.erase_policy == ErasePolicy::kBackground)
+        MaybeBackgroundErase(ch);
+}
+
+bool
+BlockLayer::TryIssue(uint32_t ch, std::deque<Op> &queue, bool allow_write)
+{
+    ChannelState &cs = channels_[ch];
+    // Find the op to issue: front, or the first read under kReadPriority.
+    size_t idx = 0;
+    if (config_.sched_policy == SchedPolicy::kReadPriority &&
+        !queue.front().is_read) {
+        for (size_t i = 0; i < queue.size(); ++i) {
+            if (queue[i].is_read) {
+                idx = i;
+                break;
+            }
+        }
+    }
+    Op &candidate = queue[idx];
+    if (candidate.is_read) {
+        if (cs.writes_inflight > 0 ||
+            cs.reads_inflight >= config_.read_concurrency) {
+            return false;
+        }
+        Op op = std::move(candidate);
+        queue.erase(queue.begin() + static_cast<long>(idx));
+        IssueRead(ch, std::move(op));
+        return true;
+    }
+    if (!allow_write || cs.writes_inflight > 0 || cs.reads_inflight > 0)
+        return false;
+    // Hold the write while its only candidate unit is mid-background-erase;
+    // the erase completion re-dispatches.
+    if (cs.clean_units.empty() && cs.dirty_units.empty() &&
+        cs.bg_erase_running) {
+        return false;
+    }
+    Op op = std::move(queue.front());
+    queue.pop_front();
+    IssueWrite(ch, std::move(op));
+    return true;
+}
+
+void
+BlockLayer::IssueRead(uint32_t ch, Op op)
+{
+    ChannelState &cs = channels_[ch];
+    ++cs.reads_inflight;
+    auto it = id_map_.find(op.id);
+    if (it == id_map_.end()) {
+        // Deleted while queued.
+        --cs.reads_inflight;
+        Fail(std::move(op.done));
+        Dispatch(ch);
+        return;
+    }
+    const uint32_t unit = it->second.second;
+    device_.Read(ch, unit, op.offset, op.length,
+                 [this, ch, done = std::move(op.done)](bool ok) {
+                     ChannelState &cs2 = channels_[ch];
+                     --cs2.reads_inflight;
+                     if (done) done(ok);
+                     Dispatch(ch);
+                 },
+                 op.out);
+}
+
+void
+BlockLayer::IssueWrite(uint32_t ch, Op op)
+{
+    ChannelState &cs = channels_[ch];
+    ++cs.writes_inflight;
+
+    // Pick a destination unit: prefer an already-clean unit; fall back to a
+    // dirty one (its erase then runs inline, on the write's critical path).
+    uint32_t unit;
+    if (!cs.clean_units.empty()) {
+        unit = cs.clean_units.front();
+        cs.clean_units.pop_front();
+    } else if (!cs.dirty_units.empty()) {
+        unit = cs.dirty_units.front();
+        cs.dirty_units.pop_front();
+    } else {
+        --cs.writes_inflight;
+        Fail(std::move(op.done));
+        Dispatch(ch);
+        return;
+    }
+
+    auto write_step = [this, ch, unit, id = op.id, data = op.data,
+                       done = std::move(op.done)](bool erased_ok) mutable {
+        if (!erased_ok) {
+            ChannelState &cs2 = channels_[ch];
+            --cs2.writes_inflight;
+            Fail(std::move(done));
+            Dispatch(ch);
+            return;
+        }
+        device_.WriteUnit(ch, unit,
+                          [this, ch, unit, id,
+                           done = std::move(done)](bool ok) {
+                              ChannelState &cs2 = channels_[ch];
+                              --cs2.writes_inflight;
+                              if (ok) {
+                                  id_map_[id] = {ch, unit};
+                              } else {
+                                  cs2.dirty_units.push_back(unit);
+                                  ++stats_.failed_ops;
+                              }
+                              if (done) done(ok);
+                              Dispatch(ch);
+                          },
+                          data);
+    };
+
+    if (device_.unit_state(ch, unit) == core::UnitState::kErased) {
+        write_step(true);
+    } else {
+        ++stats_.inline_erases;
+        device_.EraseUnit(ch, unit, std::move(write_step));
+    }
+}
+
+void
+BlockLayer::MaybeBackgroundErase(uint32_t ch)
+{
+    ChannelState &cs = channels_[ch];
+    if (cs.bg_erase_running || cs.dirty_units.empty()) return;
+    // Only erase while the channel is otherwise idle.
+    if (cs.reads_inflight > 0 || cs.writes_inflight > 0) return;
+    if (!cs.queues[0].empty() || !cs.queues[1].empty()) return;
+
+    cs.bg_erase_running = true;
+    const uint32_t unit = cs.dirty_units.front();
+    cs.dirty_units.pop_front();
+    device_.EraseUnit(ch, unit, [this, ch, unit](bool ok) {
+        ChannelState &cs2 = channels_[ch];
+        cs2.bg_erase_running = false;
+        ++stats_.background_erases;
+        if (ok) {
+            cs2.clean_units.push_back(unit);
+        }
+        Dispatch(ch);
+        MaybeBackgroundErase(ch);
+    });
+}
+
+}  // namespace sdf::blocklayer

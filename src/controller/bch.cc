@@ -1,0 +1,218 @@
+#include "controller/bch.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.h"
+
+namespace sdf::controller {
+
+namespace {
+
+// Primitive polynomials for GF(2^m), bit i = coefficient of x^i.
+constexpr uint32_t kPrimitivePoly[] = {
+    0,      0,      0,
+    0xB,    // m=3:  x^3 + x + 1
+    0x13,   // m=4:  x^4 + x + 1
+    0x25,   // m=5:  x^5 + x^2 + 1
+    0x43,   // m=6:  x^6 + x + 1
+    0x89,   // m=7:  x^7 + x^3 + 1
+    0x11D,  // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,  // m=9:  x^9 + x^4 + 1
+    0x409,  // m=10: x^10 + x^3 + 1
+    0x805,  // m=11: x^11 + x^2 + 1
+    0x1053, // m=12: x^12 + x^6 + x^4 + x + 1
+    0x201B, // m=13: x^13 + x^4 + x^3 + x + 1
+};
+
+}  // namespace
+
+GaloisField::GaloisField(int m) : m_(m), n_((1 << m) - 1)
+{
+    SDF_CHECK_MSG(m >= 3 && m <= 13, "GF degree out of supported range");
+    const uint32_t poly = kPrimitivePoly[m];
+    exp_.assign(n_, 0);
+    log_.assign(size_t{1} << m, -1);
+    uint32_t x = 1;
+    for (int i = 0; i < n_; ++i) {
+        exp_[i] = x;
+        log_[x] = i;
+        x <<= 1;
+        if (x & (1u << m)) x ^= poly;
+    }
+}
+
+int
+GaloisField::Log(uint32_t x) const
+{
+    SDF_CHECK_MSG(x != 0 && x <= static_cast<uint32_t>(n_), "log of 0");
+    return log_[x];
+}
+
+uint32_t
+GaloisField::Inv(uint32_t a) const
+{
+    SDF_CHECK_MSG(a != 0, "inverse of 0");
+    return exp_[(n_ - log_[a]) % n_];
+}
+
+BchCodec::BchCodec(int m, int t) : gf_(m), n_(gf_.n()), k_(0), t_(t)
+{
+    SDF_CHECK(t >= 1);
+
+    // Build g(x) = lcm of minimal polynomials of alpha^1 .. alpha^{2t}.
+    // Coefficients of minimal polynomials live in GF(2); we compute them
+    // with GF(2^m) arithmetic and check they collapse to {0, 1}.
+    std::set<int> covered;
+    std::vector<uint8_t> g{1};  // g(x) = 1
+
+    for (int i = 1; i <= 2 * t; ++i) {
+        if (covered.count(i)) continue;
+        // Cyclotomic coset of i: {i, 2i, 4i, ...} mod n.
+        std::vector<int> coset;
+        int c = i;
+        do {
+            coset.push_back(c);
+            covered.insert(c);
+            c = (2 * c) % n_;
+        } while (c != i);
+
+        // Minimal polynomial: product of (x + alpha^j) over the coset,
+        // computed in GF(2^m).
+        std::vector<uint32_t> min_poly{1};
+        for (int j : coset) {
+            const uint32_t root = gf_.Exp(j);
+            std::vector<uint32_t> next(min_poly.size() + 1, 0);
+            for (size_t d = 0; d < min_poly.size(); ++d) {
+                next[d + 1] ^= min_poly[d];                 // x * term
+                next[d] ^= gf_.Mul(min_poly[d], root);      // root * term
+            }
+            min_poly = std::move(next);
+        }
+
+        // Multiply into g(x) over GF(2).
+        std::vector<uint8_t> next_g(g.size() + min_poly.size() - 1, 0);
+        for (size_t a = 0; a < g.size(); ++a) {
+            if (!g[a]) continue;
+            for (size_t b = 0; b < min_poly.size(); ++b) {
+                SDF_CHECK_MSG(min_poly[b] <= 1, "minimal polynomial not binary");
+                next_g[a + b] ^= g[a] & static_cast<uint8_t>(min_poly[b]);
+            }
+        }
+        g = std::move(next_g);
+    }
+
+    generator_ = std::move(g);
+    const int parity = static_cast<int>(generator_.size()) - 1;
+    k_ = n_ - parity;
+    if (k_ <= 0) SDF_FATAL("BCH(t) too strong for this field: no data bits left");
+}
+
+std::vector<uint8_t>
+BchCodec::Encode(const std::vector<uint8_t> &msg_bits) const
+{
+    SDF_CHECK_MSG(static_cast<int>(msg_bits.size()) == k_, "message size != k");
+    const int parity = n_ - k_;
+
+    // Systematic encoding: codeword = [parity | message], message occupying
+    // the high-order coefficients. Compute rem(m(x) * x^parity, g(x)) via
+    // LFSR-style long division.
+    std::vector<uint8_t> rem(parity, 0);
+    for (int i = k_ - 1; i >= 0; --i) {
+        const uint8_t feedback = msg_bits[i] ^ (parity ? rem[parity - 1] : 0);
+        for (int j = parity - 1; j > 0; --j)
+            rem[j] = rem[j - 1] ^ (feedback & generator_[j]);
+        if (parity) rem[0] = feedback & generator_[0];
+    }
+
+    std::vector<uint8_t> codeword(n_, 0);
+    for (int i = 0; i < parity; ++i) codeword[i] = rem[i];
+    for (int i = 0; i < k_; ++i) codeword[parity + i] = msg_bits[i];
+    return codeword;
+}
+
+std::vector<uint8_t>
+BchCodec::ExtractMessage(const std::vector<uint8_t> &codeword) const
+{
+    SDF_CHECK(static_cast<int>(codeword.size()) == n_);
+    return {codeword.begin() + (n_ - k_), codeword.end()};
+}
+
+BchCodec::DecodeResult
+BchCodec::Decode(std::vector<uint8_t> &codeword) const
+{
+    SDF_CHECK(static_cast<int>(codeword.size()) == n_);
+
+    // Syndromes S_j = r(alpha^j) for j = 1 .. 2t.
+    std::vector<uint32_t> synd(2 * t_ + 1, 0);
+    bool all_zero = true;
+    for (int j = 1; j <= 2 * t_; ++j) {
+        uint32_t s = 0;
+        for (int i = 0; i < n_; ++i) {
+            if (codeword[i]) s ^= gf_.Exp(i * j);
+        }
+        synd[j] = s;
+        if (s) all_zero = false;
+    }
+    if (all_zero) return DecodeResult{true, 0};
+
+    // Berlekamp–Massey: find error locator sigma(x).
+    std::vector<uint32_t> sigma{1};
+    std::vector<uint32_t> prev_sigma{1};
+    uint32_t prev_discrepancy = 1;
+    int l = 0;       // current LFSR length
+    int shift = 1;   // x^shift multiplier for the correction term
+
+    for (int step = 1; step <= 2 * t_; ++step) {
+        uint32_t d = synd[step];
+        for (int i = 1; i <= l; ++i) {
+            if (i < static_cast<int>(sigma.size()) && sigma[i] && synd[step - i])
+                d ^= gf_.Mul(sigma[i], synd[step - i]);
+        }
+        if (d == 0) {
+            ++shift;
+            continue;
+        }
+        if (2 * l <= step - 1) {
+            std::vector<uint32_t> saved = sigma;
+            const uint32_t scale = gf_.Div(d, prev_discrepancy);
+            if (sigma.size() < prev_sigma.size() + shift)
+                sigma.resize(prev_sigma.size() + shift, 0);
+            for (size_t i = 0; i < prev_sigma.size(); ++i)
+                sigma[i + shift] ^= gf_.Mul(scale, prev_sigma[i]);
+            l = step - l;
+            prev_sigma = std::move(saved);
+            prev_discrepancy = d;
+            shift = 1;
+        } else {
+            const uint32_t scale = gf_.Div(d, prev_discrepancy);
+            if (sigma.size() < prev_sigma.size() + shift)
+                sigma.resize(prev_sigma.size() + shift, 0);
+            for (size_t i = 0; i < prev_sigma.size(); ++i)
+                sigma[i + shift] ^= gf_.Mul(scale, prev_sigma[i]);
+            ++shift;
+        }
+    }
+
+    while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+    const int degree = static_cast<int>(sigma.size()) - 1;
+    if (degree > t_) return DecodeResult{false, 0};
+
+    // Chien search: roots alpha^{-i} of sigma give error positions i.
+    std::vector<int> error_positions;
+    for (int i = 0; i < n_; ++i) {
+        uint32_t v = 0;
+        for (size_t d = 0; d < sigma.size(); ++d) {
+            if (sigma[d])
+                v ^= gf_.Mul(sigma[d], gf_.Exp(static_cast<int>(d) * (n_ - i)));
+        }
+        if (v == 0) error_positions.push_back(i);
+    }
+    if (static_cast<int>(error_positions.size()) != degree)
+        return DecodeResult{false, 0};
+
+    for (int pos : error_positions) codeword[pos] ^= 1;
+    return DecodeResult{true, degree};
+}
+
+}  // namespace sdf::controller

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Binary BCH error-correcting code over GF(2^m).
+ *
+ * SDF keeps per-chip BCH ECC as the only on-device protection (inter-channel
+ * parity is removed; §2.2). This is a functional implementation: systematic
+ * encoding, syndrome computation, Berlekamp–Massey, and Chien search. The
+ * flash channel timing model uses only the correction *budget* (t bits per
+ * page); this codec exists so the reproduction actually detects/corrects the
+ * bit errors injected by the reliability model in end-to-end tests.
+ */
+#ifndef SDF_CONTROLLER_BCH_H
+#define SDF_CONTROLLER_BCH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdf::controller {
+
+/** Galois field GF(2^m) arithmetic with log/antilog tables. */
+class GaloisField
+{
+  public:
+    /** @param m Field degree in [3, 13]. */
+    explicit GaloisField(int m);
+
+    int m() const { return m_; }
+    /** Field size minus one (multiplicative group order). */
+    int n() const { return n_; }
+
+    /** alpha^power (power taken mod n). */
+    uint32_t
+    Exp(int power) const
+    {
+        power %= n_;
+        if (power < 0) power += n_;
+        return exp_[power];
+    }
+
+    /** Discrete log base alpha of a nonzero element. */
+    int Log(uint32_t x) const;
+
+    uint32_t
+    Mul(uint32_t a, uint32_t b) const
+    {
+        if (a == 0 || b == 0) return 0;
+        return exp_[(log_[a] + log_[b]) % n_];
+    }
+
+    uint32_t Inv(uint32_t a) const;
+
+    uint32_t
+    Div(uint32_t a, uint32_t b) const
+    {
+        return Mul(a, Inv(b));
+    }
+
+  private:
+    int m_;
+    int n_;
+    std::vector<uint32_t> exp_;
+    std::vector<int> log_;
+};
+
+/**
+ * A binary (n, k) BCH code with designed correction capability t.
+ *
+ * Bit vectors use one byte per bit (values 0/1); index 0 is the lowest-order
+ * coefficient of the codeword polynomial.
+ */
+class BchCodec
+{
+  public:
+    /**
+     * @param m Field degree; codeword length n = 2^m - 1.
+     * @param t Designed number of correctable bit errors.
+     * Aborts (fatal) if the requested t leaves no data bits.
+     */
+    BchCodec(int m, int t);
+
+    int n() const { return n_; }
+    int k() const { return k_; }
+    int t() const { return t_; }
+    int parity_bits() const { return n_ - k_; }
+
+    /** Systematically encode @p msg_bits (size k) into a codeword (size n). */
+    std::vector<uint8_t> Encode(const std::vector<uint8_t> &msg_bits) const;
+
+    /** Extract the message bits from a (corrected) codeword. */
+    std::vector<uint8_t> ExtractMessage(const std::vector<uint8_t> &codeword) const;
+
+    /** Outcome of a decode attempt. */
+    struct DecodeResult
+    {
+        bool ok = false;        ///< Codeword valid after correction.
+        int corrected = 0;      ///< Number of bit errors corrected.
+    };
+
+    /**
+     * Correct @p codeword (size n) in place.
+     * @return ok=false when the error count exceeded the code's capability
+     *     (detected decode failure).
+     */
+    DecodeResult Decode(std::vector<uint8_t> &codeword) const;
+
+  private:
+    GaloisField gf_;
+    int n_;
+    int k_;
+    int t_;
+    std::vector<uint8_t> generator_;  ///< g(x) coefficients in GF(2).
+};
+
+}  // namespace sdf::controller
+
+#endif  // SDF_CONTROLLER_BCH_H

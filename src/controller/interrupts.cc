@@ -1,0 +1,100 @@
+#include "controller/interrupts.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::controller {
+
+InterruptCoalescer::InterruptCoalescer(sim::Simulator &sim,
+                                       const InterruptConfig &config,
+                                       uint32_t channel_count)
+    : sim_(sim), config_(config)
+{
+    SDF_CHECK(config_.channels_per_group > 0);
+    const uint32_t groups =
+        (channel_count + config_.channels_per_group - 1) /
+        config_.channels_per_group;
+    groups_.resize(std::max(groups, 1u));
+}
+
+void
+InterruptCoalescer::OnCompletion(uint32_t channel, sim::Callback deliver)
+{
+    ++completions_;
+    if (!config_.coalesce) {
+        ++interrupts_;
+        cpu_time_ += config_.cpu_cost_per_interrupt;
+        if (deliver) deliver();
+        return;
+    }
+
+    const uint32_t g = channel / config_.channels_per_group;
+    SDF_CHECK(g < groups_.size());
+    Group &group = groups_[g];
+    group.pending.push_back(std::move(deliver));
+
+    if (group.pending.size() >= config_.merge_count) {
+        if (group.timer != sim::kInvalidEvent) {
+            sim_.Cancel(group.timer);
+            group.timer = sim::kInvalidEvent;
+        }
+        Fire(g);
+    } else if (group.timer == sim::kInvalidEvent) {
+        group.timer = sim_.Schedule(config_.merge_window, [this, g]() {
+            groups_[g].timer = sim::kInvalidEvent;
+            Fire(g);
+        });
+    }
+}
+
+void
+InterruptCoalescer::Fire(uint32_t group_idx)
+{
+    // Level 1 (Spartan-6): the group's batch moves to the global stage.
+    Group &group = groups_[group_idx];
+    if (group.pending.empty()) return;
+    for (auto &cb : group.pending) {
+        global_pending_.push_back(std::move(cb));
+    }
+    group.pending.clear();
+    ++global_batches_;
+
+    if (global_batches_ >= config_.global_merge_count) {
+        if (global_timer_ != sim::kInvalidEvent) {
+            sim_.Cancel(global_timer_);
+            global_timer_ = sim::kInvalidEvent;
+        }
+        GlobalFire();
+    } else if (global_timer_ == sim::kInvalidEvent) {
+        global_timer_ = sim_.Schedule(config_.global_merge_window, [this]() {
+            global_timer_ = sim::kInvalidEvent;
+            GlobalFire();
+        });
+    }
+}
+
+void
+InterruptCoalescer::GlobalFire()
+{
+    // Level 2 (Virtex-5): one MSI for everything pending.
+    if (global_pending_.empty()) return;
+    ++interrupts_;
+    cpu_time_ += config_.cpu_cost_per_interrupt;
+    global_batches_ = 0;
+    std::vector<sim::Callback> batch;
+    batch.swap(global_pending_);
+    for (auto &cb : batch) {
+        if (cb) cb();
+    }
+}
+
+double
+InterruptCoalescer::MergeFactor() const
+{
+    return interrupts_ ? static_cast<double>(completions_) /
+                             static_cast<double>(interrupts_)
+                       : 0.0;
+}
+
+}  // namespace sdf::controller

@@ -1,0 +1,84 @@
+#include "controller/link.h"
+
+namespace sdf::controller {
+
+LinkSpec
+Pcie11x8Spec()
+{
+    LinkSpec s;
+    s.name = "PCIe 1.1 x8";
+    s.to_host_bytes_per_sec = 1.61e9;
+    s.to_device_bytes_per_sec = 1.40e9;
+    s.dma_setup = util::UsToNs(2);
+    s.full_duplex = true;
+    return s;
+}
+
+LinkSpec
+Sata2Spec()
+{
+    LinkSpec s;
+    s.name = "SATA 2.0";
+    s.to_host_bytes_per_sec = 275e6;
+    s.to_device_bytes_per_sec = 275e6;
+    s.dma_setup = util::UsToNs(4);
+    s.full_duplex = false;
+    return s;
+}
+
+LinkSpec
+UnlimitedLinkSpec()
+{
+    LinkSpec s;
+    s.name = "unlimited";
+    s.to_host_bytes_per_sec = 0;  // TransferTimeNs treats 0 as infinite speed
+    s.to_device_bytes_per_sec = 0;
+    s.dma_setup = 0;
+    s.full_duplex = true;
+    return s;
+}
+
+Link::Link(sim::Simulator &sim, const LinkSpec &spec)
+    : sim_(sim), spec_(spec), to_host_(sim), to_device_(sim)
+{
+}
+
+TimeNs
+Link::TransferToHost(TimeNs earliest, uint64_t bytes, sim::Callback done)
+{
+    to_host_bytes_ += bytes;
+    const TimeNs service =
+        spec_.dma_setup +
+        util::TransferTimeNs(bytes, spec_.to_host_bytes_per_sec);
+    // Half-duplex links serialize both directions through one pipe.
+    sim::FifoResource &pipe = spec_.full_duplex ? to_host_ : to_host_;
+    if (!spec_.full_duplex) {
+        // Ensure ordering against writes as well by chaining on both.
+        earliest = std::max(earliest, to_device_.free_at());
+    }
+    const TimeNs end = pipe.SubmitAfter(earliest, service, std::move(done));
+    if (!spec_.full_duplex) {
+        // Block the other direction until this transfer drains.
+        to_device_.SubmitAfter(end, 0, nullptr);
+    }
+    return end;
+}
+
+TimeNs
+Link::TransferToDevice(TimeNs earliest, uint64_t bytes, sim::Callback done)
+{
+    to_device_bytes_ += bytes;
+    const TimeNs service =
+        spec_.dma_setup +
+        util::TransferTimeNs(bytes, spec_.to_device_bytes_per_sec);
+    if (!spec_.full_duplex) {
+        earliest = std::max(earliest, to_host_.free_at());
+    }
+    const TimeNs end = to_device_.SubmitAfter(earliest, service, std::move(done));
+    if (!spec_.full_duplex) {
+        to_host_.SubmitAfter(end, 0, nullptr);
+    }
+    return end;
+}
+
+}  // namespace sdf::controller

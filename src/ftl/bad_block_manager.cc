@@ -1,0 +1,45 @@
+#include "ftl/bad_block_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace sdf::ftl {
+
+BadBlockManager::BadBlockManager(uint32_t total_blocks,
+                                 const std::vector<uint32_t> &factory_bad,
+                                 uint32_t spare_count)
+    : bad_(total_blocks, false)
+{
+    for (uint32_t b : factory_bad) {
+        SDF_CHECK(b < total_blocks);
+        bad_[b] = true;
+    }
+    std::vector<uint32_t> good;
+    good.reserve(total_blocks);
+    for (uint32_t b = 0; b < total_blocks; ++b) {
+        if (!bad_[b]) good.push_back(b);
+    }
+    SDF_CHECK_MSG(good.size() > spare_count,
+                  "not enough good blocks for the spare pool");
+    // Spares come from the tail so the usable range stays dense and low.
+    spares_.assign(good.end() - spare_count, good.end());
+    usable_.assign(good.begin(), good.end() - spare_count);
+}
+
+uint32_t
+BadBlockManager::RetireBlock(uint32_t block)
+{
+    SDF_CHECK(block < bad_.size());
+    if (!bad_[block]) {
+        bad_[block] = true;
+        ++grown_bad_;
+    }
+    if (spares_.empty()) return std::numeric_limits<uint32_t>::max();
+    const uint32_t replacement = spares_.back();
+    spares_.pop_back();
+    return replacement;
+}
+
+}  // namespace sdf::ftl

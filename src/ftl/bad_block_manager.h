@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bad block management: presents a stable logical block space over a
+ * physical space with factory and grown bad blocks, remapping into a spare
+ * pool. Both the SDF channel engines and the conventional-SSD FTL use this.
+ */
+#ifndef SDF_FTL_BAD_BLOCK_MANAGER_H
+#define SDF_FTL_BAD_BLOCK_MANAGER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdf::ftl {
+
+/**
+ * Tracks usable physical blocks in one channel and remaps grown bad blocks
+ * to spares.
+ *
+ * On construction the manager scans the provided factory-bad list, reserves
+ * @p spare_count good blocks as the replacement pool, and exposes the rest
+ * as the usable set.
+ */
+class BadBlockManager
+{
+  public:
+    /**
+     * @param total_blocks Physical blocks in the channel (flat indices).
+     * @param factory_bad Flat indices of blocks bad at manufacture.
+     * @param spare_count Good blocks reserved for future remaps.
+     */
+    BadBlockManager(uint32_t total_blocks,
+                    const std::vector<uint32_t> &factory_bad,
+                    uint32_t spare_count);
+
+    /** Usable (non-bad, non-spare) physical block indices, ascending. */
+    const std::vector<uint32_t> &usable_blocks() const { return usable_; }
+
+    /** True if @p block is currently marked bad. */
+    bool IsBad(uint32_t block) const { return bad_[block]; }
+
+    /**
+     * Record that @p block failed; returns the spare that replaces it, or
+     * UINT32_MAX if the spare pool is exhausted (the caller must shrink its
+     * logical space).
+     */
+    uint32_t RetireBlock(uint32_t block);
+
+    uint32_t spares_left() const { return static_cast<uint32_t>(spares_.size()); }
+    uint32_t grown_bad_count() const { return grown_bad_; }
+
+  private:
+    std::vector<bool> bad_;
+    std::vector<uint32_t> usable_;
+    std::vector<uint32_t> spares_;
+    uint32_t grown_bad_ = 0;
+};
+
+}  // namespace sdf::ftl
+
+#endif  // SDF_FTL_BAD_BLOCK_MANAGER_H

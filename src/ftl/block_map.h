@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Block-level logical-to-physical mapping — the one-lookup LA2PA table of
+ * the SDF channel engine (§2.1: a lookup costs one SRAM clock cycle).
+ */
+#ifndef SDF_FTL_BLOCK_MAP_H
+#define SDF_FTL_BLOCK_MAP_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdf::ftl {
+
+/** Sentinel for an unmapped logical block. */
+inline constexpr uint32_t kUnmappedBlock = 0xFFFFFFFFu;
+
+/** Dense logical-block to physical-block table for one plane. */
+class BlockMap
+{
+  public:
+    explicit BlockMap(uint32_t logical_blocks)
+        : map_(logical_blocks, kUnmappedBlock) {}
+
+    uint32_t size() const { return static_cast<uint32_t>(map_.size()); }
+
+    /** Physical block for @p lb, or kUnmappedBlock. */
+    uint32_t
+    Lookup(uint32_t lb) const
+    {
+        return map_[lb];
+    }
+
+    /** Map @p lb to @p pb. @return the previously mapped block or sentinel. */
+    uint32_t
+    Set(uint32_t lb, uint32_t pb)
+    {
+        const uint32_t old = map_[lb];
+        map_[lb] = pb;
+        return old;
+    }
+
+    /** Unmap @p lb. @return the previously mapped block or sentinel. */
+    uint32_t
+    Clear(uint32_t lb)
+    {
+        const uint32_t old = map_[lb];
+        map_[lb] = kUnmappedBlock;
+        return old;
+    }
+
+  private:
+    std::vector<uint32_t> map_;
+};
+
+}  // namespace sdf::ftl
+
+#endif  // SDF_FTL_BLOCK_MAP_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Address striping across channels.
+ *
+ * Conventional SSDs stripe the logical address space round-robin over all
+ * channels with a small unit (8 KB on the Huawei Gen3) so one request is
+ * served by many channels. SDF deliberately does the opposite — whole-unit
+ * channel affinity — so this helper is the baseline's distinguishing layout.
+ */
+#ifndef SDF_FTL_STRIPING_H
+#define SDF_FTL_STRIPING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sdf::ftl {
+
+/** One contiguous piece of a request that lands on a single channel. */
+struct StripeChunk
+{
+    uint32_t channel = 0;
+    uint64_t channel_offset = 0;  ///< Byte offset within the channel's space.
+    uint32_t length = 0;          ///< Bytes in this chunk.
+};
+
+/** Round-robin striping of a flat byte space over channels. */
+class StripingLayout
+{
+  public:
+    StripingLayout(uint32_t channels, uint32_t stripe_bytes)
+        : channels_(channels), stripe_bytes_(stripe_bytes)
+    {
+        SDF_CHECK(channels > 0 && stripe_bytes > 0);
+    }
+
+    uint32_t channels() const { return channels_; }
+    uint32_t stripe_bytes() const { return stripe_bytes_; }
+
+    /** Channel serving the byte at @p offset. */
+    uint32_t
+    ChannelOf(uint64_t offset) const
+    {
+        return static_cast<uint32_t>((offset / stripe_bytes_) % channels_);
+    }
+
+    /** Byte offset within the owning channel's private space. */
+    uint64_t
+    ChannelOffset(uint64_t offset) const
+    {
+        const uint64_t stripe = offset / stripe_bytes_;
+        const uint64_t row = stripe / channels_;
+        return row * stripe_bytes_ + offset % stripe_bytes_;
+    }
+
+    /** Split [offset, offset + length) into per-channel chunks. */
+    std::vector<StripeChunk>
+    Split(uint64_t offset, uint64_t length) const
+    {
+        std::vector<StripeChunk> chunks;
+        while (length > 0) {
+            const uint64_t in_stripe = offset % stripe_bytes_;
+            const uint64_t take = std::min<uint64_t>(stripe_bytes_ - in_stripe, length);
+            chunks.push_back(StripeChunk{ChannelOf(offset), ChannelOffset(offset),
+                                         static_cast<uint32_t>(take)});
+            offset += take;
+            length -= take;
+        }
+        return chunks;
+    }
+
+  private:
+    uint32_t channels_;
+    uint32_t stripe_bytes_;
+};
+
+}  // namespace sdf::ftl
+
+#endif  // SDF_FTL_STRIPING_H

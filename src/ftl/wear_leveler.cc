@@ -1,0 +1,29 @@
+#include "ftl/wear_leveler.h"
+
+#include "util/assert.h"
+
+namespace sdf::ftl {
+
+void
+DynamicWearLeveler::Release(uint32_t block, uint32_t erase_count)
+{
+    heap_.push(Entry{erase_count, block});
+}
+
+uint32_t
+DynamicWearLeveler::Allocate()
+{
+    SDF_CHECK_MSG(!heap_.empty(), "allocating from empty free pool");
+    const uint32_t block = heap_.top().block;
+    heap_.pop();
+    return block;
+}
+
+uint32_t
+DynamicWearLeveler::MinEraseCount() const
+{
+    SDF_CHECK(!heap_.empty());
+    return heap_.top().erase_count;
+}
+
+}  // namespace sdf::ftl

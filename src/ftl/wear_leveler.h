@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dynamic wear leveling: free-block allocation that always hands out the
+ * block with the lowest erase count.
+ *
+ * The SDF channel engine keeps its erase-count table in banked SRAM so the
+ * minimum search can run in parallel (§2.1); here a binary heap provides the
+ * same policy.
+ */
+#ifndef SDF_FTL_WEAR_LEVELER_H
+#define SDF_FTL_WEAR_LEVELER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace sdf::ftl {
+
+/**
+ * Pool of free (erased) physical blocks ordered by erase count.
+ *
+ * Blocks are identified by flat per-channel indices. The pool does not talk
+ * to the flash itself; callers erase blocks and then Release() them here.
+ */
+class DynamicWearLeveler
+{
+  public:
+    DynamicWearLeveler() = default;
+
+    /** Add a free block with its current erase count. */
+    void Release(uint32_t block, uint32_t erase_count);
+
+    /** True if no free block is available. */
+    bool Empty() const { return heap_.empty(); }
+
+    /** Number of free blocks in the pool. */
+    size_t FreeCount() const { return heap_.size(); }
+
+    /**
+     * Remove and return the least-worn free block.
+     * Precondition: !Empty().
+     */
+    uint32_t Allocate();
+
+    /** Erase count of the block Allocate() would return next. */
+    uint32_t MinEraseCount() const;
+
+  private:
+    struct Entry
+    {
+        uint32_t erase_count;
+        uint32_t block;
+        bool
+        operator>(const Entry &o) const
+        {
+            if (erase_count != o.erase_count) return erase_count > o.erase_count;
+            return block > o.block;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+};
+
+}  // namespace sdf::ftl
+
+#endif  // SDF_FTL_WEAR_LEVELER_H

@@ -1,0 +1,45 @@
+#include "kv/memtable.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::kv {
+
+void
+MemTable::Add(KvItem item)
+{
+    SDF_CHECK_MSG(!WouldOverflow(item.StorageCharge()),
+                  "memtable overflow: flush before adding");
+    auto it = by_key_.find(item.key);
+    if (it != by_key_.end()) {
+        KvItem &old = items_[it->second];
+        SDF_CHECK(bytes_ >= old.StorageCharge());
+        bytes_ -= old.StorageCharge();
+        bytes_ += item.StorageCharge();
+        old = std::move(item);
+        return;
+    }
+    by_key_[item.key] = items_.size();
+    bytes_ += item.StorageCharge();
+    items_.push_back(std::move(item));
+}
+
+const KvItem *
+MemTable::Lookup(uint64_t key) const
+{
+    auto it = by_key_.find(key);
+    return it == by_key_.end() ? nullptr : &items_[it->second];
+}
+
+std::vector<KvItem>
+MemTable::TakeAll()
+{
+    std::vector<KvItem> out = std::move(items_);
+    items_.clear();
+    by_key_.clear();
+    bytes_ = 0;
+    return out;
+}
+
+}  // namespace sdf::kv

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The in-memory write container of a CCDB slice (§2.4): KV items
+ * accumulate here (mirrored to a log on a separate device) until the
+ * container reaches the 8 MB patch size and is flushed to flash.
+ */
+#ifndef SDF_KV_MEMTABLE_H
+#define SDF_KV_MEMTABLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/types.h"
+
+namespace sdf::kv {
+
+/** Bounded in-memory container of KV items, newest version per key. */
+class MemTable
+{
+  public:
+    /** @param capacity_bytes Flush threshold (the patch size, 8 MB). */
+    explicit MemTable(uint64_t capacity_bytes)
+        : capacity_bytes_(capacity_bytes) {}
+
+    /** True if adding a value of @p value_size would overflow. */
+    bool
+    WouldOverflow(uint32_t value_size) const
+    {
+        return bytes_ + value_size > capacity_bytes_;
+    }
+
+    /**
+     * Insert or replace @p item. Callers must flush first when
+     * WouldOverflow(); inserting past capacity is a programming error.
+     */
+    void Add(KvItem item);
+
+    /** Newest in-memory version of @p key, or nullptr. */
+    const KvItem *Lookup(uint64_t key) const;
+
+    /** Move out all items (unsorted) and reset. */
+    std::vector<KvItem> TakeAll();
+
+    uint64_t bytes() const { return bytes_; }
+    size_t count() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  private:
+    uint64_t capacity_bytes_;
+    uint64_t bytes_ = 0;
+    std::vector<KvItem> items_;
+    std::unordered_map<uint64_t, size_t> by_key_;  ///< key -> items_ index.
+};
+
+}  // namespace sdf::kv
+
+#endif  // SDF_KV_MEMTABLE_H

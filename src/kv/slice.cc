@@ -1,0 +1,483 @@
+#include "kv/slice.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::kv {
+
+Slice::Slice(sim::Simulator &sim, PatchStorage &storage, IdAllocator &ids,
+             const SliceConfig &config)
+    : sim_(sim),
+      storage_(storage),
+      ids_(ids),
+      config_(config),
+      mem_(storage.patch_bytes())
+{
+    SDF_CHECK(config_.compaction_trigger >= 2);
+    SDF_CHECK(config_.max_levels >= 1);
+    levels_.resize(1);
+}
+
+Slice::~Slice() = default;
+
+size_t
+Slice::patch_count() const
+{
+    size_t n = 0;
+    for (const auto &level : levels_) n += level.size();
+    return n;
+}
+
+std::vector<uint64_t>
+Slice::AllPatchIds() const
+{
+    std::vector<uint64_t> ids;
+    for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+        for (const auto &meta : *it) ids.push_back(meta->id());
+    }
+    return ids;
+}
+
+void
+Slice::ReadPatchFully(uint64_t id, PatchCallback done,
+                      std::vector<uint8_t> *out)
+{
+    storage_.GetRange(id, 0, storage_.patch_bytes(), std::move(done), out,
+                      blocklayer::kClientPriority);
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void
+Slice::Put(uint64_t key, uint32_t value_size, PutCallback done,
+           std::shared_ptr<std::vector<uint8_t>> payload)
+{
+    ++stats_.puts;
+    PutItem(KvItem{key, value_size, std::move(payload), false},
+            std::move(done));
+}
+
+void
+Slice::Delete(uint64_t key, PutCallback done)
+{
+    ++stats_.deletes;
+    PutItem(KvItem{key, 0, nullptr, true}, std::move(done));
+}
+
+void
+Slice::PutItem(KvItem item, PutCallback done)
+{
+    if (item.StorageCharge() > mem_.capacity_bytes()) {
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(false);
+        });
+        return;
+    }
+    if (mem_.WouldOverflow(item.StorageCharge())) {
+        if (flush_active_) {
+            // Backpressure: the previous patch is still being written.
+            ++stats_.put_stalls;
+            stalled_puts_.emplace_back(std::move(item), std::move(done));
+            return;
+        }
+        StartFlush();
+    }
+    AddPut(std::move(item), std::move(done));
+}
+
+void
+Slice::AddPut(KvItem item, PutCallback done)
+{
+    mem_.Add(std::move(item));
+    // Acknowledge after the write-ahead log append (separate log device).
+    sim_.Schedule(config_.log_latency, [done = std::move(done)]() {
+        if (done) done(true);
+    });
+}
+
+void
+Slice::Flush()
+{
+    if (!mem_.empty() && !flush_active_) StartFlush();
+}
+
+bool
+Slice::DebugPreloadPatch(std::vector<KvItem> items)
+{
+    SDF_CHECK_MSG(!config_.store_payloads,
+                  "preloading is timing-only; payload mode unsupported");
+    const uint64_t id = ids_.Next();
+    if (!storage_.DebugInstallPatch(id)) return false;
+    const uint64_t seq = next_seq_++;
+    auto meta = std::make_shared<PatchMeta>(
+        PatchMeta::Build(id, seq, std::move(items), storage_.patch_bytes()));
+    // Preloaded patches are "already sorted" history: park them in the
+    // last level so they do not trigger compaction (Figure 14's setup).
+    if (levels_.size() < config_.max_levels)
+        levels_.resize(config_.max_levels);
+    levels_.back().push_back(meta);
+    UpdateIndex(*meta);
+    return true;
+}
+
+void
+Slice::StartFlush()
+{
+    SDF_CHECK(!flush_active_);
+    flush_active_ = true;
+    ++stats_.flushes;
+
+    imm_items_ = mem_.TakeAll();
+    imm_index_.clear();
+    for (size_t i = 0; i < imm_items_.size(); ++i)
+        imm_index_[imm_items_[i].key] = i;
+
+    const uint64_t seq = next_seq_++;
+    const uint64_t id = ids_.Next();
+    auto meta = std::make_shared<PatchMeta>(
+        PatchMeta::Build(id, seq, imm_items_, storage_.patch_bytes()));
+
+    const uint8_t *data = nullptr;
+    if (config_.store_payloads) {
+        auto image = std::make_shared<std::vector<uint8_t>>(
+            PatchMeta::AssembleBuffer(*meta, imm_items_,
+                                      storage_.patch_bytes()));
+        data = image->data();
+        patch_images_[id] = std::move(image);
+    }
+
+    storage_.PutPatch(id,
+                      [this, meta](bool ok) { FinishFlush(ok, meta); }, data,
+                      blocklayer::kClientPriority);
+}
+
+void
+Slice::FinishFlush(bool ok, std::shared_ptr<PatchMeta> meta)
+{
+    if (ok) {
+        levels_[0].push_back(meta);
+        UpdateIndex(*meta);
+    } else {
+        patch_images_.erase(meta->id());
+    }
+    imm_items_.clear();
+    imm_index_.clear();
+    flush_active_ = false;
+
+    // Replay puts that stalled behind this flush.
+    while (!stalled_puts_.empty()) {
+        auto &[item, done] = stalled_puts_.front();
+        if (mem_.WouldOverflow(item.StorageCharge())) {
+            if (flush_active_) break;
+            StartFlush();
+            if (flush_active_) {
+                // Re-check after the new flush drained the memtable.
+                continue;
+            }
+        }
+        AddPut(std::move(item), std::move(done));
+        stalled_puts_.pop_front();
+    }
+
+    MaybeStartCompaction();
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void
+Slice::Get(uint64_t key, GetCallback done)
+{
+    ++stats_.gets;
+
+    auto respond_mem = [this, &done](const KvItem &item) {
+        ++stats_.gets_from_memtable;
+        GetResult r;
+        r.found = !item.tombstone;
+        r.value_size = item.value_size;
+        r.payload = item.payload;
+        if (item.tombstone) ++stats_.gets_not_found;
+        sim_.Schedule(0, [done = std::move(done), r]() { done(r); });
+    };
+
+    if (const KvItem *m = mem_.Lookup(key)) {
+        respond_mem(*m);
+        return;
+    }
+    if (auto it = imm_index_.find(key); it != imm_index_.end()) {
+        respond_mem(imm_items_[it->second]);
+        return;
+    }
+    auto idx = index_.find(key);
+    if (idx == index_.end() || idx->second.tombstone) {
+        ++stats_.gets_not_found;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            done(GetResult{false, true, 0, nullptr});
+        });
+        return;
+    }
+    DoStorageGet(key, std::move(done), 3);
+}
+
+void
+Slice::DoStorageGet(uint64_t key, GetCallback done, int attempts)
+{
+    auto it = index_.find(key);
+    if (it == index_.end() || it->second.tombstone) {
+        ++stats_.gets_not_found;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            done(GetResult{false, true, 0, nullptr});
+        });
+        return;
+    }
+    const IndexEntry loc = it->second;
+    const uint64_t align = storage_.alignment();
+    const uint64_t start = loc.offset / align * align;
+    uint64_t end = loc.offset + loc.value_size;
+    end = (end + align - 1) / align * align;
+    end = std::min(end, storage_.patch_bytes());
+    const uint64_t aligned_len = std::max<uint64_t>(end - start, align);
+
+    auto out = config_.store_payloads
+                   ? std::make_shared<std::vector<uint8_t>>()
+                   : nullptr;
+    storage_.GetRange(
+        loc.patch_id, start, aligned_len,
+        [this, key, loc, start, out, attempts, done = std::move(done)](
+            bool ok) mutable {
+            if (!ok) {
+                // The patch may have been compacted away mid-read; retry
+                // through the (updated) index.
+                ++stats_.get_retries;
+                if (attempts > 1) {
+                    DoStorageGet(key, std::move(done), attempts - 1);
+                } else {
+                    done(GetResult{false, false, 0, nullptr});
+                }
+                return;
+            }
+            GetResult r;
+            r.found = true;
+            r.value_size = loc.value_size;
+            if (out) {
+                const size_t rel = static_cast<size_t>(loc.offset - start);
+                r.payload = std::make_shared<std::vector<uint8_t>>(
+                    out->begin() + static_cast<long>(rel),
+                    out->begin() + static_cast<long>(rel + loc.value_size));
+            }
+            done(r);
+        },
+        out.get(), blocklayer::kClientPriority);
+}
+
+void
+Slice::UpdateIndex(const PatchMeta &meta)
+{
+    for (const PatchEntry &e : meta.entries()) {
+        auto it = index_.find(e.key);
+        if (it != index_.end() && e.seq < it->second.seq) continue;
+        index_[e.key] =
+            IndexEntry{meta.id(), e.offset, e.value_size, e.seq, e.tombstone};
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction (tiered: merge a full level into one run of the next level)
+// ---------------------------------------------------------------------------
+
+void
+Slice::MaybeStartCompaction()
+{
+    if (compaction_active_) return;
+    for (uint32_t level = 0; level < levels_.size(); ++level) {
+        if (level + 1 >= config_.max_levels) break;
+        if (levels_[level].size() < config_.compaction_trigger) continue;
+
+        compaction_active_ = true;
+        compaction_level_ = level;
+        compaction_inputs_ = levels_[level];  // Snapshot; stays readable.
+        compaction_read_next_ = 0;
+        compaction_io_inflight_ = 0;
+        compaction_buffers_.assign(compaction_inputs_.size(), nullptr);
+        compaction_outputs_.clear();
+        compaction_out_bufs_.clear();
+        compaction_write_next_ = 0;
+        ++stats_.compactions;
+        CompactionReadNext();
+        return;
+    }
+}
+
+void
+Slice::CompactionReadNext()
+{
+    while (compaction_io_inflight_ < config_.compaction_io_concurrency &&
+           compaction_read_next_ < compaction_inputs_.size()) {
+        const size_t i = compaction_read_next_++;
+        ++compaction_io_inflight_;
+        auto buf = config_.store_payloads
+                       ? std::make_shared<std::vector<uint8_t>>()
+                       : nullptr;
+        compaction_buffers_[i] = buf;
+        stats_.compaction_bytes_read += storage_.patch_bytes();
+        storage_.GetRange(
+            compaction_inputs_[i]->id(), 0, storage_.patch_bytes(),
+            [this](bool) {
+                --compaction_io_inflight_;
+                if (compaction_read_next_ == compaction_inputs_.size() &&
+                    compaction_io_inflight_ == 0) {
+                    CompactionMergeAndWrite();
+                } else {
+                    CompactionReadNext();
+                }
+            },
+            buf.get(), blocklayer::kInternalPriority);
+    }
+}
+
+void
+Slice::CompactionMergeAndWrite()
+{
+    std::vector<const PatchMeta *> inputs;
+    inputs.reserve(compaction_inputs_.size());
+    uint64_t total_bytes = 0;
+    for (const auto &m : compaction_inputs_) {
+        inputs.push_back(m.get());
+        total_bytes += m->data_bytes();
+    }
+    // Tombstones can be discarded only when nothing older can still hold
+    // the key: the merge targets the bottom level AND that level has no
+    // pre-existing runs outside this merge's inputs.
+    const uint32_t target = compaction_level_ + 1;
+    bool to_bottom = target + 1 >= config_.max_levels;
+    if (to_bottom && target < levels_.size() && !levels_[target].empty()) {
+        to_bottom = false;
+    }
+    compaction_dropped_tombstones_ = to_bottom;
+    size_t entries_in = 0;
+    for (const PatchMeta *m : inputs) entries_in += m->entries().size();
+    auto parts = MergeEntries(inputs, storage_.patch_bytes(), to_bottom);
+    if (to_bottom) {
+        size_t entries_out = 0;
+        for (const auto &p : parts) entries_out += p.size();
+        // Everything removed beyond version dedup is a dropped tombstone
+        // (and whatever it shadowed).
+        stats_.tombstones_dropped += entries_in - entries_out;
+    }
+
+    for (auto &part : parts) {
+        const uint64_t id = ids_.Next();
+        auto meta = std::make_shared<PatchMeta>(
+            PatchMeta::FromEntries(id, std::move(part), storage_.patch_bytes()));
+
+        std::shared_ptr<std::vector<uint8_t>> out_buf;
+        if (config_.store_payloads) {
+            // Rebuild the output image from the input images.
+            out_buf = std::make_shared<std::vector<uint8_t>>(
+                storage_.patch_bytes(), 0);
+            for (const PatchEntry &e : meta->entries()) {
+                for (size_t i = 0; i < compaction_inputs_.size(); ++i) {
+                    const PatchEntry *src =
+                        compaction_inputs_[i]->Find(e.key);
+                    if (!src || src->seq != e.seq) continue;
+                    const auto &src_buf = compaction_buffers_[i];
+                    if (src_buf && src_buf->size() >=
+                                       src->offset + src->value_size) {
+                        std::memcpy(out_buf->data() + e.offset,
+                                    src_buf->data() + src->offset,
+                                    e.value_size);
+                    }
+                    break;
+                }
+            }
+        }
+        compaction_outputs_.push_back(std::move(meta));
+        compaction_out_bufs_.push_back(std::move(out_buf));
+    }
+
+    // Merge-sort CPU cost before the writes begin.
+    const auto merge_cost = static_cast<TimeNs>(
+        config_.merge_cpu_per_byte_ns * static_cast<double>(total_bytes));
+    sim_.Schedule(merge_cost, [this]() { CompactionWriteNext(); });
+}
+
+void
+Slice::CompactionWriteNext()
+{
+    if (compaction_write_next_ == compaction_outputs_.size() &&
+        compaction_io_inflight_ == 0) {
+        FinishCompaction();
+        return;
+    }
+    while (compaction_io_inflight_ < config_.compaction_io_concurrency &&
+           compaction_write_next_ < compaction_outputs_.size()) {
+        const size_t i = compaction_write_next_++;
+        ++compaction_io_inflight_;
+        const auto &meta = compaction_outputs_[i];
+        const auto &buf = compaction_out_bufs_[i];
+        if (buf) patch_images_[meta->id()] = buf;
+        stats_.compaction_bytes_written += storage_.patch_bytes();
+        storage_.PutPatch(meta->id(),
+                          [this](bool) {
+                              --compaction_io_inflight_;
+                              CompactionWriteNext();
+                          },
+                          buf ? buf->data() : nullptr,
+                          blocklayer::kInternalPriority);
+    }
+}
+
+void
+Slice::FinishCompaction()
+{
+    // Detach the inputs from their level (new flushes may have appended
+    // more runs meanwhile; remove exactly the snapshot).
+    auto &level = levels_[compaction_level_];
+    for (const auto &input : compaction_inputs_) {
+        level.erase(std::remove_if(level.begin(), level.end(),
+                                   [&](const auto &m) {
+                                       return m->id() == input->id();
+                                   }),
+                    level.end());
+    }
+    if (levels_.size() <= compaction_level_ + 1)
+        levels_.resize(compaction_level_ + 2);
+    for (const auto &out : compaction_outputs_) {
+        levels_[compaction_level_ + 1].push_back(out);
+        UpdateIndex(*out);
+    }
+    if (compaction_dropped_tombstones_) {
+        // Tombstones discarded by this merge: remove their index shadows
+        // (only if the index still points at exactly this marker — a
+        // newer version may have arrived mid-compaction).
+        for (const auto &input : compaction_inputs_) {
+            for (const PatchEntry &e : input->entries()) {
+                if (!e.tombstone) continue;
+                auto it = index_.find(e.key);
+                if (it != index_.end() && it->second.tombstone &&
+                    it->second.seq == e.seq) {
+                    index_.erase(it);
+                }
+            }
+        }
+    }
+    for (const auto &input : compaction_inputs_) {
+        storage_.DeletePatch(input->id());
+        patch_images_.erase(input->id());
+    }
+
+    compaction_inputs_.clear();
+    compaction_buffers_.clear();
+    compaction_outputs_.clear();
+    compaction_out_bufs_.clear();
+    compaction_active_ = false;
+    MaybeStartCompaction();
+}
+
+}  // namespace sdf::kv

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * A CCDB slice: one LSM tree serving a key range (§2.4).
+ *
+ * Writes accumulate in an in-memory container (mirrored to a log on a
+ * separate device) and flush as immutable 8 MB patches. Patches undergo
+ * multiple merge-sorts (tiered compaction) before settling into large
+ * sorted runs. All item metadata stays in DRAM, so a Get that misses the
+ * memtables costs exactly one storage read. Client requests take priority
+ * over compaction-incurred I/O — on SDF; a conventional SSD cannot tell
+ * the two apart, which is half the story of the paper's Figure 14.
+ */
+#ifndef SDF_KV_SLICE_H
+#define SDF_KV_SLICE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/memtable.h"
+#include "kv/patch.h"
+#include "kv/patch_storage.h"
+#include "kv/types.h"
+#include "sim/simulator.h"
+
+namespace sdf::kv {
+
+using util::TimeNs;
+
+/** Slice construction options. */
+struct SliceConfig
+{
+    /** Runs in a level before they merge into the next (tiering factor). */
+    uint32_t compaction_trigger = 4;
+    /** Levels; the last level grows unboundedly. */
+    uint32_t max_levels = 4;
+    /** Concurrent patch reads/writes during one compaction. */
+    uint32_t compaction_io_concurrency = 2;
+    /** Host CPU cost of merge-sorting one byte. */
+    double merge_cpu_per_byte_ns = 0.25;
+    /** Latency of the write-ahead log append (separate log device). */
+    TimeNs log_latency = util::UsToNs(100);
+    /** Keep real payloads end-to-end (integrity tests). */
+    bool store_payloads = false;
+};
+
+/** Cumulative slice statistics. */
+struct SliceStats
+{
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t gets_from_memtable = 0;
+    uint64_t gets_not_found = 0;
+    uint64_t deletes = 0;
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t tombstones_dropped = 0;
+    uint64_t compaction_bytes_read = 0;
+    uint64_t compaction_bytes_written = 0;
+    uint64_t put_stalls = 0;
+    uint64_t get_retries = 0;
+};
+
+/** One LSM-tree slice over a PatchStorage. */
+class Slice
+{
+  public:
+    Slice(sim::Simulator &sim, PatchStorage &storage, IdAllocator &ids,
+          const SliceConfig &config);
+    ~Slice();
+
+    Slice(const Slice &) = delete;
+    Slice &operator=(const Slice &) = delete;
+
+    /**
+     * Store @p key with a value of @p value_size bytes. Acknowledged after
+     * the log append; stalls (queues) when a memtable flush is backed up.
+     */
+    void Put(uint64_t key, uint32_t value_size, PutCallback done,
+             std::shared_ptr<std::vector<uint8_t>> payload = nullptr);
+
+    /**
+     * Delete @p key: writes a tombstone that shadows older versions until
+     * a bottom-level compaction discards it.
+     */
+    void Delete(uint64_t key, PutCallback done);
+
+    /** Look up @p key: memtables first, then one storage read. */
+    void Get(uint64_t key, GetCallback done);
+
+    /** IDs of every on-storage patch, oldest level first (for scans). */
+    std::vector<uint64_t> AllPatchIds() const;
+
+    /**
+     * Read patch @p id fully at client priority (index-building scans,
+     * Figure 13). @p done receives storage success.
+     */
+    void ReadPatchFully(uint64_t id, PatchCallback done,
+                        std::vector<uint8_t> *out = nullptr);
+
+    /** Force the current memtable out as a patch (test hook). */
+    void Flush();
+
+    /**
+     * Instantly install a sorted patch holding @p items (timing-only;
+     * requires payload mode off). Used to preload slices with data before
+     * read experiments, as the paper's production measurements assume.
+     * @return false when the underlying storage is full.
+     */
+    bool DebugPreloadPatch(std::vector<KvItem> items);
+
+    /** Size of the patches this slice writes (the 8 MB unit). */
+    uint64_t patch_bytes() const { return storage_.patch_bytes(); }
+
+    bool compaction_active() const { return compaction_active_; }
+    bool flush_active() const { return flush_active_; }
+    const SliceStats &stats() const { return stats_; }
+    size_t patch_count() const;
+    uint64_t total_indexed_keys() const { return index_.size(); }
+
+  private:
+    struct IndexEntry
+    {
+        uint64_t patch_id;
+        uint64_t offset;
+        uint32_t value_size;
+        uint64_t seq;
+        /**
+         * Deletion marker. Kept in the index (rather than erasing the
+         * entry) so an in-flight compaction re-registering an older
+         * version of the key cannot resurrect it; removed when the
+         * marker itself is discarded at bottom-level compaction.
+         */
+        bool tombstone = false;
+    };
+
+    void AddPut(KvItem item, PutCallback done);
+    void PutItem(KvItem item, PutCallback done);
+    void StartFlush();
+    void FinishFlush(bool ok, std::shared_ptr<PatchMeta> meta);
+    void MaybeStartCompaction();
+    void CompactionReadNext();
+    void CompactionMergeAndWrite();
+    void CompactionWriteNext();
+    void FinishCompaction();
+    void UpdateIndex(const PatchMeta &meta);
+    void DoStorageGet(uint64_t key, GetCallback done, int attempts);
+
+    sim::Simulator &sim_;
+    PatchStorage &storage_;
+    IdAllocator &ids_;
+    SliceConfig config_;
+
+    MemTable mem_;
+    std::vector<KvItem> imm_items_;            ///< Items being flushed.
+    std::unordered_map<uint64_t, size_t> imm_index_;
+    bool flush_active_ = false;
+    std::deque<std::pair<KvItem, PutCallback>> stalled_puts_;
+
+    uint64_t next_seq_ = 1;
+    /** levels_[0] = freshest runs; each run is one patch. */
+    std::vector<std::vector<std::shared_ptr<PatchMeta>>> levels_;
+    std::unordered_map<uint64_t, IndexEntry> index_;
+    /** Patch byte images, kept only in payload mode. */
+    std::unordered_map<uint64_t, std::shared_ptr<std::vector<uint8_t>>>
+        patch_images_;
+
+    // ---- compaction job state --------------------------------------------
+    bool compaction_active_ = false;
+    uint32_t compaction_level_ = 0;
+    std::vector<std::shared_ptr<PatchMeta>> compaction_inputs_;
+    size_t compaction_read_next_ = 0;
+    uint32_t compaction_io_inflight_ = 0;
+    std::vector<std::shared_ptr<std::vector<uint8_t>>> compaction_buffers_;
+    std::vector<std::shared_ptr<PatchMeta>> compaction_outputs_;
+    std::vector<std::shared_ptr<std::vector<uint8_t>>> compaction_out_bufs_;
+    size_t compaction_write_next_ = 0;
+    bool compaction_dropped_tombstones_ = false;
+
+    SliceStats stats_;
+};
+
+}  // namespace sdf::kv
+
+#endif  // SDF_KV_SLICE_H

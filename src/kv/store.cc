@@ -1,0 +1,86 @@
+#include "kv/store.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::kv {
+
+Store::Store(sim::Simulator &sim, PatchStorage &storage,
+             const StoreConfig &config)
+{
+    SDF_CHECK(config.slice_count > 0);
+    slices_.reserve(config.slice_count);
+    for (uint32_t i = 0; i < config.slice_count; ++i) {
+        slices_.push_back(
+            std::make_unique<Slice>(sim, storage, ids_, config.slice));
+    }
+}
+
+SliceStats
+Store::TotalStats() const
+{
+    SliceStats total;
+    for (const auto &s : slices_) {
+        const SliceStats &t = s->stats();
+        total.puts += t.puts;
+        total.gets += t.gets;
+        total.gets_from_memtable += t.gets_from_memtable;
+        total.gets_not_found += t.gets_not_found;
+        total.flushes += t.flushes;
+        total.compactions += t.compactions;
+        total.compaction_bytes_read += t.compaction_bytes_read;
+        total.compaction_bytes_written += t.compaction_bytes_written;
+        total.put_stalls += t.put_stalls;
+        total.get_retries += t.get_retries;
+    }
+    return total;
+}
+
+uint64_t
+FsView::SegmentKey(std::string_view path, uint32_t segment) const
+{
+    uint64_t s = util::Fingerprint(path) ^ (uint64_t{segment} << 32);
+    return util::SplitMix64(s);
+}
+
+void
+FsView::PutFile(std::string_view path, uint64_t size, PutCallback done)
+{
+    const uint32_t segments = std::max(SegmentCount(size), 1u);
+    auto remaining = std::make_shared<uint32_t>(segments);
+    auto all_ok = std::make_shared<bool>(true);
+    for (uint32_t i = 0; i < segments; ++i) {
+        const uint64_t seg_size =
+            std::min<uint64_t>(segment_bytes_, size - uint64_t{i} * segment_bytes_);
+        store_.Put(SegmentKey(path, i), static_cast<uint32_t>(seg_size),
+                   [remaining, all_ok, done](bool ok) mutable {
+                       if (!ok) *all_ok = false;
+                       if (--*remaining == 0 && done) done(*all_ok);
+                   });
+    }
+}
+
+void
+FsView::GetFile(std::string_view path, uint64_t size,
+                std::function<void(bool ok, uint64_t bytes)> done)
+{
+    const uint32_t segments = std::max(SegmentCount(size), 1u);
+    auto remaining = std::make_shared<uint32_t>(segments);
+    auto all_ok = std::make_shared<bool>(true);
+    auto bytes = std::make_shared<uint64_t>(0);
+    for (uint32_t i = 0; i < segments; ++i) {
+        store_.Get(SegmentKey(path, i),
+                   [remaining, all_ok, bytes, done](const GetResult &r) mutable {
+                       if (!r.found || !r.ok) {
+                           *all_ok = false;
+                       } else {
+                           *bytes += r.value_size;
+                       }
+                       if (--*remaining == 0 && done) done(*all_ok, *bytes);
+                   });
+    }
+}
+
+}  // namespace sdf::kv

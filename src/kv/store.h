@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The multi-slice store and the three data-format subsystems built on it.
+ *
+ * Baidu's storage system presents Table, FS, and KV interfaces; internally
+ * all three are key-value pairs hashed into slices (§2.4). Each slice is
+ * an independent LSM tree hosted on one storage server.
+ */
+#ifndef SDF_KV_STORE_H
+#define SDF_KV_STORE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kv/slice.h"
+#include "util/fingerprint.h"
+
+namespace sdf::kv {
+
+/** Store construction options. */
+struct StoreConfig
+{
+    uint32_t slice_count = 8;
+    SliceConfig slice;
+};
+
+/** A storage node: a set of slices over one PatchStorage. */
+class Store
+{
+  public:
+    Store(sim::Simulator &sim, PatchStorage &storage,
+          const StoreConfig &config);
+
+    Store(const Store &) = delete;
+    Store &operator=(const Store &) = delete;
+
+    uint32_t slice_count() const { return static_cast<uint32_t>(slices_.size()); }
+    Slice &slice(uint32_t i) { return *slices_[i]; }
+
+    /** Slice owning @p key (hash sharding). */
+    uint32_t
+    SliceOf(uint64_t key) const
+    {
+        // Scramble so sequential keys spread over slices.
+        uint64_t s = key;
+        return static_cast<uint64_t>(util::SplitMix64(s)) % slices_.size();
+    }
+
+    void
+    Put(uint64_t key, uint32_t value_size, PutCallback done,
+        std::shared_ptr<std::vector<uint8_t>> payload = nullptr)
+    {
+        slice(SliceOf(key)).Put(key, value_size, std::move(done),
+                                std::move(payload));
+    }
+
+    void
+    Get(uint64_t key, GetCallback done)
+    {
+        slice(SliceOf(key)).Get(key, std::move(done));
+    }
+
+    /** Aggregate statistics over all slices. */
+    SliceStats TotalStats() const;
+
+  private:
+    std::vector<std::unique_ptr<Slice>> slices_;
+    IdAllocator ids_;
+};
+
+/**
+ * Table subsystem: the key is the index of a table row, the value the
+ * remaining fields (§2.4). Used by the web-page repository (Figure 9).
+ */
+class TableView
+{
+  public:
+    explicit TableView(Store &store, std::string table_name)
+        : store_(store), table_tag_(util::Fingerprint(table_name)) {}
+
+    /** Deterministic row key within this table's key space. */
+    uint64_t
+    RowKey(uint64_t row) const
+    {
+        uint64_t s = table_tag_ ^ row;
+        return util::SplitMix64(s);
+    }
+
+    void
+    PutRow(uint64_t row, uint32_t value_size, PutCallback done,
+           std::shared_ptr<std::vector<uint8_t>> payload = nullptr)
+    {
+        store_.Put(RowKey(row), value_size, std::move(done),
+                   std::move(payload));
+    }
+
+    void
+    GetRow(uint64_t row, GetCallback done)
+    {
+        store_.Get(RowKey(row), std::move(done));
+    }
+
+  private:
+    Store &store_;
+    uint64_t table_tag_;
+};
+
+/**
+ * FS subsystem: the path name is the key; file data is stored in fixed
+ * segments so large files span multiple KV pairs (§2.4).
+ */
+class FsView
+{
+  public:
+    /** @param segment_bytes Maximum value size per file segment. */
+    explicit FsView(Store &store, uint32_t segment_bytes = 512 * 1024)
+        : store_(store), segment_bytes_(segment_bytes) {}
+
+    /** Number of segments a file of @p size occupies. */
+    uint32_t
+    SegmentCount(uint64_t size) const
+    {
+        return static_cast<uint32_t>((size + segment_bytes_ - 1) /
+                                     segment_bytes_);
+    }
+
+    uint64_t SegmentKey(std::string_view path, uint32_t segment) const;
+
+    /** Store a file of @p size bytes; @p done fires after all segments. */
+    void PutFile(std::string_view path, uint64_t size, PutCallback done);
+
+    /** Read back all segments; @p done receives overall success + size. */
+    void GetFile(std::string_view path, uint64_t size,
+                 std::function<void(bool ok, uint64_t bytes)> done);
+
+  private:
+    Store &store_;
+    uint32_t segment_bytes_;
+};
+
+}  // namespace sdf::kv
+
+#endif  // SDF_KV_STORE_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Core types for CCDB, Baidu's LSM-tree KV store (§2.4).
+ *
+ * Keys are 64-bit integers (the production system hashes string keys into
+ * ranges; benches use integer keys directly — the facades in store.h map
+ * table rows and file paths onto them). Values are modeled by size and an
+ * optional payload for data-integrity tests.
+ */
+#ifndef SDF_KV_TYPES_H
+#define SDF_KV_TYPES_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace sdf::kv {
+
+/** A key-value record as it flows through memtables and patches. */
+struct KvItem
+{
+    uint64_t key = 0;
+    uint32_t value_size = 0;
+    /** Optional real payload (tests only; benches run timing-only). */
+    std::shared_ptr<std::vector<uint8_t>> payload;
+    /** Deletion marker: shadows older versions until compacted away. */
+    bool tombstone = false;
+
+    /** Bytes this record charges against the memtable/patch budget. */
+    uint32_t
+    StorageCharge() const
+    {
+        // A tombstone still costs an index entry's worth of space.
+        return tombstone ? 64 : value_size;
+    }
+};
+
+/** Where a record lives on storage. */
+struct ItemLocation
+{
+    uint64_t patch_id = 0;
+    uint64_t offset = 0;       ///< Byte offset within the patch.
+    uint32_t value_size = 0;
+};
+
+/** Completion of a Get: found + size (+ data when payloads are on). */
+struct GetResult
+{
+    bool found = false;
+    bool ok = true;            ///< Storage-level success.
+    uint32_t value_size = 0;
+    std::shared_ptr<std::vector<uint8_t>> payload;
+};
+
+using GetCallback = std::function<void(const GetResult &)>;
+using PutCallback = std::function<void(bool ok)>;
+
+/**
+ * Issues unique 64-bit block IDs. The production system runs a counter
+ * service that clients request IDs from (§2.4); consecutive IDs land on
+ * consecutive channels through the block layer's round-robin hash.
+ */
+class IdAllocator
+{
+  public:
+    explicit IdAllocator(uint64_t first = 0) : next_(first) {}
+
+    uint64_t Next() { return next_++; }
+    uint64_t issued() const { return next_; }
+
+  private:
+    uint64_t next_;
+};
+
+}  // namespace sdf::kv
+
+#endif  // SDF_KV_TYPES_H

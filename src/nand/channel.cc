@@ -1,0 +1,246 @@
+#include "nand/channel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::nand {
+
+Channel::Channel(sim::Simulator &sim, const Geometry &geo,
+                 const TimingSpec &timing, const ErrorModel &errors,
+                 util::Rng rng, bool store_payloads,
+                 uint32_t ecc_correctable_bits)
+    : sim_(sim),
+      geo_(geo),
+      timing_(timing),
+      errors_(errors),
+      rng_(rng),
+      store_payloads_(store_payloads),
+      ecc_correctable_bits_(ecc_correctable_bits),
+      bus_(sim),
+      blocks_(geo.BlocksPerChannel())
+{
+    geo_.Validate();
+    planes_.reserve(geo_.PlanesPerChannel());
+    for (uint32_t p = 0; p < geo_.PlanesPerChannel(); ++p)
+        planes_.push_back(std::make_unique<sim::FifoResource>(sim));
+}
+
+bool
+Channel::ValidBlock(const BlockAddr &a) const
+{
+    return a.plane < geo_.PlanesPerChannel() && a.block < geo_.blocks_per_plane;
+}
+
+bool
+Channel::ValidPage(const PageAddr &a) const
+{
+    return ValidBlock(a.BlockOf()) && a.page < geo_.pages_per_block;
+}
+
+BlockMeta &
+Channel::Meta(const BlockAddr &a)
+{
+    return blocks_[FlatBlockIndex(geo_, a)];
+}
+
+const BlockMeta &
+Channel::block_meta(const BlockAddr &addr) const
+{
+    SDF_CHECK(ValidBlock(addr));
+    return blocks_[FlatBlockIndex(geo_, addr)];
+}
+
+void
+Channel::MarkBad(const BlockAddr &addr)
+{
+    SDF_CHECK(ValidBlock(addr));
+    Meta(addr).bad = true;
+}
+
+void
+Channel::DebugSetProgrammed(const BlockAddr &addr, uint32_t pages)
+{
+    SDF_CHECK(ValidBlock(addr));
+    SDF_CHECK(pages <= geo_.pages_per_block);
+    BlockMeta &meta = Meta(addr);
+    SDF_CHECK_MSG(!meta.bad && meta.state == BlockState::kErased,
+                  "preconditioning a non-erased block");
+    meta.next_page = pages;
+    meta.state = pages == geo_.pages_per_block ? BlockState::kFull
+                 : pages == 0                  ? BlockState::kErased
+                                               : BlockState::kOpen;
+}
+
+void
+Channel::CompleteAt(util::TimeNs when, OpCallback done, OpStatus status)
+{
+    if (!done) return;
+    sim_.ScheduleAt(when, [done = std::move(done), status]() { done(status); });
+}
+
+void
+Channel::ReadPage(const PageAddr &addr, OpCallback done,
+                  std::vector<uint8_t> *out)
+{
+    if (!ValidPage(addr)) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kOutOfRange);
+        return;
+    }
+    BlockMeta &meta = Meta(addr.BlockOf());
+    if (meta.bad) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kBadBlock);
+        return;
+    }
+
+    // Resolve data and status at submit time; plane/bus ordering makes this
+    // consistent with completion-time semantics.
+    OpStatus status = OpStatus::kOk;
+    const bool programmed =
+        meta.state != BlockState::kErased && addr.page < meta.next_page;
+    if (!programmed) {
+        status = OpStatus::kOkErased;
+        if (out) {
+            out->assign(geo_.page_size, 0xFF);
+        }
+    } else {
+        if (out) {
+            out->assign(geo_.page_size, 0);
+            if (store_payloads_) {
+                auto it = data_.find(FlatPageIndex(geo_, addr));
+                if (it != data_.end()) {
+                    std::memcpy(out->data(), it->second.data(),
+                                std::min(out->size(), it->second.size()));
+                }
+            }
+        }
+        const uint32_t errs =
+            errors_.SampleBitErrors(rng_, geo_.page_size, meta.erase_count);
+        if (errs > ecc_correctable_bits_) {
+            status = OpStatus::kReadUncorrectable;
+            ++stats_.uncorrectable_reads;
+        } else {
+            stats_.corrected_bit_errors += errs;
+        }
+    }
+
+    ++stats_.reads;
+    stats_.read_bytes += geo_.page_size;
+
+    // Array read on the plane, then data transfer out over the shared bus.
+    const util::TimeNs array_done =
+        PlaneRes(addr.plane).Submit(timing_.read_page, nullptr);
+    bus_.SubmitAfter(array_done, timing_.BusTime(geo_.page_size),
+                     [this, done = std::move(done), status]() mutable {
+                         if (done) done(status);
+                         (void)this;
+                     });
+}
+
+void
+Channel::ProgramPage(const PageAddr &addr, OpCallback done,
+                     const uint8_t *payload)
+{
+    if (!ValidPage(addr)) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kOutOfRange);
+        return;
+    }
+    BlockMeta &meta = Meta(addr.BlockOf());
+    if (meta.bad) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kBadBlock);
+        return;
+    }
+    if (meta.state == BlockState::kFull ||
+        (meta.state == BlockState::kOpen && addr.page < meta.next_page)) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kWriteNotErased);
+        return;
+    }
+    if (addr.page != meta.next_page) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kWriteSequenceError);
+        return;
+    }
+
+    // Commit state at submit time; per-plane FIFO keeps this consistent.
+    meta.next_page = addr.page + 1;
+    meta.state = meta.next_page == geo_.pages_per_block ? BlockState::kFull
+                                                        : BlockState::kOpen;
+    if (store_payloads_) {
+        auto &slot = data_[FlatPageIndex(geo_, addr)];
+        slot.assign(geo_.page_size, 0);
+        if (payload) std::memcpy(slot.data(), payload, geo_.page_size);
+    }
+
+    ++stats_.programs;
+    stats_.programmed_bytes += geo_.page_size;
+
+    // Data in over the bus, then the plane programs the array.
+    const util::TimeNs data_in =
+        bus_.Submit(timing_.BusTime(geo_.page_size), nullptr);
+    PlaneRes(addr.plane)
+        .SubmitAfter(data_in, timing_.program_page,
+                     [done = std::move(done)]() mutable {
+                         if (done) done(OpStatus::kOk);
+                     });
+}
+
+void
+Channel::EraseBlock(const BlockAddr &addr, OpCallback done)
+{
+    if (!ValidBlock(addr)) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kOutOfRange);
+        return;
+    }
+    BlockMeta &meta = Meta(addr);
+    if (meta.bad) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kBadBlock);
+        return;
+    }
+
+    ++meta.erase_count;
+    OpStatus status = OpStatus::kOk;
+    if (errors_.SampleWearOut(rng_, meta.erase_count)) {
+        meta.bad = true;
+        ++stats_.blocks_gone_bad;
+        status = OpStatus::kWornOut;
+    } else {
+        meta.state = BlockState::kErased;
+        meta.next_page = 0;
+        if (store_payloads_) {
+            // Drop stored payloads for the erased block.
+            const PageAddr base{addr.plane, addr.block, 0};
+            const uint64_t first = FlatPageIndex(geo_, base);
+            for (uint32_t p = 0; p < geo_.pages_per_block; ++p)
+                data_.erase(first + p);
+        }
+    }
+
+    ++stats_.erases;
+
+    const util::TimeNs cmd_done = bus_.Submit(timing_.bus_cmd_overhead, nullptr);
+    PlaneRes(addr.plane)
+        .SubmitAfter(cmd_done, timing_.erase_block,
+                     [done = std::move(done), status]() mutable {
+                         if (done) done(status);
+                     });
+}
+
+bool
+Channel::Busy() const
+{
+    if (bus_.Busy()) return true;
+    for (const auto &p : planes_)
+        if (p->Busy()) return true;
+    return false;
+}
+
+util::TimeNs
+Channel::DrainTime() const
+{
+    util::TimeNs t = bus_.free_at();
+    for (const auto &p : planes_) t = std::max(t, p->free_at());
+    return t;
+}
+
+}  // namespace sdf::nand

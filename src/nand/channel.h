@@ -1,0 +1,157 @@
+/**
+ * @file
+ * One NAND flash channel: a shared command/data bus serving the planes of
+ * the dies attached to it.
+ *
+ * Timing model:
+ *  - Read:    plane array read (tR), then bus transfer out (pipelines with
+ *             other planes' array reads).
+ *  - Program: bus transfer in, then plane program (tPROG); bus frees as
+ *             soon as the data is latched, so four planes pipeline.
+ *  - Erase:   short bus command, then plane busy for tBERS.
+ *
+ * State machine: blocks must be erased before programming, and pages within
+ * a block must be programmed sequentially (real NAND constraint that the
+ * SDF interface design leans on). Violations complete with an error status.
+ */
+#ifndef SDF_NAND_CHANNEL_H
+#define SDF_NAND_CHANNEL_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nand/error_model.h"
+#include "nand/geometry.h"
+#include "nand/timing.h"
+#include "nand/types.h"
+#include "sim/fifo_resource.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace sdf::nand {
+
+/** Lifecycle state of an erase block. */
+enum class BlockState : uint8_t
+{
+    kErased,  ///< Ready for programming from page 0.
+    kOpen,    ///< Partially programmed; next_page is the write pointer.
+    kFull,    ///< All pages programmed; must be erased before reuse.
+};
+
+/** Per-block bookkeeping kept by the channel. */
+struct BlockMeta
+{
+    BlockState state = BlockState::kErased;
+    uint32_t next_page = 0;
+    uint32_t erase_count = 0;
+    bool bad = false;
+};
+
+/** Cumulative operation counters for one channel. */
+struct ChannelStats
+{
+    uint64_t reads = 0;
+    uint64_t programs = 0;
+    uint64_t erases = 0;
+    uint64_t read_bytes = 0;
+    uint64_t programmed_bytes = 0;
+    uint64_t corrected_bit_errors = 0;
+    uint64_t uncorrectable_reads = 0;
+    uint64_t blocks_gone_bad = 0;
+};
+
+/** One flash channel with its dies, planes, bus, and block state. */
+class Channel
+{
+  public:
+    /**
+     * @param sim Shared simulator.
+     * @param geo Full device geometry (channel uses the per-channel parts).
+     * @param timing Channel timing spec.
+     * @param errors Reliability model (disabled by default).
+     * @param rng Channel-private RNG stream.
+     * @param store_payloads When true, programmed page contents are kept
+     *     and returned by reads (needed for data-integrity tests; benches
+     *     run timing-only with this off).
+     * @param ecc_correctable_bits BCH correction budget per page.
+     */
+    Channel(sim::Simulator &sim, const Geometry &geo, const TimingSpec &timing,
+            const ErrorModel &errors, util::Rng rng, bool store_payloads,
+            uint32_t ecc_correctable_bits);
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /**
+     * Read one page. If @p out is non-null and payload storage is enabled,
+     * the stored payload is copied into it (erased pages read as 0xFF).
+     */
+    void ReadPage(const PageAddr &addr, OpCallback done,
+                  std::vector<uint8_t> *out = nullptr);
+
+    /**
+     * Program one page. @p payload may be null (timing-only mode); when
+     * payload storage is enabled a null payload stores a zero page.
+     */
+    void ProgramPage(const PageAddr &addr, OpCallback done,
+                     const uint8_t *payload = nullptr);
+
+    /** Erase one block. */
+    void EraseBlock(const BlockAddr &addr, OpCallback done);
+
+    /** Mark a block bad (factory defects, FTL decisions). */
+    void MarkBad(const BlockAddr &addr);
+
+    /**
+     * Instantly mark @p pages pages of @p addr as programmed, bypassing
+     * timing and payload storage. Simulation backdoor used only to
+     * precondition devices before experiments (the paper's "almost full
+     * at the beginning" setup); never called on the data path.
+     */
+    void DebugSetProgrammed(const BlockAddr &addr, uint32_t pages);
+
+    /** Block metadata (valid address required). */
+    const BlockMeta &block_meta(const BlockAddr &addr) const;
+
+    const ChannelStats &stats() const { return stats_; }
+    const Geometry &geometry() const { return geo_; }
+    const TimingSpec &timing() const { return timing_; }
+
+    /** Bus utilization in [0,1] over [0, now]. */
+    double BusUtilization() const { return bus_.Utilization(sim_.Now()); }
+
+    /** True if any plane or the bus has outstanding work. */
+    bool Busy() const;
+
+    /** Earliest time at which the whole channel will be idle. */
+    util::TimeNs DrainTime() const;
+
+  private:
+    bool ValidBlock(const BlockAddr &a) const;
+    bool ValidPage(const PageAddr &a) const;
+    BlockMeta &Meta(const BlockAddr &a);
+    sim::FifoResource &PlaneRes(uint32_t plane) { return *planes_[plane]; }
+
+    /** Deliver @p status via @p done at bus/plane completion time @p when. */
+    void CompleteAt(util::TimeNs when, OpCallback done, OpStatus status);
+
+    sim::Simulator &sim_;
+    Geometry geo_;
+    TimingSpec timing_;
+    ErrorModel errors_;
+    util::Rng rng_;
+    bool store_payloads_;
+    uint32_t ecc_correctable_bits_;
+
+    sim::FifoResource bus_;
+    std::vector<std::unique_ptr<sim::FifoResource>> planes_;
+    std::vector<BlockMeta> blocks_;  ///< Indexed by FlatBlockIndex.
+    std::unordered_map<uint64_t, std::vector<uint8_t>> data_;
+    ChannelStats stats_;
+};
+
+}  // namespace sdf::nand
+
+#endif  // SDF_NAND_CHANNEL_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * NAND timing specifications.
+ *
+ * The numbers are calibrated so the aggregate device bandwidths match the
+ * paper's measurements for the 44-channel board (Section 3.2): raw read
+ * 1.67 GB/s (channel-bus-limited) and raw write 1.01 GB/s (program-limited
+ * with four planes pipelining against the bus).
+ */
+#ifndef SDF_NAND_TIMING_H
+#define SDF_NAND_TIMING_H
+
+#include "util/units.h"
+
+namespace sdf::nand {
+
+using util::TimeNs;
+
+/** Operation latencies and bus rates for one flash channel. */
+struct TimingSpec
+{
+    /** Cell-to-register array read time (tR). */
+    TimeNs read_page = util::UsToNs(60);
+    /** Register-to-cell program time (tPROG). */
+    TimeNs program_page = util::UsToNs(1400);
+    /** Block erase time (tBERS); the paper quotes ~3 ms for a 2 MB block. */
+    TimeNs erase_block = util::MsToNs(3.0);
+    /** Channel bus transfer rate (async 40 MHz x 8 bit = 40 MB/s). */
+    double bus_bytes_per_sec = 40e6;
+    /** Fixed command/address overhead per bus transaction. */
+    TimeNs bus_cmd_overhead = util::UsToNs(11);
+
+    /** Bus occupancy to move @p bytes of data plus command overhead. */
+    TimeNs
+    BusTime(uint64_t bytes) const
+    {
+        return bus_cmd_overhead + util::TransferTimeNs(bytes, bus_bytes_per_sec);
+    }
+};
+
+/**
+ * Micron 25 nm MLC on an asynchronous 40 MHz channel — the chips used by
+ * both the Baidu SDF and the Huawei Gen3 (Tables 1 and 3).
+ */
+inline TimingSpec
+Micron25nmMlcTiming()
+{
+    return TimingSpec{};
+}
+
+/**
+ * ONFI 2.x synchronous flash as in the low-end Intel 320 (Table 1). The
+ * device is SATA-limited, so a faster bus with similar array times.
+ */
+inline TimingSpec
+Onfi2Timing()
+{
+    TimingSpec t;
+    t.read_page = util::UsToNs(55);
+    t.program_page = util::UsToNs(1300);
+    t.erase_block = util::MsToNs(3.0);
+    t.bus_bytes_per_sec = 133e6;
+    t.bus_cmd_overhead = util::UsToNs(8);
+    return t;
+}
+
+/** Fast timing for unit tests (keeps simulated runs tiny). */
+inline TimingSpec
+FastTestTiming()
+{
+    TimingSpec t;
+    t.read_page = util::UsToNs(2);
+    t.program_page = util::UsToNs(10);
+    t.erase_block = util::UsToNs(30);
+    t.bus_bytes_per_sec = 1e9;
+    t.bus_cmd_overhead = util::UsToNs(1);
+    return t;
+}
+
+}  // namespace sdf::nand
+
+#endif  // SDF_NAND_TIMING_H

@@ -1,0 +1,21 @@
+#include "nand/types.h"
+
+namespace sdf::nand {
+
+const char *
+OpStatusName(OpStatus s)
+{
+    switch (s) {
+      case OpStatus::kOk: return "ok";
+      case OpStatus::kOkErased: return "ok-erased";
+      case OpStatus::kReadUncorrectable: return "read-uncorrectable";
+      case OpStatus::kWriteNotErased: return "write-not-erased";
+      case OpStatus::kWriteSequenceError: return "write-sequence-error";
+      case OpStatus::kBadBlock: return "bad-block";
+      case OpStatus::kWornOut: return "worn-out";
+      case OpStatus::kOutOfRange: return "out-of-range";
+    }
+    return "unknown";
+}
+
+}  // namespace sdf::nand

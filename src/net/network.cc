@@ -1,0 +1,108 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace sdf::net {
+
+Network::Network(sim::Simulator &sim, const NetworkSpec &spec,
+                 uint32_t clients)
+    : sim_(sim), spec_(spec), server_nic_(sim), server_cpu_(sim)
+{
+    SDF_CHECK(clients > 0);
+    client_nics_.reserve(clients);
+    workers_.reserve(clients);
+    for (uint32_t i = 0; i < clients; ++i) {
+        client_nics_.push_back(std::make_unique<sim::FifoResource>(sim));
+        workers_.push_back(std::make_unique<sim::FifoResource>(sim));
+    }
+}
+
+void
+Network::ClientToServer(uint32_t client, uint64_t bytes,
+                        sim::Callback at_server)
+{
+    SDF_CHECK(client < client_nics_.size());
+    ++messages_;
+    const TimeNs wire =
+        util::TransferTimeNs(bytes, spec_.client_nic_bytes_per_sec);
+    client_nics_[client]->Submit(wire, nullptr);
+    const TimeNs arrival = sim_.Now() + wire + spec_.one_way_delay;
+    sim_.ScheduleAt(arrival, [this, at_server = std::move(at_server)]() mutable {
+        server_cpu_.Submit(spec_.server_per_message, std::move(at_server));
+    });
+}
+
+void
+Network::Push(uint32_t client, uint64_t bytes, sim::Callback delivered)
+{
+    SDF_CHECK(client < client_nics_.size());
+    ++messages_;
+    const auto worker_cost =
+        spec_.server_per_message +
+        static_cast<TimeNs>(spec_.worker_per_byte_ns *
+                            static_cast<double>(bytes));
+    workers_[client]->Submit(worker_cost, [this, client, bytes,
+                                           delivered = std::move(
+                                               delivered)]() mutable {
+        bytes_to_clients_ += bytes;
+        const TimeNs srv_wire =
+            util::TransferTimeNs(bytes, spec_.server_nic_bytes_per_sec);
+        const TimeNs srv_done = server_nic_.Submit(srv_wire, nullptr);
+        const TimeNs cli_wire =
+            util::TransferTimeNs(bytes, spec_.client_nic_bytes_per_sec);
+        client_nics_[client]->SubmitAfter(srv_done + spec_.one_way_delay,
+                                          cli_wire, std::move(delivered));
+    });
+}
+
+void
+Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
+             sim::Callback delivered)
+{
+    SDF_CHECK(client < client_nics_.size());
+    ++messages_;
+
+    // Request: client NIC -> wire -> server NIC -> server CPU dispatch.
+    const TimeNs req_wire =
+        util::TransferTimeNs(request_bytes, spec_.client_nic_bytes_per_sec);
+    client_nics_[client]->Submit(req_wire, nullptr);
+    const TimeNs at_server = sim_.Now() + req_wire + spec_.one_way_delay;
+
+    sim_.ScheduleAt(at_server, [this, client, handler = std::move(handler),
+                                delivered = std::move(delivered)]() mutable {
+        server_cpu_.Submit(spec_.server_per_message, [this, client,
+                                                      handler = std::move(handler),
+                                                      delivered = std::move(
+                                                          delivered)]() mutable {
+            handler([this, client, delivered = std::move(delivered)](
+                        uint64_t response_bytes) mutable {
+                // Response: payload handled on the connection's serving
+                // worker, then both NICs.
+                const auto payload_cpu =
+                    spec_.server_per_message +
+                    static_cast<TimeNs>(spec_.worker_per_byte_ns *
+                                        static_cast<double>(response_bytes));
+                workers_[client]->Submit(
+                    payload_cpu,
+                    [this, client, response_bytes,
+                     delivered = std::move(delivered)]() mutable {
+                        bytes_to_clients_ += response_bytes;
+                        const TimeNs srv_wire = util::TransferTimeNs(
+                            response_bytes, spec_.server_nic_bytes_per_sec);
+                        const util::TimeNs srv_done = server_nic_.Submit(
+                            srv_wire, nullptr);
+                        const TimeNs cli_wire = util::TransferTimeNs(
+                            response_bytes, spec_.client_nic_bytes_per_sec);
+                        client_nics_[client]->SubmitAfter(
+                            srv_done + spec_.one_way_delay, cli_wire,
+                            std::move(delivered));
+                    });
+            });
+        });
+    });
+}
+
+}  // namespace sdf::net

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Client/server network model for the production-workload experiments.
+ *
+ * The evaluation setup (Table 2) connects each client to the cluster switch
+ * with one 10 GbE NIC and the storage server with two. We model each NIC as
+ * a FIFO pipe and charge a fixed propagation/switching delay per message,
+ * plus a per-message server CPU cost for request handling and payload
+ * memory copies (which bounds small-batch throughput).
+ */
+#ifndef SDF_NET_NETWORK_H
+#define SDF_NET_NETWORK_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/fifo_resource.h"
+#include "sim/simulator.h"
+
+namespace sdf::net {
+
+using util::TimeNs;
+
+/** Link and processing parameters. */
+struct NetworkSpec
+{
+    /** Client NIC bandwidth (10 GbE ~ 1.25 GB/s line rate). */
+    double client_nic_bytes_per_sec = 1.18e9;
+    /** Server aggregate NIC bandwidth (2 x 10 GbE). */
+    double server_nic_bytes_per_sec = 2.36e9;
+    /** One-way propagation + switching delay. */
+    TimeNs one_way_delay = util::UsToNs(50);
+    /** Shared server CPU cost per message (RPC dispatch). */
+    TimeNs server_per_message = util::UsToNs(15);
+    /**
+     * Per-connection worker cost per payload byte (checksum + copies on
+     * the slice's serving thread); bounds per-slice throughput at
+     * ~1/per_byte GB/s independent of the device.
+     */
+    double worker_per_byte_ns = 1.3;  // ~770 MB/s per slice connection
+};
+
+/**
+ * Request/response transport between N clients and one storage server.
+ *
+ * The server-side handler receives a reply function; invoking it with the
+ * response payload size sends the response back to the client.
+ */
+class Network
+{
+  public:
+    /** Handler: process a request, then call reply(response_bytes). */
+    using Handler = std::function<void(std::function<void(uint64_t)> reply)>;
+
+    Network(sim::Simulator &sim, const NetworkSpec &spec, uint32_t clients);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /**
+     * Send a request of @p request_bytes from @p client; the server runs
+     * @p handler; @p delivered fires at the client when the full response
+     * has arrived.
+     */
+    void Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
+             sim::Callback delivered);
+
+    /**
+     * One-way client -> server message; @p at_server fires when the
+     * server has dispatched it. Used with Push() to model streamed
+     * responses (sub-request results flow back as they complete instead
+     * of as one giant message).
+     */
+    void ClientToServer(uint32_t client, uint64_t bytes,
+                        sim::Callback at_server);
+
+    /** One-way server -> client payload push through the connection's
+     *  worker and both NICs; @p delivered fires at the client. */
+    void Push(uint32_t client, uint64_t bytes, sim::Callback delivered);
+
+    uint64_t messages() const { return messages_; }
+    uint64_t bytes_to_clients() const { return bytes_to_clients_; }
+    const NetworkSpec &spec() const { return spec_; }
+
+  private:
+    sim::Simulator &sim_;
+    NetworkSpec spec_;
+    std::vector<std::unique_ptr<sim::FifoResource>> client_nics_;
+    /** One serving worker per client connection (slice thread). */
+    std::vector<std::unique_ptr<sim::FifoResource>> workers_;
+    sim::FifoResource server_nic_;
+    sim::FifoResource server_cpu_;
+    uint64_t messages_ = 0;
+    uint64_t bytes_to_clients_ = 0;
+};
+
+}  // namespace sdf::net
+
+#endif  // SDF_NET_NETWORK_H

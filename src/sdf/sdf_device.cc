@@ -1,0 +1,484 @@
+#include "sdf/sdf_device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "nand/timing.h"
+#include "util/assert.h"
+
+namespace sdf::core {
+
+namespace {
+
+/** Pages per DMA descriptor on the read path (512 KB with 8 KB pages). */
+constexpr uint32_t kChunkPages = 64;
+
+}  // namespace
+
+SdfDevice::SdfDevice(sim::Simulator &sim, const SdfConfig &config)
+    : sim_(sim),
+      config_(config),
+      flash_(std::make_unique<nand::FlashArray>(sim, config.flash)),
+      link_(std::make_unique<controller::Link>(sim, config.link)),
+      irq_(std::make_unique<controller::InterruptCoalescer>(
+          sim, config.irq, config.flash.geometry.channels))
+{
+    const nand::Geometry &geo = flash_->geometry();
+    unit_bytes_ = uint64_t{geo.PlanesPerChannel()} * geo.BlockBytes();
+
+    // Logical sizing: a unit needs one block in every plane, so the number
+    // of exposed units is bounded by the worst plane's good-block count
+    // minus the bad-block spares.
+    uint32_t min_usable = geo.blocks_per_plane;
+    for (uint32_t c = 0; c < geo.channels; ++c) {
+        for (uint32_t pl = 0; pl < geo.PlanesPerChannel(); ++pl) {
+            uint32_t good = 0;
+            for (uint32_t b = 0; b < geo.blocks_per_plane; ++b) {
+                if (!flash_->channel(c).block_meta(nand::BlockAddr{pl, b}).bad)
+                    ++good;
+            }
+            SDF_CHECK_MSG(good > config_.spare_blocks_per_plane,
+                          "too many factory bad blocks");
+            min_usable =
+                std::min(min_usable, good - config_.spare_blocks_per_plane);
+        }
+    }
+    units_per_channel_ = min_usable;
+
+    channels_.resize(geo.channels);
+    for (uint32_t c = 0; c < geo.channels; ++c) {
+        ChannelEngine &ce = channels_[c];
+        ce.engine = std::make_unique<sim::FifoResource>(sim);
+        ce.units.assign(units_per_channel_, UnitState::kUnwritten);
+        ce.planes.resize(geo.PlanesPerChannel());
+        for (uint32_t pl = 0; pl < geo.PlanesPerChannel(); ++pl) {
+            PlaneEngine &pe = ce.planes[pl];
+            pe.map = std::make_unique<ftl::BlockMap>(units_per_channel_);
+            for (uint32_t b = 0; b < geo.blocks_per_plane; ++b) {
+                if (!flash_->channel(c).block_meta(nand::BlockAddr{pl, b}).bad)
+                    pe.free_pool.Release(b, 0);
+            }
+        }
+    }
+}
+
+SdfDevice::~SdfDevice() = default;
+
+uint32_t
+SdfDevice::channel_count() const
+{
+    return flash_->geometry().channels;
+}
+
+uint64_t
+SdfDevice::user_capacity() const
+{
+    return uint64_t{channel_count()} * units_per_channel_ * unit_bytes_;
+}
+
+bool
+SdfDevice::ValidUnit(uint32_t channel, uint32_t unit) const
+{
+    return channel < channels_.size() && unit < units_per_channel_;
+}
+
+UnitState
+SdfDevice::unit_state(uint32_t channel, uint32_t unit) const
+{
+    SDF_CHECK(ValidUnit(channel, unit));
+    return channels_[channel].units[unit];
+}
+
+void
+SdfDevice::DebugForceWritten(uint32_t channel, uint32_t unit)
+{
+    SDF_CHECK(ValidUnit(channel, unit));
+    ChannelEngine &ce = channels_[channel];
+    SDF_CHECK_MSG(ce.units[unit] == UnitState::kUnwritten,
+                  "preconditioning a unit already in use");
+    const nand::Geometry &geo = flash_->geometry();
+    for (uint32_t plane = 0; plane < geo.PlanesPerChannel(); ++plane) {
+        PlaneEngine &pe = ce.planes[plane];
+        SDF_CHECK(!pe.free_pool.Empty());
+        const uint32_t block = pe.free_pool.Allocate();
+        pe.map->Set(unit, block);
+        flash_->channel(channel).DebugSetProgrammed(
+            nand::BlockAddr{plane, block}, geo.pages_per_block);
+    }
+    ce.units[unit] = UnitState::kWritten;
+}
+
+void
+SdfDevice::Complete(uint32_t channel, IoCallback done, bool ok)
+{
+    if (!done) return;
+    irq_->OnCompletion(channel,
+                       [done = std::move(done), ok]() { done(ok); });
+}
+
+void
+SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
+                uint64_t length, IoCallback done, std::vector<uint8_t> *out)
+{
+    const nand::Geometry &geo = flash_->geometry();
+    const uint32_t page = geo.page_size;
+    if (!ValidUnit(channel, unit) || length == 0 || offset % page != 0 ||
+        length % page != 0 || offset + length > unit_bytes_) {
+        ++stats_.contract_violations;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(false);
+        });
+        return;
+    }
+
+    const auto pages = static_cast<uint32_t>(length / page);
+    stats_.page_reads += pages;
+    stats_.read_bytes += length;
+    if (out) out->assign(length, 0);
+
+    struct ReadState
+    {
+        uint32_t total_pages;
+        uint32_t flash_done = 0;
+        uint32_t transferred = 0;
+        bool ok = true;
+        IoCallback done;
+        std::vector<uint8_t> *out;
+    };
+    auto state = std::make_shared<ReadState>();
+    state->total_pages = pages;
+    state->done = std::move(done);
+    state->out = out;
+
+    ChannelEngine &ce = channels_[channel];
+    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit, offset,
+                                               page, pages, state]() {
+        const nand::Geometry &geo2 = flash_->geometry();
+        const uint64_t block_bytes = geo2.BlockBytes();
+        ChannelEngine &ce2 = channels_[channel];
+
+        // DMA pages to the host in chunks as they come off the flash, so
+        // the PCIe transfer pipelines with the channel-bus reads (the
+        // controller stages data in its DDR3 buffers; §2.1).
+        auto page_complete = [this, channel, page, state]() {
+            ++state->flash_done;
+            while (state->transferred < state->flash_done &&
+                   (state->flash_done - state->transferred >= kChunkPages ||
+                    state->flash_done == state->total_pages)) {
+                const uint32_t n = std::min(kChunkPages,
+                                            state->flash_done -
+                                                state->transferred);
+                state->transferred += n;
+                const bool final_chunk =
+                    state->transferred == state->total_pages;
+                link_->TransferToHost(
+                    sim_.Now(), uint64_t{n} * page,
+                    final_chunk
+                        ? sim::Callback([this, channel, state]() {
+                              if (!state->ok) ++stats_.read_failures;
+                              Complete(channel, std::move(state->done),
+                                       state->ok);
+                          })
+                        : nullptr);
+            }
+        };
+
+        for (uint32_t i = 0; i < pages; ++i) {
+            const uint64_t byte_off = offset + uint64_t{i} * page;
+            const auto plane = static_cast<uint32_t>(byte_off / block_bytes);
+            const auto page_in_block =
+                static_cast<uint32_t>((byte_off % block_bytes) / page);
+            const size_t out_pos = static_cast<size_t>(uint64_t{i} * page);
+            const uint32_t block = ce2.planes[plane].map->Lookup(unit);
+            if (block == ftl::kUnmappedBlock) {
+                // Unwritten unit: reads as erased flash (0xFF).
+                if (state->out) {
+                    std::memset(state->out->data() + out_pos, 0xFF, page);
+                }
+                page_complete();
+                continue;
+            }
+            auto buf = state->out ? std::make_shared<std::vector<uint8_t>>()
+                                  : nullptr;
+            flash_->channel(channel).ReadPage(
+                nand::PageAddr{plane, block, page_in_block},
+                [state, buf, out_pos, page,
+                 page_complete](nand::OpStatus status) {
+                    if (!nand::IsOk(status)) state->ok = false;
+                    if (state->out && buf) {
+                        std::memcpy(state->out->data() + out_pos, buf->data(),
+                                    std::min<size_t>(page, buf->size()));
+                    }
+                    page_complete();
+                },
+                buf.get());
+        }
+    });
+}
+
+void
+SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
+                     const uint8_t *data)
+{
+    if (!ValidUnit(channel, unit) ||
+        channels_[channel].units[unit] != UnitState::kErased) {
+        ++stats_.contract_violations;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(false);
+        });
+        return;
+    }
+
+    ChannelEngine &ce = channels_[channel];
+    ce.units[unit] = UnitState::kWritten;
+    ++stats_.unit_writes;
+    stats_.written_bytes += unit_bytes_;
+
+    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit, data,
+                                               done = std::move(done)]() mutable {
+        // Stage the whole unit into the on-board DRAM buffers, then program.
+        link_->TransferToDevice(
+            sim_.Now(), unit_bytes_,
+            [this, channel, unit, data, done = std::move(done)]() mutable {
+                const nand::Geometry &geo = flash_->geometry();
+                const uint32_t ppb = geo.pages_per_block;
+                const uint32_t planes = geo.PlanesPerChannel();
+                const uint32_t page = geo.page_size;
+                const uint64_t block_bytes = geo.BlockBytes();
+                ChannelEngine &ce2 = channels_[channel];
+
+                auto remaining = std::make_shared<uint32_t>(planes * ppb);
+                auto write_ok = std::make_shared<bool>(true);
+                auto finish = [this, channel, remaining, write_ok,
+                               done = std::move(done)]() mutable {
+                    if (--*remaining > 0) return;
+                    Complete(channel, std::move(done), *write_ok);
+                };
+
+                // Interleave planes page-by-page so all four program
+                // pipelines stay fed (§2.3: 2 MB striping within a unit).
+                for (uint32_t p = 0; p < ppb; ++p) {
+                    for (uint32_t plane = 0; plane < planes; ++plane) {
+                        const uint32_t block =
+                            ce2.planes[plane].map->Lookup(unit);
+                        SDF_CHECK(block != ftl::kUnmappedBlock);
+                        const uint8_t *payload =
+                            data ? data + plane * block_bytes +
+                                       uint64_t{p} * page
+                                 : nullptr;
+                        flash_->channel(channel).ProgramPage(
+                            nand::PageAddr{plane, block, p},
+                            [finish, write_ok](nand::OpStatus status) mutable {
+                                if (!nand::IsOk(status)) *write_ok = false;
+                                finish();
+                            },
+                            payload);
+                    }
+                }
+            });
+    });
+}
+
+void
+SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
+{
+    if (!ValidUnit(channel, unit) ||
+        channels_[channel].units[unit] == UnitState::kDead) {
+        ++stats_.contract_violations;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(false);
+        });
+        return;
+    }
+
+    ChannelEngine &ce = channels_[channel];
+    ++stats_.unit_erases;
+
+    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit,
+                                               done = std::move(done)]() mutable {
+        const nand::Geometry &geo = flash_->geometry();
+        const uint32_t planes = geo.PlanesPerChannel();
+        ChannelEngine &ce2 = channels_[channel];
+
+        auto remaining = std::make_shared<uint32_t>(planes);
+        auto all_ok = std::make_shared<bool>(true);
+        auto finish = [this, channel, unit, remaining, all_ok,
+                       done = std::move(done)]() mutable {
+            if (--*remaining > 0) return;
+            ChannelEngine &ce3 = channels_[channel];
+            if (ce3.units[unit] != UnitState::kDead) {
+                ce3.units[unit] =
+                    *all_ok ? UnitState::kErased : UnitState::kDead;
+            }
+            Complete(channel, std::move(done), *all_ok);
+        };
+
+        for (uint32_t plane = 0; plane < planes; ++plane) {
+            PlaneEngine &pe = ce2.planes[plane];
+            const uint32_t old_block = pe.map->Lookup(unit);
+            if (old_block == ftl::kUnmappedBlock) {
+                // First use: just map a pre-erased block from the pool.
+                if (pe.free_pool.Empty()) {
+                    *all_ok = false;
+                    sim_.Schedule(0, finish);
+                    continue;
+                }
+                pe.map->Set(unit, pe.free_pool.Allocate());
+                sim_.Schedule(0, finish);
+                continue;
+            }
+            ++stats_.physical_block_erases;
+            flash_->channel(channel).EraseBlock(
+                nand::BlockAddr{plane, old_block},
+                [this, channel, plane, unit, old_block, all_ok,
+                 finish](nand::OpStatus status) mutable {
+                    ChannelEngine &ce3 = channels_[channel];
+                    PlaneEngine &pe2 = ce3.planes[plane];
+                    if (status == nand::OpStatus::kOk) {
+                        // Dynamic wear leveling: rotate through the pool.
+                        const uint32_t ec =
+                            flash_->channel(channel)
+                                .block_meta(nand::BlockAddr{plane, old_block})
+                                .erase_count;
+                        pe2.free_pool.Release(old_block, ec);
+                        pe2.map->Set(unit, pe2.free_pool.Allocate());
+                    } else {
+                        // Wear-out: retire the block, pull a spare.
+                        ++stats_.blocks_retired;
+                        if (pe2.free_pool.Empty()) {
+                            pe2.map->Clear(unit);
+                            ce3.units[unit] = UnitState::kDead;
+                            *all_ok = false;
+                        } else {
+                            pe2.map->Set(unit, pe2.free_pool.Allocate());
+                        }
+                    }
+                    finish();
+                });
+        }
+    });
+}
+
+void
+SdfDevice::ScanUnit(uint32_t channel, uint32_t unit, double selectivity,
+                    std::function<void(bool ok, uint64_t matched)> done)
+{
+    if (!ValidUnit(channel, unit) || selectivity < 0.0 || selectivity > 1.0) {
+        ++stats_.contract_violations;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(false, 0);
+        });
+        return;
+    }
+    const nand::Geometry &geo = flash_->geometry();
+    const uint32_t page = geo.page_size;
+    const uint64_t block_bytes = geo.BlockBytes();
+    const auto pages = static_cast<uint32_t>(unit_bytes_ / page);
+    const auto matched =
+        static_cast<uint64_t>(static_cast<double>(unit_bytes_) * selectivity);
+    stats_.page_reads += pages;
+    stats_.read_bytes += matched;
+
+    ChannelEngine &ce = channels_[channel];
+    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit, page,
+                                               pages, block_bytes, matched,
+                                               done = std::move(done)]() mutable {
+        ChannelEngine &ce2 = channels_[channel];
+        auto remaining = std::make_shared<uint32_t>(pages);
+        auto ok = std::make_shared<bool>(true);
+        auto finish = [this, channel, matched, remaining, ok,
+                       done = std::move(done)]() mutable {
+            if (--*remaining > 0) return;
+            // Only the matching bytes cross the PCIe link.
+            link_->TransferToHost(sim_.Now(), matched,
+                                  [this, channel, matched, ok,
+                                   done = std::move(done)]() mutable {
+                                      Complete(channel,
+                                               [done = std::move(done), ok,
+                                                matched](bool) {
+                                                   done(*ok, matched);
+                                               },
+                                               *ok);
+                                  });
+        };
+        for (uint32_t i = 0; i < pages; ++i) {
+            const uint64_t byte_off = uint64_t{i} * page;
+            const auto plane = static_cast<uint32_t>(byte_off / block_bytes);
+            const auto page_in_block =
+                static_cast<uint32_t>((byte_off % block_bytes) / page);
+            const uint32_t block = ce2.planes[plane].map->Lookup(unit);
+            if (block == ftl::kUnmappedBlock) {
+                finish();  // Unwritten plane stripe: nothing to scan.
+                continue;
+            }
+            flash_->channel(channel).ReadPage(
+                nand::PageAddr{plane, block, page_in_block},
+                [ok, finish](nand::OpStatus status) mutable {
+                    if (!nand::IsOk(status)) *ok = false;
+                    finish();
+                });
+        }
+    });
+}
+
+SdfDevice::WearReport
+SdfDevice::GetWearReport() const
+{
+    WearReport report;
+    report.rated_endurance = config_.flash.errors.endurance_cycles;
+    report.blocks_retired = stats_.blocks_retired;
+    uint64_t total_ec = 0;
+    uint64_t blocks = 0;
+    bool first = true;
+    const nand::Geometry &geo = flash_->geometry();
+    for (uint32_t c = 0; c < geo.channels; ++c) {
+        for (uint32_t pl = 0; pl < geo.PlanesPerChannel(); ++pl) {
+            for (uint32_t b = 0; b < geo.blocks_per_plane; ++b) {
+                const auto &meta =
+                    flash_->channel(c).block_meta(nand::BlockAddr{pl, b});
+                if (meta.bad) continue;
+                const uint32_t ec = meta.erase_count;
+                if (first) {
+                    report.min_erase_count = report.max_erase_count = ec;
+                    first = false;
+                } else {
+                    report.min_erase_count =
+                        std::min(report.min_erase_count, ec);
+                    report.max_erase_count =
+                        std::max(report.max_erase_count, ec);
+                }
+                total_ec += ec;
+                ++blocks;
+            }
+        }
+        for (uint32_t u = 0; u < units_per_channel_; ++u) {
+            if (channels_[c].units[u] == UnitState::kDead) ++report.dead_units;
+        }
+    }
+    if (blocks > 0) {
+        report.mean_erase_count =
+            static_cast<double>(total_ec) / static_cast<double>(blocks);
+    }
+    if (report.rated_endurance > 0) {
+        report.life_used =
+            report.mean_erase_count / report.rated_endurance;
+    }
+    return report;
+}
+
+SdfConfig
+BaiduSdfConfig(double capacity_scale)
+{
+    SdfConfig c;
+    c.flash.geometry = nand::BaiduSdfGeometry();
+    const auto scaled = static_cast<uint32_t>(
+        c.flash.geometry.blocks_per_plane * capacity_scale);
+    c.flash.geometry.blocks_per_plane = std::max(scaled, 16u);
+    c.flash.timing = nand::Micron25nmMlcTiming();
+    c.link = controller::Pcie11x8Spec();
+    return c;
+}
+
+}  // namespace sdf::core

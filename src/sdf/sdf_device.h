@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The SDF device — the paper's primary contribution (§2).
+ *
+ * SDF exposes each of its 44 flash channels to software as an independent
+ * device with an asymmetric interface:
+ *
+ *   - read unit:       8 KB (one flash page), any page-aligned offset;
+ *   - write unit:      8 MB (one "unit" = one erase block per plane, data
+ *                      striped 2 MB per plane over the channel's 4 planes),
+ *                      and writes must target an erased unit;
+ *   - erase:           an explicit per-unit command issued by software.
+ *
+ * Each channel has its own engine implementing block-level mapping
+ * (LA2PA), dynamic wear leveling (least-worn-first allocation), and bad
+ * block management. There is no garbage collection, no inter-channel
+ * parity, no on-board DRAM cache, and no over-provisioning: only a few
+ * spare blocks per plane for bad-block replacement are withheld, so ~99 %
+ * of the raw capacity is user-visible.
+ */
+#ifndef SDF_SDF_SDF_DEVICE_H
+#define SDF_SDF_SDF_DEVICE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/interrupts.h"
+#include "controller/link.h"
+#include "ftl/block_map.h"
+#include "ftl/wear_leveler.h"
+#include "nand/flash_array.h"
+#include "sim/fifo_resource.h"
+#include "sim/simulator.h"
+
+namespace sdf::core {
+
+using util::TimeNs;
+
+/** Completion callback: ok=false on contract violation or device failure. */
+using IoCallback = std::function<void(bool ok)>;
+
+/** Lifecycle of one 8 MB logical unit within a channel. */
+enum class UnitState : uint8_t
+{
+    kUnwritten,  ///< Never erased or written; no physical mapping yet.
+    kErased,     ///< Erased and ready for a full-unit write.
+    kWritten,    ///< Holds data; must be erased before rewriting.
+    kDead,       ///< Lost to wear-out with no spare left.
+};
+
+/** Construction parameters for an SDF device. */
+struct SdfConfig
+{
+    std::string name = "Baidu SDF";
+    nand::FlashArrayConfig flash;
+    controller::LinkSpec link;
+    controller::InterruptConfig irq;
+    /** Good blocks reserved per plane for bad-block replacement. */
+    uint32_t spare_blocks_per_plane = 8;
+    /** Channel-engine processing cost per command (FPGA pipeline). */
+    TimeNs engine_op_cost = util::UsToNs(1);
+};
+
+/** Cumulative device statistics. */
+struct SdfStats
+{
+    uint64_t unit_writes = 0;
+    uint64_t unit_erases = 0;
+    uint64_t physical_block_erases = 0;
+    uint64_t page_reads = 0;
+    uint64_t read_bytes = 0;
+    uint64_t written_bytes = 0;
+    uint64_t contract_violations = 0;  ///< e.g. write to a non-erased unit.
+    uint64_t blocks_retired = 0;
+    uint64_t read_failures = 0;
+};
+
+/**
+ * The software-defined flash device.
+ *
+ * All operations address (channel, unit) pairs; there is deliberately no
+ * cross-channel logical space — exploiting channel parallelism is the
+ * host software's job (that is the point of the design).
+ */
+class SdfDevice
+{
+  public:
+    SdfDevice(sim::Simulator &sim, const SdfConfig &config);
+    ~SdfDevice();
+
+    SdfDevice(const SdfDevice &) = delete;
+    SdfDevice &operator=(const SdfDevice &) = delete;
+
+    uint32_t channel_count() const;
+    /** Logical 8 MB units per channel. */
+    uint32_t units_per_channel() const { return units_per_channel_; }
+    /** Bytes in one write/erase unit (planes x block size; 8 MB). */
+    uint64_t unit_bytes() const { return unit_bytes_; }
+    /** Bytes in one read unit (one flash page; 8 KB). */
+    uint32_t read_unit_bytes() const { return flash_->geometry().page_size; }
+    /** User-visible capacity (the paper's "99 % of raw"). */
+    uint64_t user_capacity() const;
+    /** Raw flash capacity underneath. */
+    uint64_t raw_capacity() const { return flash_->geometry().TotalBytes(); }
+
+    /**
+     * Read @p length bytes at @p offset within (@p channel, @p unit).
+     * Offset and length must be multiples of the read unit (8 KB).
+     * Reading an unwritten unit succeeds and returns 0xFF bytes.
+     */
+    void Read(uint32_t channel, uint32_t unit, uint64_t offset,
+              uint64_t length, IoCallback done,
+              std::vector<uint8_t> *out = nullptr);
+
+    /**
+     * Write one full unit (8 MB). The unit must be in the erased state
+     * (software contract: erase-before-write); otherwise completes false
+     * and counts a contract violation.
+     */
+    void WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
+                   const uint8_t *data = nullptr);
+
+    /**
+     * Erase a unit: the explicit erase command SDF adds to the device
+     * interface. Erases the unit's mapped physical blocks (if any) and
+     * remaps the unit to the least-worn free blocks (dynamic wear
+     * leveling through the free pool).
+     */
+    void EraseUnit(uint32_t channel, uint32_t unit, IoCallback done);
+
+    /** Current state of a unit. */
+    UnitState unit_state(uint32_t channel, uint32_t unit) const;
+
+    /**
+     * In-storage scan (§5 future work, "moving compute to the storage"):
+     * the channel engine streams a whole unit off the flash, applies a
+     * filter inside the controller, and DMAs only the matching fraction
+     * to the host. @p selectivity in [0, 1] is the fraction of bytes that
+     * match; @p done receives the matched byte count. With 44 engines
+     * scanning in parallel, aggregate scan bandwidth is bounded by the
+     * flash (1.67 GB/s), not by PCIe.
+     */
+    void ScanUnit(uint32_t channel, uint32_t unit, double selectivity,
+                  std::function<void(bool ok, uint64_t matched)> done);
+
+    /**
+     * Device wear and reliability summary (§5 future work: "incorporate,
+     * and expose, a data reliability model"). Lets the host reason about
+     * remaining endurance and retire devices proactively.
+     */
+    struct WearReport
+    {
+        uint32_t min_erase_count = 0;
+        uint32_t max_erase_count = 0;
+        double mean_erase_count = 0.0;
+        uint64_t blocks_retired = 0;
+        uint64_t dead_units = 0;
+        uint32_t rated_endurance = 0;
+        /** mean_erase_count / rated_endurance; > 1 means living on spares. */
+        double life_used = 0.0;
+    };
+
+    /** Compute the current wear report (walks all block metadata). */
+    WearReport GetWearReport() const;
+
+    /**
+     * Instantly (zero simulated time, no payload) bring a unit to the
+     * written state: maps physical blocks and marks them programmed.
+     * Simulation backdoor for preconditioning experiments only.
+     */
+    void DebugForceWritten(uint32_t channel, uint32_t unit);
+
+    const SdfStats &stats() const { return stats_; }
+    const SdfConfig &config() const { return config_; }
+    nand::FlashArray &flash() { return *flash_; }
+    const controller::InterruptCoalescer &irq() const { return *irq_; }
+
+  private:
+    struct PlaneEngine
+    {
+        std::unique_ptr<ftl::BlockMap> map;   ///< unit -> physical block.
+        ftl::DynamicWearLeveler free_pool;    ///< Erased blocks; also spares.
+    };
+
+    struct ChannelEngine
+    {
+        std::vector<PlaneEngine> planes;
+        std::vector<UnitState> units;
+        std::unique_ptr<sim::FifoResource> engine;  ///< FPGA command pipe.
+    };
+
+    bool ValidUnit(uint32_t channel, uint32_t unit) const;
+    void Complete(uint32_t channel, IoCallback done, bool ok);
+
+    sim::Simulator &sim_;
+    SdfConfig config_;
+    std::unique_ptr<nand::FlashArray> flash_;
+    std::unique_ptr<controller::Link> link_;
+    std::unique_ptr<controller::InterruptCoalescer> irq_;
+    std::vector<ChannelEngine> channels_;
+    uint32_t units_per_channel_ = 0;
+    uint64_t unit_bytes_ = 0;
+    SdfStats stats_;
+};
+
+/**
+ * The production SDF board (Table 3): 44 channels, 704 GB raw, PCIe 1.1 x8.
+ * @p capacity_scale in (0, 1] shrinks blocks-per-plane for memory-friendly
+ * simulation; per-channel structure and ratios are preserved.
+ */
+SdfConfig BaiduSdfConfig(double capacity_scale = 1.0);
+
+}  // namespace sdf::core
+
+#endif  // SDF_SDF_SDF_DEVICE_H

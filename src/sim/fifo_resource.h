@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Serially shared resources for the simulation.
+ *
+ * FifoResource models anything that serves one request at a time in FIFO
+ * order — a NAND plane, a channel bus, a DMA engine. Submitters specify a
+ * service duration; the resource tracks its own "free at" horizon, so
+ * back-to-back submissions pipeline naturally without explicit queues.
+ */
+#ifndef SDF_SIM_FIFO_RESOURCE_H
+#define SDF_SIM_FIFO_RESOURCE_H
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace sdf::sim {
+
+/** A resource that serves submissions one at a time, FIFO. */
+class FifoResource
+{
+  public:
+    explicit FifoResource(Simulator &sim) : sim_(sim) {}
+
+    FifoResource(const FifoResource &) = delete;
+    FifoResource &operator=(const FifoResource &) = delete;
+
+    /**
+     * Occupy the resource for @p service_time starting as soon as all
+     * previously submitted work has drained. @p done fires at completion.
+     * @return the simulated completion time.
+     */
+    TimeNs
+    Submit(TimeNs service_time, Callback done)
+    {
+        const TimeNs start = std::max(sim_.Now(), free_at_);
+        const TimeNs end = start + service_time;
+        busy_time_ += service_time;
+        free_at_ = end;
+        ++outstanding_;
+        sim_.ScheduleAt(end, [this, done = std::move(done)]() {
+            --outstanding_;
+            if (done) done();
+        });
+        return end;
+    }
+
+    /**
+     * Like Submit() but the work cannot start before @p earliest (used to
+     * model data that only becomes available later, e.g. a flash read that
+     * must finish before its bus transfer starts).
+     */
+    TimeNs
+    SubmitAfter(TimeNs earliest, TimeNs service_time, Callback done)
+    {
+        const TimeNs start = std::max({sim_.Now(), free_at_, earliest});
+        const TimeNs end = start + service_time;
+        busy_time_ += service_time;
+        free_at_ = end;
+        ++outstanding_;
+        sim_.ScheduleAt(end, [this, done = std::move(done)]() {
+            --outstanding_;
+            if (done) done();
+        });
+        return end;
+    }
+
+    /** Time at which all queued work will have drained. */
+    TimeNs free_at() const { return free_at_; }
+
+    /** True if work is queued or in service. */
+    bool Busy() const { return outstanding_ > 0; }
+
+    /** Submissions not yet completed. */
+    uint64_t outstanding() const { return outstanding_; }
+
+    /** Accumulated service time (for utilization accounting). */
+    TimeNs busy_time() const { return busy_time_; }
+
+    /** Utilization in [0, 1] over the interval [0, now]. */
+    double
+    Utilization(TimeNs now) const
+    {
+        if (now <= 0) return 0.0;
+        return std::min(1.0, static_cast<double>(busy_time_) /
+                                 static_cast<double>(now));
+    }
+
+  private:
+    Simulator &sim_;
+    TimeNs free_at_ = 0;
+    TimeNs busy_time_ = 0;
+    uint64_t outstanding_ = 0;
+};
+
+}  // namespace sdf::sim
+
+#endif  // SDF_SIM_FIFO_RESOURCE_H

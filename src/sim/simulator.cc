@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::sim {
+
+EventId
+Simulator::Schedule(TimeNs delay, Callback cb)
+{
+    SDF_CHECK_MSG(delay >= 0, "negative event delay");
+    return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId
+Simulator::ScheduleAt(TimeNs when, Callback cb)
+{
+    SDF_CHECK_MSG(when >= now_, "scheduling into the past");
+    const EventId id = next_id_++;
+    queue_.push(Entry{when, id, std::move(cb)});
+    return id;
+}
+
+void
+Simulator::Cancel(EventId id)
+{
+    if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+void
+Simulator::Step()
+{
+    Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        return;
+    }
+    now_ = e.when;
+    ++events_processed_;
+    e.cb();
+}
+
+void
+Simulator::Run()
+{
+    while (!queue_.empty()) Step();
+}
+
+bool
+Simulator::RunUntil(TimeNs deadline)
+{
+    while (!queue_.empty() && queue_.top().when <= deadline) Step();
+    if (deadline > now_) now_ = deadline;
+    // Drop any cancelled entries at the head so PendingEvents() is accurate.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id)) {
+        cancelled_.erase(queue_.top().id);
+        queue_.pop();
+    }
+    return !queue_.empty();
+}
+
+bool
+Simulator::RunWhileNot(const std::function<bool()> &predicate)
+{
+    while (!predicate()) {
+        if (queue_.empty()) return false;
+        Step();
+    }
+    return true;
+}
+
+}  // namespace sdf::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * Every component in the SDF reproduction — flash planes, channel buses,
+ * host links, LSM compaction, client actors — advances by scheduling
+ * callbacks on a single Simulator. Simulated time is in nanoseconds and
+ * totally ordered: events with equal timestamps fire in scheduling order,
+ * which makes every run deterministic.
+ */
+#ifndef SDF_SIM_SIMULATOR_H
+#define SDF_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sdf::sim {
+
+using util::TimeNs;
+
+/** Callback invoked when an event fires. */
+using Callback = std::function<void()>;
+
+/** Opaque handle for cancelling a scheduled event. */
+using EventId = uint64_t;
+
+/** Sentinel for "no event". */
+inline constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Single-threaded discrete-event simulator.
+ *
+ * Callbacks may schedule further events (including at the current time);
+ * they must not block. Exceptions escaping a callback propagate out of
+ * Run()/RunUntil().
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    TimeNs Now() const { return now_; }
+
+    /** Schedule @p cb to run @p delay ns from now (delay >= 0). */
+    EventId Schedule(TimeNs delay, Callback cb);
+
+    /** Schedule @p cb at absolute time @p when (when >= Now()). */
+    EventId ScheduleAt(TimeNs when, Callback cb);
+
+    /** Cancel a pending event; no-op if already fired or invalid. */
+    void Cancel(EventId id);
+
+    /** Run until the event queue is empty. */
+    void Run();
+
+    /**
+     * Run all events with timestamp <= @p deadline, then advance the clock
+     * to @p deadline.
+     * @return true if events remain pending after the deadline.
+     */
+    bool RunUntil(TimeNs deadline);
+
+    /**
+     * Fire events one at a time until @p predicate() returns true or the
+     * queue drains.
+     * @return true if the predicate was satisfied.
+     */
+    bool RunWhileNot(const std::function<bool()> &predicate);
+
+    /** Total events dispatched (for stats and microbenchmarks). */
+    uint64_t events_processed() const { return events_processed_; }
+
+    /** Number of pending (uncancelled) events. */
+    size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+
+  private:
+    struct Entry
+    {
+        TimeNs when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when) return a.when > b.when;
+            return a.id > b.id;  // equal timestamps: FIFO by insertion order
+        }
+    };
+
+    /** Pop and run the earliest pending event. Pre: queue not empty. */
+    void Step();
+
+    TimeNs now_ = 0;
+    EventId next_id_ = 1;
+    uint64_t events_processed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace sdf::sim
+
+#endif  // SDF_SIM_SIMULATOR_H

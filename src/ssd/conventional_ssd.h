@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Conventional SSD model — the baseline architecture SDF replaces.
+ *
+ * Structure (paper §2, Figure 5a): one controller fronts all flash
+ * channels; the logical address space is striped round-robin over the
+ * channels with a small unit (8 KB on the Huawei Gen3); a page-level FTL
+ * per channel handles out-of-place writes; background garbage collection
+ * reclaims space from over-provisioned capacity; an on-board DRAM
+ * write-back cache absorbs bursts; optional RAID-5-style parity across
+ * channels consumes ~1/channels of capacity; a single embedded firmware
+ * CPU processes every per-channel sub-request (the split/merge overhead
+ * the paper blames for the baseline's bandwidth loss).
+ *
+ * The device is asynchronous: Read/Write complete via callback in
+ * simulated time. Writes are acknowledged when their data is accepted
+ * into the DRAM cache (write-back), which is why the paper's Figure 8
+ * sees 7 ms best-case and 650 ms worst-case latency on the same device.
+ */
+#ifndef SDF_SSD_CONVENTIONAL_SSD_H
+#define SDF_SSD_CONVENTIONAL_SSD_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/link.h"
+#include "ftl/block_map.h"
+#include "ftl/page_map.h"
+#include "ftl/striping.h"
+#include "ftl/wear_leveler.h"
+#include "nand/flash_array.h"
+#include "sim/fifo_resource.h"
+#include "sim/simulator.h"
+
+namespace sdf::ssd {
+
+using util::TimeNs;
+
+/** Completion callback: ok=false on device-level failure. */
+using IoCallback = std::function<void(bool ok)>;
+
+/** GC victim selection policy (ablation knob). */
+enum class GcPolicy : uint8_t
+{
+    kGreedy,       ///< Fewest valid pages (default, what vendors ship).
+    kCostBenefit,  ///< Age-weighted cost-benefit.
+};
+
+/** Construction parameters for a conventional SSD. */
+struct ConventionalSsdConfig
+{
+    std::string name = "conventional";
+    nand::FlashArrayConfig flash;
+    controller::LinkSpec link;
+
+    /** Fraction of raw capacity withheld for GC headroom. */
+    double op_ratio = 0.25;
+    /** Striping unit over channels (bytes, multiple of page size). */
+    uint32_t stripe_bytes = 8 * util::kKiB;
+    /** RAID-5-style parity across channels (costs 1/channels capacity). */
+    bool parity = true;
+    /** On-board DRAM write-back cache (bytes). */
+    uint64_t dram_cache_bytes = util::kGiB;
+    /** Max requests in service (NCQ-style queue depth). */
+    uint32_t max_outstanding = 32;
+
+    /** Firmware CPU cost charged once per read request. */
+    TimeNs fw_cost_per_read_request = util::UsToNs(20);
+    /**
+     * Firmware CPU cost charged once per write request (covers mapping
+     * persistence; dominates small random writes on low-end devices).
+     */
+    TimeNs fw_cost_per_write_request = util::UsToNs(25);
+    /** Firmware CPU cost charged per per-page sub-operation (read). */
+    TimeNs fw_cost_read_page = util::UsToNs(6.8);
+    /** Firmware CPU cost charged per per-page sub-operation (write/GC). */
+    TimeNs fw_cost_write_page = util::UsToNs(11.9);
+
+    /** Start GC when a channel's free pool drops below this many blocks. */
+    uint32_t gc_low_watermark = 6;
+    /** Stop GC once the free pool recovers to this many blocks. */
+    uint32_t gc_high_watermark = 10;
+    GcPolicy gc_policy = GcPolicy::kGreedy;
+    /** Concurrent page migrations per channel during GC. */
+    uint32_t gc_inflight_window = 8;
+
+    /**
+     * Static wear leveling: periodically pick the *coldest* (least-worn)
+     * closed block as the GC victim regardless of its valid count, so
+     * long-lived data rotates off low-wear blocks. SDF removed this
+     * (§2.2); on the conventional device it is a source of sporadic
+     * latency spikes — a nearly fully valid block gets migrated.
+     */
+    bool static_wear_leveling = true;
+    /** One SWL migration per this many GC victim selections. */
+    uint32_t swl_period = 24;
+};
+
+/** Cumulative device statistics. */
+struct SsdStats
+{
+    uint64_t host_reads = 0;
+    uint64_t host_writes = 0;
+    uint64_t host_read_bytes = 0;
+    uint64_t host_written_bytes = 0;
+    uint64_t host_pages_written = 0;
+    uint64_t gc_pages_moved = 0;
+    uint64_t parity_pages_written = 0;
+    uint64_t gc_erases = 0;
+    uint64_t swl_migrations = 0;
+    uint64_t cache_hit_pages = 0;
+    uint64_t read_errors = 0;
+
+    /** (host + gc + parity) page programs per host page program. */
+    double
+    WriteAmplification() const
+    {
+        if (host_pages_written == 0) return 0.0;
+        return static_cast<double>(host_pages_written + gc_pages_moved +
+                                   parity_pages_written) /
+               static_cast<double>(host_pages_written);
+    }
+};
+
+/** The conventional SSD device model. */
+class ConventionalSsd
+{
+  public:
+    ConventionalSsd(sim::Simulator &sim, const ConventionalSsdConfig &config);
+    ~ConventionalSsd();
+
+    ConventionalSsd(const ConventionalSsd &) = delete;
+    ConventionalSsd &operator=(const ConventionalSsd &) = delete;
+
+    /** Bytes of logical space exposed to the host. */
+    uint64_t user_capacity() const { return user_capacity_; }
+
+    /** Raw flash bytes underneath. */
+    uint64_t raw_capacity() const { return flash_->geometry().TotalBytes(); }
+
+    /**
+     * Read @p length bytes at @p offset (page-aligned). Completes through
+     * the callback in simulated time. When @p out is non-null and the
+     * flash stores payloads, the data read is copied into it.
+     */
+    void Read(uint64_t offset, uint64_t length, IoCallback done,
+              std::vector<uint8_t> *out = nullptr);
+
+    /**
+     * Write @p length bytes at @p offset (page-aligned). Write-back: the
+     * callback fires when the data is accepted into the DRAM cache.
+     * @p data may be null for timing-only runs.
+     */
+    void Write(uint64_t offset, uint64_t length, IoCallback done,
+               const uint8_t *data = nullptr);
+
+    /** Drop mappings for a page-aligned range (TRIM; extension). */
+    void Trim(uint64_t offset, uint64_t length);
+
+    /**
+     * Instantly (zero simulated time) fill the first @p fraction of the
+     * logical space, as a fresh sequential write would. Used to bring a
+     * device to "almost full" before experiments, as the paper does.
+     */
+    void PreconditionFill(double fraction);
+
+    /**
+     * Instantly fill the first @p fraction of the logical space (data and
+     * parity) with a *random* physical layout: logical pages scattered
+     * uniformly over nearly all physical blocks, every used block fully
+     * programmed. This reproduces the fragmented steady state that a long
+     * random-write history produces, so GC experiments (Figure 1) start
+     * from realistic write amplification instead of a pristine layout.
+     */
+    void PreconditionFillRandom(double fraction, uint64_t seed = 99);
+
+    const SsdStats &stats() const { return stats_; }
+    const ConventionalSsdConfig &config() const { return config_; }
+    nand::FlashArray &flash() { return *flash_; }
+
+    /** Pages of user space per channel (for tests). */
+    uint32_t data_lpns_per_channel() const { return data_lpns_per_channel_; }
+
+    /** Free blocks currently pooled in @p channel (all planes). */
+    uint32_t FreeBlocks(uint32_t channel) const;
+
+    /** True while any channel's GC is running. */
+    bool GcActive() const;
+
+    /** Total dirty bytes waiting in the DRAM cache. */
+    uint64_t CacheUsed() const { return cache_used_; }
+
+  private:
+    struct PlaneState
+    {
+        ftl::DynamicWearLeveler free_pool;
+        uint32_t frontier = ftl::kUnmappedBlock;      ///< Host-write block.
+        uint32_t frontier_next = 0;
+        uint32_t gc_frontier = ftl::kUnmappedBlock;   ///< GC destination.
+        uint32_t gc_frontier_next = 0;
+    };
+
+    struct ChannelFtl
+    {
+        std::unique_ptr<ftl::PageMap> map;
+        std::vector<PlaneState> planes;
+        std::vector<uint32_t> full_blocks;   ///< GC candidates (flat ids).
+        std::vector<uint64_t> full_ages;     ///< Close time per candidate.
+        /** lpns awaiting drain, with optional page payloads. */
+        std::deque<std::pair<uint32_t, std::shared_ptr<std::vector<uint8_t>>>>
+            dirty_queue;
+        uint32_t drain_inflight = 0;
+        uint32_t drain_plane_cursor = 0;
+        uint32_t gc_plane_cursor = 0;
+        bool gc_active = false;
+        std::vector<uint32_t> gc_pending;    ///< lpns left to migrate.
+        uint32_t gc_victim = ftl::kUnmappedBlock;
+        uint32_t gc_inflight = 0;
+        uint64_t gc_victims_picked = 0;      ///< For the SWL cadence.
+        uint64_t parity_cursor = 0;          ///< Rotates parity lpns.
+    };
+
+    /** What kind of page program is being issued. */
+    enum class PageKind : uint8_t { kHost, kGc, kParity };
+
+    struct PendingRequest
+    {
+        bool is_write;
+        uint64_t offset;
+        uint64_t length;
+        IoCallback done;
+        const uint8_t *data;
+        std::vector<uint8_t> *out;
+    };
+
+    /** Cached dirty page: drain refcount plus the freshest payload. */
+    struct DirtyEntry
+    {
+        uint32_t refs = 0;
+        std::shared_ptr<std::vector<uint8_t>> payload;
+    };
+
+    // ---- request admission ------------------------------------------
+    void Admit(PendingRequest req);
+    void FinishRequest();
+    void StartRead(PendingRequest req);
+    void StartWrite(PendingRequest req);
+
+    // ---- cache ---------------------------------------------------------
+    void TryAdmitCacheWaiters();
+    void ReleaseCache(uint64_t bytes);
+
+    // ---- drain / program ------------------------------------------------
+    void PumpDrain(uint32_t ch);
+    /** @return false if no frontier space exists (caller must retry). */
+    bool IssueProgram(uint32_t ch, uint32_t lpn, PageKind kind,
+                      std::shared_ptr<std::vector<uint8_t>> payload);
+    void MaybeEmitParity();
+
+    // ---- garbage collection ---------------------------------------------
+    uint32_t TotalFree(uint32_t ch) const;
+    void MaybeStartGc(uint32_t ch);
+    void GcPickVictim(uint32_t ch);
+    void GcPump(uint32_t ch);
+    void GcFinishVictim(uint32_t ch);
+
+    // ---- helpers ----------------------------------------------------------
+    uint32_t PagesPerBlock() const { return flash_->geometry().pages_per_block; }
+    uint32_t PageSize() const { return flash_->geometry().page_size; }
+    uint64_t DirtyKey(uint32_t ch, uint32_t lpn) const
+    {
+        return (uint64_t{ch} << 32) | lpn;
+    }
+
+    sim::Simulator &sim_;
+    ConventionalSsdConfig config_;
+    std::unique_ptr<nand::FlashArray> flash_;
+    std::unique_ptr<controller::Link> link_;
+    sim::FifoResource firmware_;
+
+    ftl::StripingLayout striping_;
+    std::vector<ChannelFtl> channels_;
+    uint32_t data_lpns_per_channel_ = 0;
+    uint32_t parity_lpns_per_channel_ = 0;
+    uint64_t user_capacity_ = 0;
+
+    uint32_t outstanding_ = 0;
+    std::deque<PendingRequest> admission_queue_;
+
+    uint64_t cache_used_ = 0;
+    std::deque<std::pair<uint64_t, sim::Callback>> cache_waiters_;
+    std::unordered_map<uint64_t, DirtyEntry> dirty_pages_;
+    uint64_t parity_row_counter_ = 0;
+
+    SsdStats stats_;
+};
+
+/**
+ * Factory configs for the paper's comparison devices. @p capacity_scale in
+ * (0, 1] shrinks blocks-per-plane to keep simulations memory-friendly;
+ * per-channel structure and all ratios are preserved.
+ */
+ConventionalSsdConfig HuaweiGen3Config(double capacity_scale = 1.0);
+ConventionalSsdConfig Intel320Config(double capacity_scale = 1.0);
+ConventionalSsdConfig MemblazeQ520Config(double capacity_scale = 1.0);
+
+}  // namespace sdf::ssd
+
+#endif  // SDF_SSD_CONVENTIONAL_SSD_H

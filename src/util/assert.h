@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Internal invariant checking. Following the gem5 convention, SDF_PANIC is
+ * for "this should never happen regardless of user input" (a bug in the
+ * simulator) and SDF_FATAL is for unusable configuration supplied by the
+ * caller. SDF_CHECK is a convenience wrapper around SDF_PANIC.
+ */
+#ifndef SDF_UTIL_ASSERT_H
+#define SDF_UTIL_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdf::util {
+
+[[noreturn]] inline void
+PanicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+FatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+}  // namespace sdf::util
+
+#define SDF_PANIC(msg) ::sdf::util::PanicImpl(__FILE__, __LINE__, msg)
+#define SDF_FATAL(msg) ::sdf::util::FatalImpl(__FILE__, __LINE__, msg)
+
+#define SDF_CHECK(cond)                                                      \
+    do {                                                                     \
+        if (!(cond)) SDF_PANIC("check failed: " #cond);                      \
+    } while (0)
+
+#define SDF_CHECK_MSG(cond, msg)                                             \
+    do {                                                                     \
+        if (!(cond)) SDF_PANIC("check failed: " #cond " — " msg);            \
+    } while (0)
+
+#endif  // SDF_UTIL_ASSERT_H

@@ -1,0 +1,44 @@
+#include "util/fingerprint.h"
+
+#include "util/rng.h"
+
+namespace sdf::util {
+
+uint64_t
+Fingerprint(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+FillDeterministic(std::vector<uint8_t> &buf, uint64_t seed)
+{
+    uint64_t s = seed;
+    size_t i = 0;
+    while (i + 8 <= buf.size()) {
+        const uint64_t w = SplitMix64(s);
+        for (int b = 0; b < 8; ++b) buf[i + b] = static_cast<uint8_t>(w >> (8 * b));
+        i += 8;
+    }
+    if (i < buf.size()) {
+        const uint64_t w = SplitMix64(s);
+        for (int b = 0; i < buf.size(); ++i, ++b)
+            buf[i] = static_cast<uint8_t>(w >> (8 * b));
+    }
+}
+
+std::vector<uint8_t>
+MakeDeterministicPayload(size_t len, uint64_t seed)
+{
+    std::vector<uint8_t> buf(len);
+    FillDeterministic(buf, seed);
+    return buf;
+}
+
+}  // namespace sdf::util

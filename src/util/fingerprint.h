@@ -1,0 +1,38 @@
+/**
+ * @file
+ * 64-bit data fingerprints for end-to-end integrity checking in tests: the
+ * KV store and device tests verify that what is read back equals what was
+ * written without retaining full payload copies everywhere.
+ */
+#ifndef SDF_UTIL_FINGERPRINT_H
+#define SDF_UTIL_FINGERPRINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sdf::util {
+
+/** FNV-1a 64-bit hash over a byte range. */
+uint64_t Fingerprint(const void *data, size_t len);
+
+/** FNV-1a over a string view. */
+inline uint64_t
+Fingerprint(std::string_view s)
+{
+    return Fingerprint(s.data(), s.size());
+}
+
+/**
+ * Deterministically fill @p buf with bytes derived from @p seed; used by
+ * tests and examples to generate verifiable payloads.
+ */
+void FillDeterministic(std::vector<uint8_t> &buf, uint64_t seed);
+
+/** Build a deterministic payload of @p len bytes from @p seed. */
+std::vector<uint8_t> MakeDeterministicPayload(size_t len, uint64_t seed);
+
+}  // namespace sdf::util
+
+#endif  // SDF_UTIL_FINGERPRINT_H

@@ -1,0 +1,3 @@
+// LatencyRecorder is header-only; this translation unit exists so the
+// header is compiled standalone at least once (include hygiene check).
+#include "util/latency_recorder.h"

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-operation latency capture: keeps both a histogram (for percentiles)
+ * and, optionally, the raw sample series (for time-series plots such as the
+ * paper's Figure 8 write-latency traces).
+ */
+#ifndef SDF_UTIL_LATENCY_RECORDER_H
+#define SDF_UTIL_LATENCY_RECORDER_H
+
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/units.h"
+
+namespace sdf::util {
+
+/** Records operation latencies in simulated nanoseconds. */
+class LatencyRecorder
+{
+  public:
+    /**
+     * @param keep_series When true the raw per-sample series is retained
+     *     (needed for latency-over-time plots); otherwise only the histogram.
+     */
+    explicit LatencyRecorder(bool keep_series = false)
+        : keep_series_(keep_series) {}
+
+    /** Record one completed operation's latency. */
+    void
+    Record(TimeNs latency)
+    {
+        hist_.Add(latency);
+        if (keep_series_) series_.push_back(latency);
+    }
+
+    void
+    Reset()
+    {
+        hist_.Reset();
+        series_.clear();
+    }
+
+    const Histogram &histogram() const { return hist_; }
+    const std::vector<TimeNs> &series() const { return series_; }
+
+    uint64_t count() const { return hist_.count(); }
+    double MeanMs() const { return NsToMs(static_cast<TimeNs>(hist_.Mean())); }
+    double MinMs() const { return NsToMs(hist_.min()); }
+    double MaxMs() const { return NsToMs(hist_.max()); }
+    double PercentileMs(double p) const
+    {
+        return NsToMs(static_cast<TimeNs>(hist_.Percentile(p)));
+    }
+    double StdDevMs() const { return NsToMs(static_cast<TimeNs>(hist_.StdDev())); }
+
+  private:
+    bool keep_series_;
+    Histogram hist_;
+    std::vector<TimeNs> series_;
+};
+
+}  // namespace sdf::util
+
+#endif  // SDF_UTIL_LATENCY_RECORDER_H

@@ -1,0 +1,104 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sdf::util {
+
+uint64_t
+SplitMix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+constexpr uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // xoshiro state must not be all-zero; SplitMix64 guarantees good spread.
+    uint64_t s = seed;
+    for (auto &w : state_) w = SplitMix64(s);
+}
+
+uint64_t
+Rng::Next()
+{
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::NextBelow(uint64_t bound)
+{
+    SDF_CHECK(bound > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+        const uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            m = static_cast<__uint128_t>(Next()) * bound;
+            lo = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::NextInRange(int64_t lo, int64_t hi)
+{
+    SDF_CHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double
+Rng::NextDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::NextBool(double p)
+{
+    return NextDouble() < p;
+}
+
+double
+Rng::NextExponential(double mean)
+{
+    SDF_CHECK(mean > 0.0);
+    double u = NextDouble();
+    // Avoid log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::Fork()
+{
+    return Rng(Next());
+}
+
+}  // namespace sdf::util

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulation.
+ *
+ * Everything in the SDF reproduction that needs randomness (workload key
+ * choice, bit-error injection, factory bad blocks, ...) draws from an
+ * explicitly seeded Rng so that every test and benchmark is reproducible
+ * bit-for-bit. The generator is xoshiro256**, seeded via SplitMix64.
+ */
+#ifndef SDF_UTIL_RNG_H
+#define SDF_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace sdf::util {
+
+/** Deterministic xoshiro256** PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct with a seed; equal seeds produce equal streams. */
+    explicit Rng(uint64_t seed = 0x5df5df5dULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t Next();
+
+    /** Uniform integer in [0, bound) using Lemire's method; bound > 0. */
+    uint64_t NextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t NextInRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double NextDouble();
+
+    /** Bernoulli trial with probability p in [0, 1]. */
+    bool NextBool(double p);
+
+    /**
+     * Exponentially distributed double with the given mean (> 0). Used for
+     * inter-arrival jitter in open-loop generators.
+     */
+    double NextExponential(double mean);
+
+    /** Derive an independent child generator (for per-actor streams). */
+    Rng Fork();
+
+  private:
+    uint64_t state_[4];
+};
+
+/** SplitMix64 step, exposed for hashing-style uses (ID scrambling). */
+uint64_t SplitMix64(uint64_t &state);
+
+}  // namespace sdf::util
+
+#endif  // SDF_UTIL_RNG_H

@@ -1,0 +1,82 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sdf::util {
+
+void
+TablePrinter::SetHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::AddRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::Num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::Int(int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+}
+
+std::string
+TablePrinter::ToString() const
+{
+    // Compute column widths over header + all rows.
+    size_t cols = header_.size();
+    for (const auto &r : rows_) cols = std::max(cols, r.size());
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_) widen(r);
+
+    auto render_row = [&](const std::vector<std::string> &r) {
+        std::string line = "  ";
+        for (size_t i = 0; i < cols; ++i) {
+            const std::string &cell = i < r.size() ? r[i] : std::string();
+            line += cell;
+            line.append(width[i] - cell.size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ') line.pop_back();
+        line += '\n';
+        return line;
+    };
+
+    std::string out;
+    out += "== " + title_ + " ==\n";
+    if (!header_.empty()) {
+        out += render_row(header_);
+        size_t total = 2;
+        for (size_t w : width) total += w + 2;
+        out += "  " + std::string(total - 2, '-') + "\n";
+    }
+    for (const auto &r : rows_) out += render_row(r);
+    return out;
+}
+
+void
+TablePrinter::Print() const
+{
+    std::fputs(ToString().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fflush(stdout);
+}
+
+}  // namespace sdf::util

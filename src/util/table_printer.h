@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Aligned ASCII table output used by the benchmark binaries to print the
+ * paper's tables and figure series.
+ */
+#ifndef SDF_UTIL_TABLE_PRINTER_H
+#define SDF_UTIL_TABLE_PRINTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdf::util {
+
+/** Collects rows of string cells and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void SetHeader(std::vector<std::string> header);
+
+    /** Append a data row (cells may be fewer than header columns). */
+    void AddRow(std::vector<std::string> row);
+
+    /** Format helpers for numeric cells. */
+    static std::string Num(double v, int precision = 1);
+    static std::string Int(int64_t v);
+
+    /** Render the table to a string. */
+    std::string ToString() const;
+
+    /** Print the table to stdout. */
+    void Print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdf::util
+
+#endif  // SDF_UTIL_TABLE_PRINTER_H

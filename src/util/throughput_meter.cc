@@ -1,0 +1,42 @@
+#include "util/throughput_meter.h"
+
+namespace sdf::util {
+
+void
+ThroughputMeter::Start(TimeNs now)
+{
+    start_ = now;
+    window_start_ = now;
+    window_bytes_ = 0;
+    total_bytes_ = 0;
+    operations_ = 0;
+    series_.clear();
+}
+
+void
+ThroughputMeter::RollWindows(TimeNs now)
+{
+    if (window_ <= 0) return;
+    while (now >= window_start_ + window_) {
+        series_.push_back(BandwidthMBps(window_bytes_, window_));
+        window_start_ += window_;
+        window_bytes_ = 0;
+    }
+}
+
+void
+ThroughputMeter::Account(TimeNs now, uint64_t bytes)
+{
+    RollWindows(now);
+    total_bytes_ += bytes;
+    window_bytes_ += bytes;
+    ++operations_;
+}
+
+double
+ThroughputMeter::MBps(TimeNs now) const
+{
+    return BandwidthMBps(total_bytes_, now - start_);
+}
+
+}  // namespace sdf::util

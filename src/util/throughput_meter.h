@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Throughput accounting over simulated time, with optional fixed-window
+ * time series for plots of sustained bandwidth.
+ */
+#ifndef SDF_UTIL_THROUGHPUT_METER_H
+#define SDF_UTIL_THROUGHPUT_METER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sdf::util {
+
+/**
+ * Accumulates bytes moved against simulated time and reports MB/s.
+ *
+ * Usage: call Start(now) once, Account(now, bytes) per completion, then
+ * read MBps(now). If a window is configured, per-window MB/s samples are
+ * kept for time-series output.
+ */
+class ThroughputMeter
+{
+  public:
+    /** @param window Window length for the time series; 0 disables it. */
+    explicit ThroughputMeter(TimeNs window = 0) : window_(window) {}
+
+    /** Begin (or restart) measurement at simulated time @p now. */
+    void Start(TimeNs now);
+
+    /** Account @p bytes completed at simulated time @p now. */
+    void Account(TimeNs now, uint64_t bytes);
+
+    /** Mean throughput in MB/s from Start() to @p now. */
+    double MBps(TimeNs now) const;
+
+    uint64_t total_bytes() const { return total_bytes_; }
+    uint64_t operations() const { return operations_; }
+    TimeNs start_time() const { return start_; }
+
+    /** Completed fixed-window samples in MB/s (excludes the partial tail). */
+    const std::vector<double> &window_series() const { return series_; }
+
+  private:
+    void RollWindows(TimeNs now);
+
+    TimeNs window_;
+    TimeNs start_ = 0;
+    TimeNs window_start_ = 0;
+    uint64_t window_bytes_ = 0;
+    uint64_t total_bytes_ = 0;
+    uint64_t operations_ = 0;
+    std::vector<double> series_;
+};
+
+}  // namespace sdf::util
+
+#endif  // SDF_UTIL_THROUGHPUT_METER_H

@@ -1,0 +1,33 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace sdf::util {
+
+std::string
+FormatBytes(uint64_t bytes)
+{
+    char buf[48];
+    if (bytes >= kGB && bytes % kGB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu GB",
+                      static_cast<unsigned long long>(bytes / kGB));
+    } else if (bytes >= kMB && bytes % kMB == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu MB",
+                      static_cast<unsigned long long>(bytes / kMB));
+    } else if (bytes >= kGiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f GiB",
+                      static_cast<double>(bytes) / static_cast<double>(kGiB));
+    } else if (bytes >= kMiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                      static_cast<double>(bytes) / static_cast<double>(kMiB));
+    } else if (bytes >= kKiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                      static_cast<double>(bytes) / static_cast<double>(kKiB));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+}  // namespace sdf::util

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Size and time unit constants and small formatting helpers used across the
+ * SDF reproduction. Sizes are in bytes; simulated time is in nanoseconds.
+ */
+#ifndef SDF_UTIL_UNITS_H
+#define SDF_UTIL_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace sdf::util {
+
+// -------------------------------------------------------------------------
+// Sizes (bytes).
+// -------------------------------------------------------------------------
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+// Decimal units: vendors (and the paper) quote bandwidth in MB/s = 1e6 B/s.
+inline constexpr uint64_t kKB = 1000ULL;
+inline constexpr uint64_t kMB = 1000ULL * kKB;
+inline constexpr uint64_t kGB = 1000ULL * kMB;
+
+// -------------------------------------------------------------------------
+// Time (nanoseconds of simulated time).
+// -------------------------------------------------------------------------
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * kNsPerUs;
+inline constexpr TimeNs kNsPerSec = 1000 * kNsPerMs;
+
+/** Convert microseconds to simulated nanoseconds. */
+constexpr TimeNs UsToNs(double us) { return static_cast<TimeNs>(us * kNsPerUs); }
+/** Convert milliseconds to simulated nanoseconds. */
+constexpr TimeNs MsToNs(double ms) { return static_cast<TimeNs>(ms * kNsPerMs); }
+/** Convert seconds to simulated nanoseconds. */
+constexpr TimeNs SecToNs(double s) { return static_cast<TimeNs>(s * kNsPerSec); }
+
+/** Convert simulated nanoseconds to (double) milliseconds. */
+constexpr double NsToMs(TimeNs ns) { return static_cast<double>(ns) / kNsPerMs; }
+/** Convert simulated nanoseconds to (double) microseconds. */
+constexpr double NsToUs(TimeNs ns) { return static_cast<double>(ns) / kNsPerUs; }
+/** Convert simulated nanoseconds to (double) seconds. */
+constexpr double NsToSec(TimeNs ns) { return static_cast<double>(ns) / kNsPerSec; }
+
+/**
+ * Time needed to move @p bytes at @p bytes_per_sec, rounded up to a whole
+ * nanosecond. A zero rate yields zero time (infinite-speed link).
+ */
+constexpr TimeNs TransferTimeNs(uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes_per_sec <= 0.0) return 0;
+    const double sec = static_cast<double>(bytes) / bytes_per_sec;
+    return static_cast<TimeNs>(sec * kNsPerSec + 0.5);
+}
+
+/** Bandwidth in MB/s (decimal) given bytes moved over a simulated duration. */
+constexpr double BandwidthMBps(uint64_t bytes, TimeNs duration)
+{
+    if (duration <= 0) return 0.0;
+    return static_cast<double>(bytes) / NsToSec(duration) / kMB;
+}
+
+/** Render a byte count as a human-readable string ("8 KB", "704 GB", ...). */
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace sdf::util
+
+#endif  // SDF_UTIL_UNITS_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * CCDB workload drivers for the production-system experiments
+ * (Figures 10-14): slice preloading, batched random reads over the
+ * network, index-building sequential scans, and the write+compaction mix.
+ */
+#ifndef SDF_WORKLOAD_KV_DRIVER_H
+#define SDF_WORKLOAD_KV_DRIVER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kv/slice.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace sdf::workload {
+
+using util::TimeNs;
+
+/**
+ * Preload @p slices with @p bytes_per_slice of values of @p value_size,
+ * installed instantly as sorted patches (no simulated time).
+ * @return per-slice key lists for the read drivers.
+ */
+std::vector<std::vector<uint64_t>>
+PreloadSlices(const std::vector<kv::Slice *> &slices, uint64_t bytes_per_slice,
+              uint32_t value_size);
+
+/** Result of a KV workload run. */
+struct KvRunResult
+{
+    double client_mbps = 0.0;       ///< Payload delivered to clients.
+    double device_read_mbps = 0.0;  ///< Compaction/scan reads at the store.
+    double device_write_mbps = 0.0; ///< Patch writes (flush + compaction).
+    uint64_t requests = 0;
+};
+
+/** Run parameters shared by the KV drivers. */
+struct KvRunConfig
+{
+    TimeNs warmup = util::MsToNs(300);
+    TimeNs duration = util::SecToNs(2.0);
+    uint64_t seed = 7;
+};
+
+/**
+ * Figures 10-12: one synchronous client per slice sends batched random
+ * read requests of @p batch_size sub-requests over the network; the next
+ * request leaves only when the previous response arrived.
+ */
+KvRunResult RunBatchedRandomReads(
+    sim::Simulator &sim, net::Network &net,
+    const std::vector<kv::Slice *> &slices,
+    const std::vector<std::vector<uint64_t>> &keys, uint32_t batch_size,
+    const KvRunConfig &run);
+
+/**
+ * Figure 13: index-building scans — @p threads_per_slice synchronous
+ * server-side threads per slice sequentially reading whole patches.
+ */
+KvRunResult RunSequentialScan(sim::Simulator &sim,
+                              const std::vector<kv::Slice *> &slices,
+                              uint32_t threads_per_slice,
+                              const KvRunConfig &run);
+
+/**
+ * Figure 14: one synchronous client per slice writes values uniformly
+ * sized in [@p value_min, @p value_max]; patch flushes and compaction run
+ * underneath. Reports client write goodput plus device-level compaction
+ * traffic.
+ */
+KvRunResult RunKvWrites(sim::Simulator &sim, net::Network &net,
+                        const std::vector<kv::Slice *> &slices,
+                        uint32_t value_min, uint32_t value_max,
+                        const KvRunConfig &run);
+
+}  // namespace sdf::workload
+
+#endif  // SDF_WORKLOAD_KV_DRIVER_H

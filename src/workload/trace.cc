@@ -1,0 +1,163 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::workload {
+
+std::vector<TraceOp>
+GenerateTrace(const std::vector<TracePhase> &phases, uint32_t slice_count,
+              uint64_t keys_per_slice, uint64_t seed)
+{
+    SDF_CHECK(slice_count > 0 && keys_per_slice > 0);
+    util::Rng rng(seed);
+    std::vector<TraceOp> trace;
+    util::TimeNs clock = 0;
+    // Highest key written so far per slice (puts extend the space).
+    std::vector<uint64_t> next_new_key(slice_count, keys_per_slice);
+
+    for (const TracePhase &phase : phases) {
+        SDF_CHECK(phase.put_fraction + phase.delete_fraction <= 1.0);
+        const util::TimeNs end = clock + phase.duration;
+        while (clock < end) {
+            TraceOp op;
+            op.issue_at = clock;
+            op.slice = static_cast<uint32_t>(rng.NextBelow(slice_count));
+
+            const double mix = rng.NextDouble();
+            const uint64_t written = next_new_key[op.slice];
+            // Zipf-ish: hot ops hit the most recent 10 % of keys.
+            uint64_t key_range = written;
+            uint64_t key_base = 0;
+            if (rng.NextDouble() < phase.hot_fraction) {
+                key_range = std::max<uint64_t>(written / 10, 1);
+                key_base = written - key_range;
+            }
+            if (mix < phase.put_fraction) {
+                op.kind = TraceOp::Kind::kPut;
+                op.key = next_new_key[op.slice]++;
+                op.value_size = static_cast<uint32_t>(rng.NextInRange(
+                    phase.value_min, phase.value_max));
+            } else if (mix < phase.put_fraction + phase.delete_fraction) {
+                op.kind = TraceOp::Kind::kDelete;
+                op.key = key_base + rng.NextBelow(key_range);
+            } else {
+                op.kind = TraceOp::Kind::kGet;
+                op.key = key_base + rng.NextBelow(key_range);
+            }
+            // Tag the key with the slice (PreloadSlices numbering).
+            op.key += uint64_t{op.slice} << 40;
+            trace.push_back(op);
+
+            clock += static_cast<util::TimeNs>(
+                rng.NextExponential(1e9 / phase.ops_per_sec));
+        }
+        clock = end;
+    }
+    return trace;
+}
+
+std::vector<PhaseResult>
+ReplayTrace(sim::Simulator &sim, const std::vector<kv::Slice *> &slices,
+            const std::vector<TracePhase> &phases,
+            const std::vector<TraceOp> &trace)
+{
+    auto results = std::make_shared<std::vector<PhaseResult>>();
+    results->reserve(phases.size());
+    std::vector<util::TimeNs> phase_end;
+    util::TimeNs clock = 0;
+    for (const TracePhase &p : phases) {
+        PhaseResult r;
+        r.name = p.name;
+        results->push_back(std::move(r));
+        clock += p.duration;
+        phase_end.push_back(clock);
+    }
+    auto phase_of = [phase_end](util::TimeNs t) {
+        for (size_t i = 0; i < phase_end.size(); ++i) {
+            if (t < phase_end[i]) return i;
+        }
+        return phase_end.size() - 1;
+    };
+
+    const util::TimeNs base = sim.Now();
+    for (const TraceOp &op : trace) {
+        sim.ScheduleAt(base + op.issue_at, [&sim, &slices, op, results,
+                                            phase_of]() {
+            const size_t ph = phase_of(op.issue_at);
+            PhaseResult &r = (*results)[ph];
+            kv::Slice *slice = slices[op.slice];
+            const util::TimeNs start = sim.Now();
+            switch (op.kind) {
+              case TraceOp::Kind::kGet:
+                ++r.gets;
+                slice->Get(op.key, [&sim, &r, start](const kv::GetResult &g) {
+                    if (!g.found) {
+                        ++r.get_misses;
+                    } else {
+                        r.read_mbps += g.value_size;  // Bytes for now.
+                    }
+                    r.get_latency.Record(sim.Now() - start);
+                });
+                break;
+              case TraceOp::Kind::kPut:
+                ++r.puts;
+                slice->Put(op.key, op.value_size,
+                           [&sim, &r, start, size = op.value_size](bool ok) {
+                               if (ok) r.write_mbps += size;
+                               r.put_latency.Record(sim.Now() - start);
+                           });
+                break;
+              case TraceOp::Kind::kDelete:
+                ++r.deletes;
+                slice->Delete(op.key, nullptr);
+                break;
+            }
+        });
+    }
+    sim.Run();
+
+    // Convert accumulated bytes into MB/s per phase.
+    for (size_t i = 0; i < results->size(); ++i) {
+        const double secs = util::NsToSec(phases[i].duration);
+        (*results)[i].read_mbps = (*results)[i].read_mbps / 1e6 / secs;
+        (*results)[i].write_mbps = (*results)[i].write_mbps / 1e6 / secs;
+    }
+    return std::move(*results);
+}
+
+std::vector<TracePhase>
+ProductionDayPhases(double scale)
+{
+    // A compressed "day": overnight crawl ingestion, morning index scans
+    // interleave as reads, daytime query serving, an evening hot-spot.
+    std::vector<TracePhase> phases(4);
+    phases[0].name = "overnight-crawl";
+    phases[0].duration = util::SecToNs(4);
+    phases[0].ops_per_sec = 400 * scale;
+    phases[0].put_fraction = 0.85;
+    phases[0].delete_fraction = 0.05;
+
+    phases[1].name = "morning-mixed";
+    phases[1].duration = util::SecToNs(4);
+    phases[1].ops_per_sec = 900 * scale;
+    phases[1].put_fraction = 0.3;
+    phases[1].delete_fraction = 0.02;
+
+    phases[2].name = "daytime-serving";
+    phases[2].duration = util::SecToNs(4);
+    phases[2].ops_per_sec = 1800 * scale;
+    phases[2].put_fraction = 0.05;
+
+    phases[3].name = "evening-hotspot";
+    phases[3].duration = util::SecToNs(4);
+    phases[3].ops_per_sec = 1500 * scale;
+    phases[3].put_fraction = 0.1;
+    phases[3].hot_fraction = 0.8;
+    return phases;
+}
+
+}  // namespace sdf::workload

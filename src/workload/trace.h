@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic production traces.
+ *
+ * The paper's SDFs serve Baidu's web-page and image repositories, whose
+ * traffic is a diurnal mix of batched reads (query serving, index
+ * building) and write bursts (crawl ingestion). This module generates
+ * deterministic multi-phase traces of KV operations and replays them
+ * against a slice set, reporting per-phase throughput and latency — the
+ * kind of day-in-production run the paper's deployment numbers summarize.
+ */
+#ifndef SDF_WORKLOAD_TRACE_H
+#define SDF_WORKLOAD_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kv/slice.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/latency_recorder.h"
+#include "util/rng.h"
+
+namespace sdf::workload {
+
+/** One operation in a trace. */
+struct TraceOp
+{
+    enum class Kind : uint8_t { kGet, kPut, kDelete };
+    Kind kind = Kind::kGet;
+    uint32_t slice = 0;
+    uint64_t key = 0;
+    uint32_t value_size = 0;   ///< For puts.
+    util::TimeNs issue_at = 0; ///< Absolute issue time (open loop).
+};
+
+/** One phase of a synthetic day: a traffic mix at a target rate. */
+struct TracePhase
+{
+    std::string name;
+    util::TimeNs duration = util::SecToNs(1);
+    double ops_per_sec = 1000;
+    /** Mix fractions; must sum to <= 1, remainder are gets. */
+    double put_fraction = 0.0;
+    double delete_fraction = 0.0;
+    /** Value size range for puts. */
+    uint32_t value_min = 10 * 1024;
+    uint32_t value_max = 200 * 1024;
+    /** Keys drawn Zipf-ish: this fraction of ops target 10 % of keys. */
+    double hot_fraction = 0.0;
+};
+
+/**
+ * Generate a deterministic trace over @p slice_count slices and
+ * @p keys_per_slice preloaded keys. Put keys extend beyond the preloaded
+ * range; get/delete keys stay within known-written keys.
+ */
+std::vector<TraceOp> GenerateTrace(const std::vector<TracePhase> &phases,
+                                   uint32_t slice_count,
+                                   uint64_t keys_per_slice, uint64_t seed);
+
+/** Per-phase replay outcome. */
+struct PhaseResult
+{
+    std::string name;
+    uint64_t gets = 0;
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+    uint64_t get_misses = 0;
+    double read_mbps = 0.0;
+    double write_mbps = 0.0;
+    util::LatencyRecorder get_latency{false};
+    util::LatencyRecorder put_latency{false};
+};
+
+/**
+ * Replay a trace open-loop against @p slices (ops fire at their issue
+ * times regardless of completions, as production traffic does).
+ * Preloaded keys are (slice s, key k < keys_per_slice) via
+ * PreloadSlices-style numbering: key = (s << 40) + k.
+ */
+std::vector<PhaseResult>
+ReplayTrace(sim::Simulator &sim, const std::vector<kv::Slice *> &slices,
+            const std::vector<TracePhase> &phases,
+            const std::vector<TraceOp> &trace);
+
+/** The default "production day" phase list used by the example. */
+std::vector<TracePhase> ProductionDayPhases(double scale = 1.0);
+
+}  // namespace sdf::workload
+
+#endif  // SDF_WORKLOAD_TRACE_H

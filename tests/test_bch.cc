@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the BCH codec: field arithmetic, encode/decode round
+ * trips, correction up to t errors, and detected failure beyond t.
+ */
+#include <gtest/gtest.h>
+
+#include "controller/bch.h"
+#include "util/rng.h"
+
+namespace sdf::controller {
+namespace {
+
+std::vector<uint8_t>
+RandomMessage(util::Rng &rng, int k)
+{
+    std::vector<uint8_t> msg(k);
+    for (auto &b : msg) b = static_cast<uint8_t>(rng.NextBelow(2));
+    return msg;
+}
+
+TEST(GaloisField, ExpLogInverse)
+{
+    GaloisField gf(8);
+    for (int i = 1; i <= gf.n(); ++i) {
+        const auto x = static_cast<uint32_t>(i);
+        EXPECT_EQ(gf.Exp(gf.Log(x)), x);
+        EXPECT_EQ(gf.Mul(x, gf.Inv(x)), 1u);
+    }
+}
+
+TEST(GaloisField, MulByZeroIsZero)
+{
+    GaloisField gf(8);
+    EXPECT_EQ(gf.Mul(0, 123), 0u);
+    EXPECT_EQ(gf.Mul(123, 0), 0u);
+}
+
+TEST(GaloisField, MulIsCommutativeAndAssociative)
+{
+    GaloisField gf(8);
+    util::Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const auto a = static_cast<uint32_t>(rng.NextBelow(256));
+        const auto b = static_cast<uint32_t>(rng.NextBelow(256));
+        const auto c = static_cast<uint32_t>(rng.NextBelow(256));
+        EXPECT_EQ(gf.Mul(a, b), gf.Mul(b, a));
+        EXPECT_EQ(gf.Mul(a, gf.Mul(b, c)), gf.Mul(gf.Mul(a, b), c));
+    }
+}
+
+TEST(Bch, CodeDimensionsSane)
+{
+    // Classic BCH(15, 7, t=2).
+    BchCodec code(4, 2);
+    EXPECT_EQ(code.n(), 15);
+    EXPECT_EQ(code.k(), 7);
+    // BCH(255, 231, t=3).
+    BchCodec code2(8, 3);
+    EXPECT_EQ(code2.n(), 255);
+    EXPECT_EQ(code2.k(), 231);
+}
+
+TEST(Bch, CleanCodewordDecodesWithZeroCorrections)
+{
+    BchCodec code(8, 3);
+    util::Rng rng(2);
+    auto msg = RandomMessage(rng, code.k());
+    auto cw = code.Encode(msg);
+    const auto result = code.Decode(cw);
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, 0);
+    EXPECT_EQ(code.ExtractMessage(cw), msg);
+}
+
+class BchErrorTest : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(BchErrorTest, CorrectsUpToTErrors)
+{
+    const auto [m, t] = GetParam();
+    BchCodec code(m, t);
+    util::Rng rng(42 + m * 10 + t);
+    for (int trial = 0; trial < 20; ++trial) {
+        auto msg = RandomMessage(rng, code.k());
+        auto cw = code.Encode(msg);
+        // Inject exactly `errs` distinct bit flips for each errs <= t.
+        const int errs = 1 + static_cast<int>(rng.NextBelow(t));
+        std::vector<int> positions;
+        while (static_cast<int>(positions.size()) < errs) {
+            const int p = static_cast<int>(rng.NextBelow(code.n()));
+            bool dup = false;
+            for (int q : positions) dup |= q == p;
+            if (!dup) positions.push_back(p);
+        }
+        for (int p : positions) cw[p] ^= 1;
+        const auto result = code.Decode(cw);
+        ASSERT_TRUE(result.ok) << "m=" << m << " t=" << t << " errs=" << errs;
+        EXPECT_EQ(result.corrected, errs);
+        EXPECT_EQ(code.ExtractMessage(cw), msg);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, BchErrorTest,
+                         ::testing::Values(std::tuple{4, 2}, std::tuple{5, 3},
+                                           std::tuple{8, 2}, std::tuple{8, 5},
+                                           std::tuple{10, 4},
+                                           std::tuple{13, 4}));
+
+TEST(Bch, DetectsUncorrectableOverload)
+{
+    BchCodec code(8, 2);
+    util::Rng rng(7);
+    int detected = 0;
+    const int trials = 50;
+    for (int trial = 0; trial < trials; ++trial) {
+        auto msg = RandomMessage(rng, code.k());
+        auto cw = code.Encode(msg);
+        const auto original = cw;
+        // Far more errors than t=2 can handle.
+        for (int e = 0; e < 12; ++e) {
+            cw[rng.NextBelow(code.n())] ^= 1;
+        }
+        if (cw == original) continue;
+        const auto result = code.Decode(cw);
+        if (!result.ok) {
+            ++detected;
+        } else {
+            // Miscorrection is possible but the result must be a valid
+            // codeword (decoding it again yields no further corrections).
+            auto again = cw;
+            const auto r2 = code.Decode(again);
+            EXPECT_TRUE(r2.ok);
+            EXPECT_EQ(r2.corrected, 0);
+        }
+    }
+    // The overwhelming majority of 12-error patterns must be detected.
+    EXPECT_GT(detected, trials / 2);
+}
+
+TEST(Bch, ParityBitsMatchGeneratorDegree)
+{
+    BchCodec code(8, 4);
+    EXPECT_EQ(code.parity_bits(), code.n() - code.k());
+    EXPECT_GT(code.parity_bits(), 0);
+    // t*m is the classic upper bound on parity bits.
+    EXPECT_LE(code.parity_bits(), 4 * 8);
+}
+
+TEST(Bch, FlashStrengthCodeRoundTrips)
+{
+    // A code in the class the SDF's per-chip ECC uses: long codeword,
+    // correcting several bit errors (m=13 -> n=8191, one flash page's
+    // worth of bits).
+    BchCodec code(13, 4);
+    EXPECT_EQ(code.n(), 8191);
+    util::Rng rng(11);
+    auto msg = RandomMessage(rng, code.k());
+    auto cw = code.Encode(msg);
+    for (int p : {17, 4000, 8000, 8190}) cw[p] ^= 1;
+    const auto result = code.Decode(cw);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.corrected, 4);
+    EXPECT_EQ(code.ExtractMessage(cw), msg);
+}
+
+}  // namespace
+}  // namespace sdf::controller

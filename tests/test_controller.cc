@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the controller substrate: host links and interrupt
+ * coalescing.
+ */
+#include <gtest/gtest.h>
+
+#include "controller/interrupts.h"
+#include "controller/link.h"
+#include "sim/simulator.h"
+
+namespace sdf::controller {
+namespace {
+
+TEST(Link, PcieSpecsMatchPaper)
+{
+    const LinkSpec s = Pcie11x8Spec();
+    EXPECT_NEAR(s.to_host_bytes_per_sec / 1e9, 1.61, 0.01);
+    EXPECT_NEAR(s.to_device_bytes_per_sec / 1e9, 1.40, 0.01);
+    EXPECT_TRUE(s.full_duplex);
+    EXPECT_FALSE(Sata2Spec().full_duplex);
+}
+
+TEST(Link, TransferTimeMatchesBandwidth)
+{
+    sim::Simulator sim;
+    Link link(sim, Pcie11x8Spec());
+    util::TimeNs done_at = 0;
+    link.TransferToHost(0, static_cast<uint64_t>(1.61e9),
+                        [&]() { done_at = sim.Now(); });
+    sim.Run();
+    // ~1 second plus DMA setup.
+    EXPECT_NEAR(util::NsToSec(done_at), 1.0, 0.001);
+    EXPECT_EQ(link.to_host_bytes(), static_cast<uint64_t>(1.61e9));
+}
+
+TEST(Link, FullDuplexDirectionsIndependent)
+{
+    sim::Simulator sim;
+    LinkSpec spec = Pcie11x8Spec();
+    spec.dma_setup = 0;
+    Link link(sim, spec);
+    util::TimeNs read_done = 0, write_done = 0;
+    link.TransferToHost(0, static_cast<uint64_t>(1.61e9),
+                        [&]() { read_done = sim.Now(); });
+    link.TransferToDevice(0, static_cast<uint64_t>(1.40e9),
+                          [&]() { write_done = sim.Now(); });
+    sim.Run();
+    EXPECT_NEAR(util::NsToSec(read_done), 1.0, 0.01);
+    EXPECT_NEAR(util::NsToSec(write_done), 1.0, 0.01);
+}
+
+TEST(Link, HalfDuplexSerializesDirections)
+{
+    sim::Simulator sim;
+    LinkSpec spec = Sata2Spec();
+    spec.dma_setup = 0;
+    Link link(sim, spec);
+    const auto bytes = static_cast<uint64_t>(275e6);  // 1 s each way.
+    util::TimeNs read_done = 0, write_done = 0;
+    link.TransferToHost(0, bytes, [&]() { read_done = sim.Now(); });
+    link.TransferToDevice(0, bytes, [&]() { write_done = sim.Now(); });
+    sim.Run();
+    EXPECT_NEAR(util::NsToSec(read_done), 1.0, 0.01);
+    EXPECT_NEAR(util::NsToSec(write_done), 2.0, 0.01);
+}
+
+TEST(Link, EarliestConstraintRespected)
+{
+    sim::Simulator sim;
+    LinkSpec spec = Pcie11x8Spec();
+    spec.dma_setup = 0;
+    Link link(sim, spec);
+    util::TimeNs done_at = 0;
+    link.TransferToHost(util::MsToNs(100), 1610,
+                        [&]() { done_at = sim.Now(); });
+    sim.Run();
+    EXPECT_GE(done_at, util::MsToNs(100));
+}
+
+TEST(Interrupts, NoCoalescingDeliversImmediately)
+{
+    sim::Simulator sim;
+    InterruptConfig cfg;
+    cfg.coalesce = false;
+    InterruptCoalescer irq(sim, cfg, 44);
+    int delivered = 0;
+    for (int i = 0; i < 10; ++i) irq.OnCompletion(0, [&]() { ++delivered; });
+    EXPECT_EQ(delivered, 10);
+    EXPECT_EQ(irq.interrupts(), 10u);
+    EXPECT_DOUBLE_EQ(irq.MergeFactor(), 1.0);
+}
+
+TEST(Interrupts, MergesByCount)
+{
+    sim::Simulator sim;
+    InterruptConfig cfg;
+    cfg.merge_count = 4;
+    InterruptCoalescer irq(sim, cfg, 44);
+    int delivered = 0;
+    for (int i = 0; i < 4; ++i) {
+        irq.OnCompletion(0, [&]() { ++delivered; });
+    }
+    // Count threshold reached at level 1; the global stage flushes on its
+    // own (shorter) window.
+    sim.Run();
+    EXPECT_EQ(delivered, 4);
+    EXPECT_EQ(irq.interrupts(), 1u);
+    EXPECT_DOUBLE_EQ(irq.MergeFactor(), 4.0);
+    EXPECT_LE(sim.Now(), util::UsToNs(15));
+}
+
+TEST(Interrupts, TimerFlushesPartialBatch)
+{
+    sim::Simulator sim;
+    InterruptConfig cfg;
+    cfg.merge_count = 100;
+    cfg.merge_window = util::UsToNs(50);
+    InterruptCoalescer irq(sim, cfg, 44);
+    int delivered = 0;
+    irq.OnCompletion(0, [&]() { ++delivered; });
+    EXPECT_EQ(delivered, 0);  // Held for the window.
+    sim.Run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_GE(sim.Now(), util::UsToNs(50));
+}
+
+TEST(Interrupts, GroupsAreIndependent)
+{
+    sim::Simulator sim;
+    InterruptConfig cfg;
+    cfg.channels_per_group = 11;
+    cfg.merge_count = 2;
+    InterruptCoalescer irq(sim, cfg, 44);
+    int delivered = 0;
+    // One completion in each of the four Spartan-6 groups: none fires by
+    // count; all flush on their timers.
+    irq.OnCompletion(0, [&]() { ++delivered; });
+    irq.OnCompletion(11, [&]() { ++delivered; });
+    irq.OnCompletion(22, [&]() { ++delivered; });
+    irq.OnCompletion(33, [&]() { ++delivered; });
+    EXPECT_EQ(delivered, 0);
+    sim.Run();
+    EXPECT_EQ(delivered, 4);
+    // Four level-1 batches merged further by the global (Virtex-5) stage.
+    EXPECT_LE(irq.interrupts(), 4u);
+    EXPECT_GE(irq.interrupts(), 1u);
+}
+
+TEST(Interrupts, MergeFactorInPaperRange)
+{
+    // §2.1: with merging, the interrupt rate is 1/5 to 1/4 of max IOPS.
+    sim::Simulator sim;
+    InterruptConfig cfg;
+    cfg.merge_count = 4;
+    cfg.merge_window = util::UsToNs(50);
+    InterruptCoalescer irq(sim, cfg, 44);
+    int delivered = 0;
+    // A steady stream on each channel of one group.
+    for (int burst = 0; burst < 100; ++burst) {
+        for (uint32_t ch = 0; ch < 11; ++ch) {
+            irq.OnCompletion(ch, [&]() { ++delivered; });
+        }
+    }
+    sim.Run();
+    EXPECT_EQ(delivered, 1100);
+    // Two merge levels compound: >= the paper's 4-5x at saturation.
+    EXPECT_GE(irq.MergeFactor(), 3.5);
+    EXPECT_LE(irq.MergeFactor(), 16.0);
+    EXPECT_GT(irq.cpu_time(), 0);
+}
+
+}  // namespace
+}  // namespace sdf::controller

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Unit tests for CCDB: memtable, patch metadata, the compaction merge
+ * kernel, slice put/get/flush/compaction behaviour, and the store facades.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blocklayer/block_layer.h"
+#include "kv/memtable.h"
+#include "kv/patch.h"
+#include "kv/slice.h"
+#include "kv/store.h"
+#include "sdf/sdf_device.h"
+#include "sim/simulator.h"
+#include "util/fingerprint.h"
+
+namespace sdf::kv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------------
+
+TEST(MemTable, AddLookupAndByteAccounting)
+{
+    MemTable mt(1000);
+    mt.Add(KvItem{1, 100, nullptr});
+    mt.Add(KvItem{2, 200, nullptr});
+    EXPECT_EQ(mt.bytes(), 300u);
+    EXPECT_EQ(mt.count(), 2u);
+    ASSERT_NE(mt.Lookup(1), nullptr);
+    EXPECT_EQ(mt.Lookup(1)->value_size, 100u);
+    EXPECT_EQ(mt.Lookup(3), nullptr);
+}
+
+TEST(MemTable, ReplacementAdjustsBytes)
+{
+    MemTable mt(1000);
+    mt.Add(KvItem{1, 100, nullptr});
+    mt.Add(KvItem{1, 300, nullptr});
+    EXPECT_EQ(mt.bytes(), 300u);
+    EXPECT_EQ(mt.count(), 1u);
+    EXPECT_EQ(mt.Lookup(1)->value_size, 300u);
+}
+
+TEST(MemTable, OverflowDetection)
+{
+    MemTable mt(500);
+    mt.Add(KvItem{1, 400, nullptr});
+    EXPECT_FALSE(mt.WouldOverflow(100));
+    EXPECT_TRUE(mt.WouldOverflow(101));
+}
+
+TEST(MemTable, TakeAllResets)
+{
+    MemTable mt(1000);
+    mt.Add(KvItem{1, 10, nullptr});
+    mt.Add(KvItem{2, 20, nullptr});
+    const auto items = mt.TakeAll();
+    EXPECT_EQ(items.size(), 2u);
+    EXPECT_TRUE(mt.empty());
+    EXPECT_EQ(mt.bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PatchMeta and the merge kernel
+// ---------------------------------------------------------------------------
+
+TEST(PatchMeta, BuildSortsAndAssignsOffsets)
+{
+    std::vector<KvItem> items{{30, 100, nullptr}, {10, 50, nullptr},
+                              {20, 25, nullptr}};
+    const auto meta = PatchMeta::Build(1, 1, items, 8 * util::kMiB);
+    ASSERT_EQ(meta.entries().size(), 3u);
+    EXPECT_EQ(meta.entries()[0].key, 10u);
+    EXPECT_EQ(meta.entries()[0].offset, 0u);
+    EXPECT_EQ(meta.entries()[1].key, 20u);
+    EXPECT_EQ(meta.entries()[1].offset, 50u);
+    EXPECT_EQ(meta.entries()[2].key, 30u);
+    EXPECT_EQ(meta.entries()[2].offset, 75u);
+    EXPECT_EQ(meta.data_bytes(), 175u);
+    EXPECT_EQ(meta.min_key(), 10u);
+    EXPECT_EQ(meta.max_key(), 30u);
+}
+
+TEST(PatchMeta, FindBinarySearches)
+{
+    std::vector<KvItem> items;
+    for (uint64_t k = 0; k < 100; k += 2) items.push_back({k, 10, nullptr});
+    const auto meta = PatchMeta::Build(1, 1, items, 8 * util::kMiB);
+    ASSERT_NE(meta.Find(42), nullptr);
+    EXPECT_EQ(meta.Find(42)->key, 42u);
+    EXPECT_EQ(meta.Find(43), nullptr);
+    EXPECT_EQ(meta.Find(1000), nullptr);
+}
+
+TEST(MergeEntries, NewestVersionWins)
+{
+    const auto old_patch =
+        PatchMeta::Build(1, 1, {{5, 10, nullptr}, {6, 10, nullptr}}, 1 << 20);
+    const auto new_patch = PatchMeta::Build(2, 2, {{5, 30, nullptr}}, 1 << 20);
+    const auto parts = MergeEntries({&old_patch, &new_patch}, 1 << 20);
+    ASSERT_EQ(parts.size(), 1u);
+    ASSERT_EQ(parts[0].size(), 2u);
+    EXPECT_EQ(parts[0][0].key, 5u);
+    EXPECT_EQ(parts[0][0].value_size, 30u);  // seq 2 wins.
+    EXPECT_EQ(parts[0][1].key, 6u);
+}
+
+TEST(MergeEntries, PartitionsAtPatchBoundary)
+{
+    std::vector<KvItem> items;
+    for (uint64_t k = 0; k < 10; ++k) items.push_back({k, 400, nullptr});
+    const auto meta = PatchMeta::Build(1, 1, items, 1 << 20);
+    // Patch budget of 1000 bytes: two 400-byte values per output.
+    const auto parts = MergeEntries({&meta}, 1000);
+    EXPECT_EQ(parts.size(), 5u);
+    for (const auto &p : parts) EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(MergeEntries, OutputStaysSorted)
+{
+    const auto a =
+        PatchMeta::Build(1, 1, {{9, 1, nullptr}, {3, 1, nullptr}}, 1 << 20);
+    const auto b =
+        PatchMeta::Build(2, 2, {{5, 1, nullptr}, {1, 1, nullptr}}, 1 << 20);
+    const auto parts = MergeEntries({&a, &b}, 1 << 20);
+    ASSERT_EQ(parts.size(), 1u);
+    uint64_t prev = 0;
+    for (const auto &e : parts[0]) {
+        EXPECT_GT(e.key, prev);
+        prev = e.key;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice on SDF-backed storage
+// ---------------------------------------------------------------------------
+
+struct SliceFixture
+{
+    sim::Simulator sim;
+    core::SdfDevice device;
+    blocklayer::BlockLayer layer;
+    SdfPatchStorage storage;
+    IdAllocator ids;
+    std::unique_ptr<Slice> slice;
+
+    explicit SliceFixture(SliceConfig cfg = {}, bool payloads = false,
+                          double scale = 0.02)
+        : device(sim, MakeConfig(payloads, scale)),
+          layer(sim, device, {}),
+          storage(layer)
+    {
+        slice = std::make_unique<Slice>(sim, storage, ids, cfg);
+    }
+
+    static core::SdfConfig
+    MakeConfig(bool payloads, double scale)
+    {
+        core::SdfConfig c = core::BaiduSdfConfig(scale);
+        c.flash.timing = nand::FastTestTiming();
+        c.flash.store_payloads = payloads;
+        return c;
+    }
+};
+
+TEST(Slice, GetFromMemtableBeforeFlush)
+{
+    SliceFixture f;
+    bool put_ok = false;
+    f.slice->Put(42, 1000, [&](bool ok) { put_ok = ok; });
+    f.sim.Run();
+    EXPECT_TRUE(put_ok);
+
+    GetResult result;
+    f.slice->Get(42, [&](const GetResult &r) { result = r; });
+    f.sim.Run();
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.value_size, 1000u);
+    EXPECT_EQ(f.slice->stats().gets_from_memtable, 1u);
+}
+
+TEST(Slice, MissingKeyNotFound)
+{
+    SliceFixture f;
+    GetResult result;
+    result.found = true;
+    f.slice->Get(7, [&](const GetResult &r) { result = r; });
+    f.sim.Run();
+    EXPECT_FALSE(result.found);
+    EXPECT_TRUE(result.ok);
+}
+
+TEST(Slice, FlushMovesDataToStorage)
+{
+    SliceFixture f;
+    for (uint64_t k = 0; k < 10; ++k) f.slice->Put(k, 100 * 1024, nullptr);
+    f.sim.Run();
+    f.slice->Flush();
+    f.sim.Run();
+    EXPECT_EQ(f.slice->stats().flushes, 1u);
+    EXPECT_EQ(f.slice->patch_count(), 1u);
+
+    // Served from storage now, not the memtable.
+    GetResult result;
+    f.slice->Get(5, [&](const GetResult &r) { result = r; });
+    f.sim.Run();
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.value_size, 100u * 1024);
+    EXPECT_EQ(f.slice->stats().gets_from_memtable, 0u);
+}
+
+TEST(Slice, AutomaticFlushWhenMemtableFills)
+{
+    SliceFixture f;
+    // 9 x 1 MB values exceed the 8 MB container: one automatic flush.
+    for (uint64_t k = 0; k < 9; ++k) {
+        f.slice->Put(k, util::kMiB, nullptr);
+    }
+    f.sim.Run();
+    EXPECT_EQ(f.slice->stats().flushes, 1u);
+}
+
+TEST(Slice, OversizeValueRejected)
+{
+    SliceFixture f;
+    bool ok = true;
+    f.slice->Put(1, 9 * util::kMiB, [&](bool s) { ok = s; });
+    f.sim.Run();
+    EXPECT_FALSE(ok);
+}
+
+TEST(Slice, CompactionMergesLevelZero)
+{
+    SliceConfig cfg;
+    cfg.compaction_trigger = 3;
+    SliceFixture f(cfg);
+    // Three flushes of overlapping keys trigger one compaction.
+    for (int flush = 0; flush < 3; ++flush) {
+        for (uint64_t k = 0; k < 8; ++k) {
+            f.slice->Put(k, 900 * 1024, nullptr);
+        }
+        f.slice->Flush();
+        f.sim.Run();
+    }
+    f.sim.Run();
+    EXPECT_EQ(f.slice->stats().compactions, 1u);
+    EXPECT_GT(f.slice->stats().compaction_bytes_read, 0u);
+    EXPECT_GT(f.slice->stats().compaction_bytes_written, 0u);
+    // Deduplicated: 8 distinct keys remain indexed.
+    EXPECT_EQ(f.slice->total_indexed_keys(), 8u);
+
+    // Keys still readable after their patches moved.
+    GetResult result;
+    f.slice->Get(3, [&](const GetResult &r) { result = r; });
+    f.sim.Run();
+    EXPECT_TRUE(result.found);
+}
+
+TEST(Slice, PutStallsWhenFlushBackedUp)
+{
+    SliceConfig cfg;
+    SliceFixture f(cfg);
+    // Two memtables' worth issued back-to-back: the second flush cannot
+    // start until the first finishes, so some puts stall.
+    for (uint64_t k = 0; k < 40; ++k) {
+        f.slice->Put(k, util::kMiB, nullptr);
+    }
+    f.sim.Run();
+    EXPECT_GT(f.slice->stats().put_stalls, 0u);
+    EXPECT_GE(f.slice->stats().flushes, 2u);
+}
+
+TEST(Slice, PreloadedPatchesServeGets)
+{
+    SliceFixture f;
+    std::vector<KvItem> items;
+    for (uint64_t k = 100; k < 120; ++k) items.push_back({k, 4096, nullptr});
+    ASSERT_TRUE(f.slice->DebugPreloadPatch(std::move(items)));
+    EXPECT_EQ(f.sim.Now(), 0);
+
+    GetResult result;
+    f.slice->Get(110, [&](const GetResult &r) { result = r; });
+    f.sim.Run();
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.value_size, 4096u);
+}
+
+TEST(Slice, ScanSeesAllPatches)
+{
+    SliceFixture f;
+    for (int p = 0; p < 3; ++p) {
+        std::vector<KvItem> items;
+        for (uint64_t k = 0; k < 5; ++k)
+            items.push_back({uint64_t(p) * 100 + k, 4096, nullptr});
+        ASSERT_TRUE(f.slice->DebugPreloadPatch(std::move(items)));
+    }
+    EXPECT_EQ(f.slice->AllPatchIds().size(), 3u);
+
+    bool ok = false;
+    f.slice->ReadPatchFully(f.slice->AllPatchIds()[0],
+                            [&](bool s) { ok = s; });
+    f.sim.Run();
+    EXPECT_TRUE(ok);
+}
+
+// ---------------------------------------------------------------------------
+// Payload integrity through flush, read, and compaction
+// ---------------------------------------------------------------------------
+
+TEST(Slice, PayloadsSurviveFlushAndCompaction)
+{
+    SliceConfig cfg;
+    cfg.store_payloads = true;
+    cfg.compaction_trigger = 2;
+    SliceFixture f(cfg, /*payloads=*/true);
+
+    auto value = [](uint64_t k, int gen) {
+        return std::make_shared<std::vector<uint8_t>>(
+            util::MakeDeterministicPayload(64 * 1024, k * 1000 + gen));
+    };
+
+    // Two flushes with one overlapping key -> compaction.
+    for (uint64_t k = 0; k < 4; ++k) {
+        f.slice->Put(k, 64 * 1024, nullptr, value(k, 1));
+    }
+    f.slice->Flush();
+    f.sim.Run();
+    for (uint64_t k = 2; k < 6; ++k) {
+        f.slice->Put(k, 64 * 1024, nullptr, value(k, 2));
+    }
+    f.slice->Flush();
+    f.sim.Run();
+    EXPECT_EQ(f.slice->stats().compactions, 1u);
+
+    // Keys 0-1 from gen 1; 2-5 from gen 2.
+    for (uint64_t k = 0; k < 6; ++k) {
+        GetResult result;
+        f.slice->Get(k, [&](const GetResult &r) { result = r; });
+        f.sim.Run();
+        ASSERT_TRUE(result.found) << "key " << k;
+        ASSERT_TRUE(result.payload != nullptr);
+        const int gen = k < 2 ? 1 : 2;
+        EXPECT_EQ(*result.payload, *value(k, gen)) << "key " << k;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store and facades
+// ---------------------------------------------------------------------------
+
+struct StoreFixture
+{
+    sim::Simulator sim;
+    core::SdfDevice device;
+    blocklayer::BlockLayer layer;
+    SdfPatchStorage storage;
+    Store store;
+
+    StoreFixture()
+        : device(sim, SliceFixture::MakeConfig(false, 0.02)),
+          layer(sim, device, {}),
+          storage(layer),
+          store(sim, storage, StoreConfig{4, SliceConfig{}})
+    {
+    }
+};
+
+TEST(Store, ShardsKeysAcrossSlices)
+{
+    StoreFixture f;
+    std::vector<int> hits(4, 0);
+    for (uint64_t k = 0; k < 1000; ++k) ++hits[f.store.SliceOf(k)];
+    for (int h : hits) EXPECT_GT(h, 150);
+}
+
+TEST(Store, PutGetThroughSharding)
+{
+    StoreFixture f;
+    for (uint64_t k = 0; k < 20; ++k) f.store.Put(k, 1024, nullptr);
+    f.sim.Run();
+    int found = 0;
+    for (uint64_t k = 0; k < 20; ++k) {
+        f.store.Get(k, [&](const GetResult &r) {
+            if (r.found) ++found;
+        });
+    }
+    f.sim.Run();
+    EXPECT_EQ(found, 20);
+    EXPECT_EQ(f.store.TotalStats().puts, 20u);
+}
+
+TEST(TableView, RowsRoundTrip)
+{
+    StoreFixture f;
+    TableView table(f.store, "webpages");
+    table.PutRow(123, 2048, nullptr);
+    f.sim.Run();
+    GetResult result;
+    table.GetRow(123, [&](const GetResult &r) { result = r; });
+    f.sim.Run();
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.value_size, 2048u);
+
+    // A different table does not see the row.
+    TableView other(f.store, "images");
+    GetResult miss;
+    miss.found = true;
+    other.GetRow(123, [&](const GetResult &r) { miss = r; });
+    f.sim.Run();
+    EXPECT_FALSE(miss.found);
+}
+
+TEST(FsView, FilesSegmentAndReassemble)
+{
+    StoreFixture f;
+    FsView fs(f.store, /*segment_bytes=*/256 * 1024);
+    const uint64_t size = 1000 * 1024;  // 3.9 segments -> 4.
+    EXPECT_EQ(fs.SegmentCount(size), 4u);
+
+    bool put_ok = false;
+    fs.PutFile("/data/part-0001", size, [&](bool ok) { put_ok = ok; });
+    f.sim.Run();
+    EXPECT_TRUE(put_ok);
+
+    bool get_ok = false;
+    uint64_t got_bytes = 0;
+    fs.GetFile("/data/part-0001", size, [&](bool ok, uint64_t bytes) {
+        get_ok = ok;
+        got_bytes = bytes;
+    });
+    f.sim.Run();
+    EXPECT_TRUE(get_ok);
+    EXPECT_EQ(got_bytes, size);
+}
+
+}  // namespace
+}  // namespace sdf::kv

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Unit tests for the NAND flash substrate: geometry, state machine,
+ * timing composition, payload storage, error injection, and wear-out.
+ */
+#include <gtest/gtest.h>
+
+#include "nand/channel.h"
+#include "nand/flash_array.h"
+#include "nand/geometry.h"
+#include "nand/timing.h"
+#include "sim/simulator.h"
+#include "util/fingerprint.h"
+
+namespace sdf::nand {
+namespace {
+
+Channel
+MakeChannel(sim::Simulator &sim, bool payloads = false,
+            const ErrorModel &errors = {})
+{
+    return Channel(sim, TinyTestGeometry(), FastTestTiming(), errors,
+                   util::Rng(1), payloads, 40);
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+TEST(Geometry, BaiduSdfMatchesTable3)
+{
+    const Geometry g = BaiduSdfGeometry();
+    EXPECT_EQ(g.channels, 44u);
+    EXPECT_EQ(g.PlanesPerChannel(), 4u);
+    EXPECT_EQ(g.page_size, 8u * util::kKiB);
+    EXPECT_EQ(g.BlockBytes(), 2 * util::kMiB);
+    // 16 GiB per channel, 704 GiB raw.
+    EXPECT_EQ(g.ChannelBytes(), 16 * util::kGiB);
+    EXPECT_EQ(g.TotalBytes(), 704 * util::kGiB);
+}
+
+TEST(Geometry, DerivedQuantitiesConsistent)
+{
+    const Geometry g = TinyTestGeometry();
+    EXPECT_EQ(g.TotalBlocks(),
+              uint64_t{g.channels} * g.PlanesPerChannel() * g.blocks_per_plane);
+    EXPECT_EQ(g.TotalBytes(), g.TotalPages() * g.page_size);
+}
+
+TEST(Geometry, FlatIndexRoundTrips)
+{
+    const Geometry g = TinyTestGeometry();
+    for (uint32_t pl = 0; pl < g.PlanesPerChannel(); ++pl) {
+        for (uint32_t b = 0; b < g.blocks_per_plane; ++b) {
+            const BlockAddr a{pl, b};
+            EXPECT_EQ(BlockFromFlat(g, FlatBlockIndex(g, a)), a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel state machine
+// ---------------------------------------------------------------------------
+
+TEST(Channel, ProgramRequiresSequentialPages)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim);
+    OpStatus got = OpStatus::kOk;
+    ch.ProgramPage(PageAddr{0, 0, 1}, [&](OpStatus s) { got = s; });
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kWriteSequenceError);
+}
+
+TEST(Channel, ProgramThenRewriteFails)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim);
+    ch.ProgramPage(PageAddr{0, 0, 0}, nullptr);
+    OpStatus got = OpStatus::kOk;
+    ch.ProgramPage(PageAddr{0, 0, 0}, [&](OpStatus s) { got = s; });
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kWriteNotErased);
+}
+
+TEST(Channel, FullBlockRejectsProgramUntilErase)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim);
+    const Geometry g = ch.geometry();
+    for (uint32_t p = 0; p < g.pages_per_block; ++p)
+        ch.ProgramPage(PageAddr{0, 0, p}, nullptr);
+    OpStatus got = OpStatus::kOk;
+    ch.ProgramPage(PageAddr{0, 0, 0}, [&](OpStatus s) { got = s; });
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kWriteNotErased);
+    EXPECT_EQ(ch.block_meta(BlockAddr{0, 0}).state, BlockState::kFull);
+
+    ch.EraseBlock(BlockAddr{0, 0}, nullptr);
+    got = OpStatus::kBadBlock;
+    ch.ProgramPage(PageAddr{0, 0, 0}, [&](OpStatus s) { got = s; });
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kOk);
+}
+
+TEST(Channel, EraseIncrementsEraseCount)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim);
+    for (int i = 0; i < 5; ++i) ch.EraseBlock(BlockAddr{1, 2}, nullptr);
+    sim.Run();
+    EXPECT_EQ(ch.block_meta(BlockAddr{1, 2}).erase_count, 5u);
+}
+
+TEST(Channel, ReadOfErasedPageReportsErased)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim, /*payloads=*/true);
+    OpStatus got = OpStatus::kOk;
+    std::vector<uint8_t> out;
+    ch.ReadPage(PageAddr{0, 0, 0}, [&](OpStatus s) { got = s; }, &out);
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kOkErased);
+    ASSERT_EQ(out.size(), ch.geometry().page_size);
+    EXPECT_EQ(out[0], 0xFF);
+}
+
+TEST(Channel, OutOfRangeAddressesRejected)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim);
+    const Geometry g = ch.geometry();
+    OpStatus got = OpStatus::kOk;
+    ch.ReadPage(PageAddr{g.PlanesPerChannel(), 0, 0},
+                [&](OpStatus s) { got = s; });
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kOutOfRange);
+    got = OpStatus::kOk;
+    ch.EraseBlock(BlockAddr{0, g.blocks_per_plane}, [&](OpStatus s) { got = s; });
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kOutOfRange);
+}
+
+TEST(Channel, BadBlockRejectsEverything)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim);
+    ch.MarkBad(BlockAddr{0, 3});
+    OpStatus r = OpStatus::kOk, w = OpStatus::kOk, e = OpStatus::kOk;
+    ch.ReadPage(PageAddr{0, 3, 0}, [&](OpStatus s) { r = s; });
+    ch.ProgramPage(PageAddr{0, 3, 0}, [&](OpStatus s) { w = s; });
+    ch.EraseBlock(BlockAddr{0, 3}, [&](OpStatus s) { e = s; });
+    sim.Run();
+    EXPECT_EQ(r, OpStatus::kBadBlock);
+    EXPECT_EQ(w, OpStatus::kBadBlock);
+    EXPECT_EQ(e, OpStatus::kBadBlock);
+}
+
+TEST(Channel, PayloadRoundTrips)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim, /*payloads=*/true);
+    const auto payload =
+        util::MakeDeterministicPayload(ch.geometry().page_size, 99);
+    ch.ProgramPage(PageAddr{1, 1, 0}, nullptr, payload.data());
+    std::vector<uint8_t> out;
+    ch.ReadPage(PageAddr{1, 1, 0}, nullptr, &out);
+    sim.Run();
+    EXPECT_EQ(out, payload);
+}
+
+TEST(Channel, EraseDropsPayloads)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim, /*payloads=*/true);
+    const auto payload =
+        util::MakeDeterministicPayload(ch.geometry().page_size, 5);
+    ch.ProgramPage(PageAddr{0, 0, 0}, nullptr, payload.data());
+    ch.EraseBlock(BlockAddr{0, 0}, nullptr);
+    std::vector<uint8_t> out;
+    OpStatus got = OpStatus::kOk;
+    ch.ReadPage(PageAddr{0, 0, 0}, [&](OpStatus s) { got = s; }, &out);
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kOkErased);
+    EXPECT_EQ(out[0], 0xFF);
+}
+
+TEST(Channel, DebugSetProgrammedBypassesTiming)
+{
+    sim::Simulator sim;
+    Channel ch = MakeChannel(sim);
+    ch.DebugSetProgrammed(BlockAddr{0, 0}, ch.geometry().pages_per_block);
+    EXPECT_EQ(ch.block_meta(BlockAddr{0, 0}).state, BlockState::kFull);
+    EXPECT_EQ(sim.Now(), 0);
+    EXPECT_FALSE(ch.Busy());
+}
+
+// ---------------------------------------------------------------------------
+// Timing composition
+// ---------------------------------------------------------------------------
+
+TEST(ChannelTiming, ReadLatencyIsArrayPlusBus)
+{
+    sim::Simulator sim;
+    Geometry g = TinyTestGeometry();
+    TimingSpec t;
+    t.read_page = util::UsToNs(60);
+    t.program_page = util::UsToNs(1400);
+    t.erase_block = util::MsToNs(3);
+    t.bus_bytes_per_sec = 40e6;
+    t.bus_cmd_overhead = util::UsToNs(11);
+    g.page_size = 8 * util::kKiB;
+    Channel ch(sim, g, t, ErrorModel{}, util::Rng(1), false, 40);
+
+    util::TimeNs done_at = 0;
+    ch.ReadPage(PageAddr{0, 0, 0}, [&](OpStatus) { done_at = sim.Now(); });
+    sim.Run();
+    // 60 us array read + 11 us command + 8192 B / 40 MB/s = 204.8 us.
+    EXPECT_EQ(done_at, util::UsToNs(60) + util::UsToNs(11) +
+                           util::TransferTimeNs(8192, 40e6));
+}
+
+TEST(ChannelTiming, ReadsFromTwoPlanesPipelineOnBus)
+{
+    sim::Simulator sim;
+    Geometry g = TinyTestGeometry();
+    TimingSpec t = FastTestTiming();
+    t.read_page = util::UsToNs(100);
+    t.bus_bytes_per_sec = 0;  // Infinite bus: isolate array reads.
+    t.bus_cmd_overhead = util::UsToNs(1);
+    Channel ch(sim, g, t, ErrorModel{}, util::Rng(1), false, 40);
+
+    int completed = 0;
+    ch.ReadPage(PageAddr{0, 0, 0}, [&](OpStatus) { ++completed; });
+    ch.ReadPage(PageAddr{1, 0, 0}, [&](OpStatus) { ++completed; });
+    sim.Run();
+    EXPECT_EQ(completed, 2);
+    // Both planes read in parallel: total ~101-102 us, not 200+.
+    EXPECT_LT(sim.Now(), util::UsToNs(110));
+}
+
+TEST(ChannelTiming, ProgramsOnSamePlaneSerialize)
+{
+    sim::Simulator sim;
+    Geometry g = TinyTestGeometry();
+    TimingSpec t = FastTestTiming();
+    t.program_page = util::UsToNs(100);
+    t.bus_bytes_per_sec = 0;
+    t.bus_cmd_overhead = 0;
+    Channel ch(sim, g, t, ErrorModel{}, util::Rng(1), false, 40);
+
+    ch.ProgramPage(PageAddr{0, 0, 0}, nullptr);
+    ch.ProgramPage(PageAddr{0, 0, 1}, nullptr);
+    sim.Run();
+    EXPECT_GE(sim.Now(), util::UsToNs(200));
+}
+
+// ---------------------------------------------------------------------------
+// Error model
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModel, DisabledProducesNoErrors)
+{
+    ErrorModel m;
+    util::Rng rng(1);
+    EXPECT_EQ(m.SampleBitErrors(rng, 8192, 100000), 0u);
+    EXPECT_FALSE(m.SampleWearOut(rng, 100000));
+}
+
+TEST(ErrorModel, RberGrowsWithWear)
+{
+    ErrorModel m;
+    m.enabled = true;
+    EXPECT_GT(m.RberAt(3000), m.RberAt(0));
+    EXPECT_GT(m.RberAt(6000), m.RberAt(3000));
+}
+
+TEST(ErrorModel, WornBlocksEventuallyFail)
+{
+    ErrorModel m;
+    m.enabled = true;
+    m.endurance_cycles = 100;
+    util::Rng rng(1);
+    int failures = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (m.SampleWearOut(rng, 300)) ++failures;
+    }
+    EXPECT_GT(failures, 0);
+    // Below endurance never fails.
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(m.SampleWearOut(rng, 99));
+}
+
+TEST(Channel, UncorrectableReadsReported)
+{
+    sim::Simulator sim;
+    ErrorModel errors;
+    errors.enabled = true;
+    errors.base_rber = 1e-2;  // Extreme: guarantees > 40 bit errors/page.
+    Channel ch(sim, TinyTestGeometry(), FastTestTiming(), errors,
+               util::Rng(1), false, 40);
+    ch.ProgramPage(PageAddr{0, 0, 0}, nullptr);
+    OpStatus got = OpStatus::kOk;
+    ch.ReadPage(PageAddr{0, 0, 0}, [&](OpStatus s) { got = s; });
+    sim.Run();
+    EXPECT_EQ(got, OpStatus::kReadUncorrectable);
+    EXPECT_EQ(ch.stats().uncorrectable_reads, 1u);
+}
+
+TEST(Channel, WearOutMarksBlockBad)
+{
+    sim::Simulator sim;
+    ErrorModel errors;
+    errors.enabled = true;
+    errors.endurance_cycles = 1;
+    errors.wearout_fail_scale = 1.0;  // Fail promptly past endurance.
+    Channel ch(sim, TinyTestGeometry(), FastTestTiming(), errors,
+               util::Rng(1), false, 40);
+    OpStatus last = OpStatus::kOk;
+    for (int i = 0; i < 50 && last == OpStatus::kOk; ++i) {
+        ch.EraseBlock(BlockAddr{0, 0}, [&](OpStatus s) { last = s; });
+        sim.Run();
+    }
+    EXPECT_EQ(last, OpStatus::kWornOut);
+    EXPECT_TRUE(ch.block_meta(BlockAddr{0, 0}).bad);
+    EXPECT_EQ(ch.stats().blocks_gone_bad, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FlashArray
+// ---------------------------------------------------------------------------
+
+TEST(FlashArray, RawBandwidthsMatchPaper)
+{
+    sim::Simulator sim;
+    FlashArrayConfig cfg;
+    cfg.geometry = BaiduSdfGeometry();
+    cfg.timing = Micron25nmMlcTiming();
+    FlashArray array(sim, cfg);
+    // §3.2: aggregate raw read 1.67 GB/s, raw write 1.01 GB/s.
+    EXPECT_NEAR(array.RawReadBandwidth() / 1e9, 1.67, 0.05);
+    EXPECT_NEAR(array.RawWriteBandwidth() / 1e9, 1.01, 0.05);
+}
+
+TEST(FlashArray, FactoryBadBlocksInjected)
+{
+    sim::Simulator sim;
+    FlashArrayConfig cfg;
+    cfg.geometry = TinyTestGeometry();
+    cfg.timing = FastTestTiming();
+    cfg.factory_bad_per_mille = 200;  // Exaggerated for the test.
+    cfg.seed = 3;
+    FlashArray array(sim, cfg);
+    uint32_t bad = 0;
+    const Geometry &g = array.geometry();
+    for (uint32_t c = 0; c < g.channels; ++c) {
+        for (uint32_t pl = 0; pl < g.PlanesPerChannel(); ++pl) {
+            for (uint32_t b = 0; b < g.blocks_per_plane; ++b) {
+                if (array.channel(c).block_meta(BlockAddr{pl, b}).bad) ++bad;
+            }
+        }
+    }
+    EXPECT_GT(bad, 0u);
+    EXPECT_LT(bad, g.TotalBlocks() / 2);
+}
+
+TEST(FlashArray, StatsAggregateAcrossChannels)
+{
+    sim::Simulator sim;
+    FlashArrayConfig cfg;
+    cfg.geometry = TinyTestGeometry();
+    cfg.timing = FastTestTiming();
+    FlashArray array(sim, cfg);
+    array.channel(0).ProgramPage(PageAddr{0, 0, 0}, nullptr);
+    array.channel(1).ProgramPage(PageAddr{0, 0, 0}, nullptr);
+    array.channel(2).EraseBlock(BlockAddr{0, 0}, nullptr);
+    sim.Run();
+    const ChannelStats total = array.TotalStats();
+    EXPECT_EQ(total.programs, 2u);
+    EXPECT_EQ(total.erases, 1u);
+}
+
+}  // namespace
+}  // namespace sdf::nand

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the SDF device: capacity exposure, the asymmetric
+ * interface contract (erase-before-write), wear leveling, bad-block
+ * handling, data integrity, and interrupt integration.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "sdf/sdf_device.h"
+#include "sim/simulator.h"
+#include "util/fingerprint.h"
+
+namespace sdf::core {
+namespace {
+
+SdfConfig
+TinyConfig(bool payloads = false)
+{
+    SdfConfig c;
+    c.flash.geometry = nand::TinyTestGeometry();
+    c.flash.timing = nand::FastTestTiming();
+    c.flash.store_payloads = payloads;
+    c.link = controller::UnlimitedLinkSpec();
+    c.spare_blocks_per_plane = 2;
+    c.irq.coalesce = false;  // Precise latencies for unit tests.
+    return c;
+}
+
+TEST(SdfDevice, ExposesAlmostAllRawCapacity)
+{
+    sim::Simulator sim;
+    SdfDevice full(sim, BaiduSdfConfig(1.0));
+    // The paper: 99 % of raw capacity for user data (only BBM spares
+    // withheld — no over-provisioning, no parity).
+    const double ratio = static_cast<double>(full.user_capacity()) /
+                         static_cast<double>(full.raw_capacity());
+    EXPECT_GE(ratio, 0.99);
+    EXPECT_LE(ratio, 1.0);
+}
+
+TEST(SdfDevice, GeometryDerivedInterfaceUnits)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, BaiduSdfConfig(0.05));
+    EXPECT_EQ(dev.channel_count(), 44u);
+    EXPECT_EQ(dev.unit_bytes(), 8 * util::kMiB);
+    EXPECT_EQ(dev.read_unit_bytes(), 8 * util::kKiB);
+}
+
+TEST(SdfDevice, WriteRequiresErasedUnit)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig());
+    bool ok = true;
+    dev.WriteUnit(0, 0, [&](bool s) { ok = s; });
+    sim.Run();
+    EXPECT_FALSE(ok);  // Unwritten but not erased: contract violation.
+    EXPECT_EQ(dev.stats().contract_violations, 1u);
+
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    EXPECT_EQ(dev.unit_state(0, 0), UnitState::kErased);
+    dev.WriteUnit(0, 0, [&](bool s) { ok = s; });
+    sim.Run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(dev.unit_state(0, 0), UnitState::kWritten);
+}
+
+TEST(SdfDevice, RewriteRequiresReErase)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig());
+    dev.EraseUnit(1, 3, nullptr);
+    sim.Run();
+    dev.WriteUnit(1, 3, nullptr);
+    sim.Run();
+    bool ok = true;
+    dev.WriteUnit(1, 3, [&](bool s) { ok = s; });
+    sim.Run();
+    EXPECT_FALSE(ok);
+
+    dev.EraseUnit(1, 3, nullptr);
+    sim.Run();
+    dev.WriteUnit(1, 3, [&](bool s) { ok = s; });
+    sim.Run();
+    EXPECT_TRUE(ok);
+}
+
+TEST(SdfDevice, FirstEraseIsCheapReuseEraseIsReal)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig());
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    // Fresh unit: pool blocks are factory-erased; no physical erase.
+    EXPECT_EQ(dev.stats().physical_block_erases, 0u);
+
+    dev.WriteUnit(0, 0, nullptr);
+    sim.Run();
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    // Reuse: all four mapped plane blocks physically erased.
+    EXPECT_EQ(dev.stats().physical_block_erases, 4u);
+}
+
+TEST(SdfDevice, ReadsBackWrittenPayload)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig(/*payloads=*/true));
+    const uint64_t unit_bytes = dev.unit_bytes();
+    const auto payload = util::MakeDeterministicPayload(unit_bytes, 1234);
+
+    dev.EraseUnit(2, 1, nullptr);
+    sim.Run();
+    dev.WriteUnit(2, 1, nullptr, payload.data());
+    sim.Run();
+
+    std::vector<uint8_t> out;
+    bool ok = false;
+    dev.Read(2, 1, 0, unit_bytes, [&](bool s) { ok = s; }, &out);
+    sim.Run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(out, payload);
+}
+
+TEST(SdfDevice, PartialReadsAtArbitraryAlignedOffsets)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig(/*payloads=*/true));
+    const uint64_t unit_bytes = dev.unit_bytes();
+    const uint32_t page = dev.read_unit_bytes();
+    const auto payload = util::MakeDeterministicPayload(unit_bytes, 77);
+
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    dev.WriteUnit(0, 0, nullptr, payload.data());
+    sim.Run();
+
+    // Read one page from each plane's 2 MB stripe of the unit.
+    const uint64_t plane_bytes = unit_bytes / 4;
+    for (int p = 0; p < 4; ++p) {
+        std::vector<uint8_t> out;
+        const uint64_t off = p * plane_bytes + page;
+        dev.Read(0, 0, off, page, nullptr, &out);
+        sim.Run();
+        ASSERT_EQ(out.size(), page);
+        EXPECT_EQ(0, std::memcmp(out.data(), payload.data() + off, page));
+    }
+}
+
+TEST(SdfDevice, ReadOfUnwrittenUnitReturnsErasedBytes)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig(/*payloads=*/true));
+    std::vector<uint8_t> out;
+    bool ok = false;
+    dev.Read(0, 5, 0, dev.read_unit_bytes(), [&](bool s) { ok = s; }, &out);
+    sim.Run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(out[0], 0xFF);
+}
+
+TEST(SdfDevice, RejectsMisalignedAndOutOfRange)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig());
+    int failures = 0;
+    auto expect_fail = [&](bool s) {
+        if (!s) ++failures;
+    };
+    dev.Read(0, 0, 1, dev.read_unit_bytes(), expect_fail);      // misaligned
+    dev.Read(0, 0, 0, dev.read_unit_bytes() / 2, expect_fail);  // bad length
+    dev.Read(0, 0, dev.unit_bytes(), dev.read_unit_bytes(), expect_fail);
+    dev.Read(dev.channel_count(), 0, 0, dev.read_unit_bytes(), expect_fail);
+    dev.Read(0, dev.units_per_channel(), 0, dev.read_unit_bytes(),
+             expect_fail);
+    dev.EraseUnit(0, dev.units_per_channel(), expect_fail);
+    sim.Run();
+    EXPECT_EQ(failures, 6);
+    EXPECT_EQ(dev.stats().contract_violations, 6u);
+}
+
+TEST(SdfDevice, DynamicWearLevelingRotatesBlocks)
+{
+    sim::Simulator sim;
+    SdfConfig cfg = TinyConfig();
+    cfg.spare_blocks_per_plane = 4;
+    SdfDevice dev(sim, cfg);
+
+    // Hammer one unit with erase/write cycles; wear must spread over the
+    // free pool instead of concentrating on one block.
+    const int cycles = 64;
+    for (int i = 0; i < cycles; ++i) {
+        dev.EraseUnit(0, 0, nullptr);
+        sim.Run();
+        dev.WriteUnit(0, 0, nullptr);
+        sim.Run();
+    }
+    const nand::Geometry &geo = dev.flash().geometry();
+    uint32_t max_ec = 0;
+    for (uint32_t b = 0; b < geo.blocks_per_plane; ++b) {
+        max_ec = std::max(max_ec,
+                          dev.flash().channel(0).block_meta({0, b}).erase_count);
+    }
+    EXPECT_LT(max_ec, static_cast<uint32_t>(cycles));
+    // Wear spreads over at most the plane's whole block population.
+    EXPECT_GE(max_ec,
+              static_cast<uint32_t>(cycles) / geo.blocks_per_plane);
+}
+
+TEST(SdfDevice, WearOutRetiresBlocksAndEventuallyKillsUnit)
+{
+    sim::Simulator sim;
+    SdfConfig cfg = TinyConfig();
+    cfg.flash.errors.enabled = true;
+    cfg.flash.errors.endurance_cycles = 2;
+    cfg.flash.errors.wearout_fail_scale = 1.0;
+    cfg.flash.geometry.channels = 1;
+    cfg.spare_blocks_per_plane = 2;
+    SdfDevice dev(sim, cfg);
+
+    bool any_dead = false;
+    for (int round = 0; round < 400 && !any_dead; ++round) {
+        for (uint32_t u = 0; u < dev.units_per_channel(); ++u) {
+            dev.EraseUnit(0, u, nullptr);
+            sim.Run();
+            if (dev.unit_state(0, u) == UnitState::kDead) {
+                any_dead = true;
+                break;
+            }
+            dev.WriteUnit(0, u, nullptr);
+            sim.Run();
+        }
+    }
+    EXPECT_TRUE(any_dead);
+    EXPECT_GT(dev.stats().blocks_retired, 0u);
+}
+
+TEST(SdfDevice, ChannelsOperateIndependently)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig());
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    dev.DebugForceWritten(1, 1);
+
+    // A long write on channel 0 must not delay a read on channel 1.
+    util::TimeNs write_done = 0, read_done = 0;
+    dev.WriteUnit(0, 0, [&](bool) { write_done = sim.Now(); });
+    dev.Read(1, 1, 0, dev.read_unit_bytes(),
+             [&](bool) { read_done = sim.Now(); });
+    sim.Run();
+    EXPECT_LT(read_done, write_done / 4);
+}
+
+TEST(SdfDevice, EraseLatencyMatchesBlockEraseTime)
+{
+    sim::Simulator sim;
+    SdfConfig cfg;
+    cfg.flash.geometry = nand::TinyTestGeometry();
+    cfg.flash.timing = nand::Micron25nmMlcTiming();
+    cfg.link = controller::UnlimitedLinkSpec();
+    cfg.spare_blocks_per_plane = 2;
+    SdfDevice dev(sim, cfg);
+    dev.DebugForceWritten(0, 0);
+
+    util::TimeNs done_at = 0;
+    dev.EraseUnit(0, 0, [&](bool) { done_at = sim.Now(); });
+    sim.Run();
+    // Four plane erases run in parallel: ~3 ms, not 12 ms.
+    EXPECT_GE(done_at, util::MsToNs(3.0));
+    EXPECT_LE(done_at, util::MsToNs(3.6));
+}
+
+TEST(SdfDevice, StatsAccumulate)
+{
+    sim::Simulator sim;
+    SdfDevice dev(sim, TinyConfig());
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    dev.WriteUnit(0, 0, nullptr);
+    sim.Run();
+    dev.Read(0, 0, 0, 2 * dev.read_unit_bytes(), nullptr);
+    sim.Run();
+    EXPECT_EQ(dev.stats().unit_erases, 1u);
+    EXPECT_EQ(dev.stats().unit_writes, 1u);
+    EXPECT_EQ(dev.stats().page_reads, 2u);
+    EXPECT_EQ(dev.stats().written_bytes, dev.unit_bytes());
+    EXPECT_EQ(dev.stats().read_bytes, 2u * dev.read_unit_bytes());
+}
+
+TEST(SdfDevice, FactoryBadBlocksShrinkButDontBreakCapacity)
+{
+    sim::Simulator sim;
+    SdfConfig cfg = TinyConfig();
+    cfg.flash.factory_bad_per_mille = 100;  // Exaggerated defects.
+    cfg.flash.seed = 11;
+    cfg.spare_blocks_per_plane = 1;
+    SdfDevice dev(sim, cfg);
+    EXPECT_GT(dev.units_per_channel(), 0u);
+    EXPECT_LT(dev.units_per_channel(), cfg.flash.geometry.blocks_per_plane);
+
+    // Every exposed unit must still be usable.
+    bool ok = false;
+    dev.EraseUnit(0, dev.units_per_channel() - 1, [&](bool s) { ok = s; });
+    sim.Run();
+    EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace sdf::core

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fifo_resource.h"
+#include "sim/simulator.h"
+
+namespace sdf::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.Now(), 0);
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.Schedule(30, [&]() { order.push_back(3); });
+    sim.Schedule(10, [&]() { order.push_back(1); });
+    sim.Schedule(20, [&]() { order.push_back(2); });
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsFireInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.Schedule(5, [&order, i]() { order.push_back(i); });
+    }
+    sim.Run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CallbackCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.Schedule(1, [&]() {
+        ++fired;
+        sim.Schedule(1, [&]() {
+            ++fired;
+            sim.Schedule(1, [&]() { ++fired; });
+        });
+    });
+    sim.Run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(sim.Now(), 3);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool ran = false;
+    const EventId id = sim.Schedule(10, [&]() { ran = true; });
+    sim.Cancel(id);
+    sim.Run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelInvalidIsNoOp)
+{
+    Simulator sim;
+    sim.Cancel(kInvalidEvent);
+    sim.Cancel(999999);
+    sim.Run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.Schedule(10, [&]() { ++fired; });
+    sim.Schedule(20, [&]() { ++fired; });
+    sim.Schedule(30, [&]() { ++fired; });
+    EXPECT_TRUE(sim.RunUntil(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.Now(), 20);
+    EXPECT_FALSE(sim.RunUntil(100));
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithNoEvents)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.RunUntil(1000));
+    EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(Simulator, RunWhileNotStopsWhenPredicateHolds)
+{
+    Simulator sim;
+    int count = 0;
+    for (int i = 0; i < 10; ++i) sim.Schedule(i + 1, [&]() { ++count; });
+    EXPECT_TRUE(sim.RunWhileNot([&]() { return count >= 5; }));
+    EXPECT_EQ(count, 5);
+    EXPECT_TRUE(sim.PendingEvents() > 0);
+}
+
+TEST(Simulator, RunWhileNotReturnsFalseWhenQueueDrains)
+{
+    Simulator sim;
+    sim.Schedule(1, []() {});
+    EXPECT_FALSE(sim.RunWhileNot([]() { return false; }));
+}
+
+TEST(Simulator, EventsProcessedCounts)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i) sim.Schedule(i, []() {});
+    sim.Run();
+    EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(FifoResource, SerializesSubmissions)
+{
+    Simulator sim;
+    FifoResource res(sim);
+    std::vector<util::TimeNs> completions;
+    res.Submit(100, [&]() { completions.push_back(sim.Now()); });
+    res.Submit(50, [&]() { completions.push_back(sim.Now()); });
+    res.Submit(25, [&]() { completions.push_back(sim.Now()); });
+    sim.Run();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_EQ(completions[0], 100);
+    EXPECT_EQ(completions[1], 150);
+    EXPECT_EQ(completions[2], 175);
+}
+
+TEST(FifoResource, SubmitReturnsCompletionTime)
+{
+    Simulator sim;
+    FifoResource res(sim);
+    EXPECT_EQ(res.Submit(100, nullptr), 100);
+    EXPECT_EQ(res.Submit(50, nullptr), 150);
+}
+
+TEST(FifoResource, SubmitAfterDelaysStart)
+{
+    Simulator sim;
+    FifoResource res(sim);
+    EXPECT_EQ(res.SubmitAfter(500, 100, nullptr), 600);
+    // Queued work already extends past 600: chained normally.
+    EXPECT_EQ(res.SubmitAfter(0, 100, nullptr), 700);
+}
+
+TEST(FifoResource, TracksBusyAndUtilization)
+{
+    Simulator sim;
+    FifoResource res(sim);
+    res.Submit(100, nullptr);
+    EXPECT_TRUE(res.Busy());
+    EXPECT_EQ(res.outstanding(), 1u);
+    sim.Run();
+    EXPECT_FALSE(res.Busy());
+    EXPECT_EQ(res.busy_time(), 100);
+    sim.RunUntil(200);
+    EXPECT_DOUBLE_EQ(res.Utilization(200), 0.5);
+}
+
+TEST(FifoResource, IdleGapDoesNotAccumulateBusyTime)
+{
+    Simulator sim;
+    FifoResource res(sim);
+    res.Submit(10, nullptr);
+    sim.RunUntil(1000);
+    res.Submit(10, nullptr);
+    sim.Run();
+    EXPECT_EQ(res.busy_time(), 20);
+    EXPECT_EQ(sim.Now(), 1010);
+}
+
+}  // namespace
+}  // namespace sdf::sim

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * sdfsim — command-line driver for ad-hoc experiments on the simulated
+ * devices, without writing C++.
+ *
+ * Examples:
+ *   sdfsim --device=sdf --workload=seqread --request=8m --duration=2
+ *   sdfsim --device=huawei --workload=randread --request=8k --qd=64
+ *   sdfsim --device=sdf --workload=write --channels=16
+ *   sdfsim --device=intel --workload=randwrite --request=4k --op=0.07
+ *   sdfsim --device=sdf --workload=kvread --slices=8 --batch=44
+ *   sdfsim --device=sdf --workload=kvwrite --slices=16
+ *
+ * Run with --help for the full flag list.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace sdf {
+namespace {
+
+struct Options
+{
+    std::string device = "sdf";      // sdf | huawei | intel | memblaze
+    std::string workload = "seqread";
+    uint64_t request = 8 * util::kMiB;
+    uint32_t channels = 44;          // SDF sync threads.
+    uint32_t qd = 64;                // Conventional async queue depth.
+    double duration = 2.0;
+    double warmup = 0.5;
+    double scale = 0.04;
+    double op_ratio = -1.0;          // <0: device default.
+    uint32_t slices = 8;             // KV workloads.
+    uint32_t batch = 44;
+    uint32_t value_kib = 512;
+    uint64_t seed = 42;
+    bool wear_report = false;
+};
+
+void
+PrintHelp()
+{
+    std::puts(
+        "sdfsim — drive the SDF-reproduction devices from the command line\n"
+        "\n"
+        "  --device=sdf|huawei|intel|memblaze   device model (default sdf)\n"
+        "  --workload=seqread|randread|write|randwrite|kvread|kvwrite|scan\n"
+        "  --request=<n>[k|m]   request size (default 8m)\n"
+        "  --channels=<n>       SDF sync threads, 1-44 (default 44)\n"
+        "  --qd=<n>             conventional-device queue depth (default 64)\n"
+        "  --duration=<sec>     measurement window (default 2.0)\n"
+        "  --warmup=<sec>       warmup before measuring (default 0.5)\n"
+        "  --scale=<f>          device capacity scale (default 0.04)\n"
+        "  --op=<f>             over-provisioning ratio (conventional only)\n"
+        "  --slices=<n>         CCDB slices for kv workloads (default 8)\n"
+        "  --batch=<n>          kvread batch size (default 44)\n"
+        "  --value=<KiB>        kv value size in KiB (default 512)\n"
+        "  --seed=<n>           RNG seed (default 42)\n"
+        "  --wear               print the device wear report afterwards\n");
+}
+
+uint64_t
+ParseSize(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end && (*end == 'k' || *end == 'K')) return static_cast<uint64_t>(v * util::kKiB);
+    if (end && (*end == 'm' || *end == 'M')) return static_cast<uint64_t>(v * util::kMiB);
+    return static_cast<uint64_t>(v);
+}
+
+bool
+ParseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto eq = arg.find('=');
+        const std::string key = arg.substr(0, eq);
+        const std::string val =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (key == "--help" || key == "-h") {
+            PrintHelp();
+            return false;
+        } else if (key == "--device") {
+            opt.device = val;
+        } else if (key == "--workload") {
+            opt.workload = val;
+        } else if (key == "--request") {
+            opt.request = ParseSize(val);
+        } else if (key == "--channels") {
+            opt.channels = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--qd") {
+            opt.qd = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--duration") {
+            opt.duration = std::stod(val);
+        } else if (key == "--warmup") {
+            opt.warmup = std::stod(val);
+        } else if (key == "--scale") {
+            opt.scale = std::stod(val);
+        } else if (key == "--op") {
+            opt.op_ratio = std::stod(val);
+        } else if (key == "--slices") {
+            opt.slices = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--batch") {
+            opt.batch = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--value") {
+            opt.value_kib = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--seed") {
+            opt.seed = std::stoull(val);
+        } else if (key == "--wear") {
+            opt.wear_report = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s (try --help)\n",
+                         key.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+RunRawSdf(const Options &opt)
+{
+    sim::Simulator sim;
+    core::SdfDevice device(sim, core::BaiduSdfConfig(opt.scale));
+    host::IoStack stack(sim, host::SdfUserStackSpec());
+    workload::PreconditionSdf(device);
+
+    workload::RawRunConfig run;
+    run.warmup = util::SecToNs(opt.warmup);
+    run.duration = util::SecToNs(opt.duration);
+    run.seed = opt.seed;
+
+    workload::RawResult r;
+    if (opt.workload == "seqread") {
+        r = workload::RunSdfSequentialReads(sim, device, stack, opt.channels,
+                                            opt.request, run);
+    } else if (opt.workload == "randread") {
+        r = workload::RunSdfRandomReads(sim, device, stack, opt.channels,
+                                        opt.request, run);
+    } else if (opt.workload == "write" || opt.workload == "randwrite") {
+        r = workload::RunSdfWrites(sim, device, stack, opt.channels, run);
+    } else {
+        std::fprintf(stderr, "workload %s not supported on sdf\n",
+                     opt.workload.c_str());
+        return 1;
+    }
+    std::printf("%s %s x%u: %.1f MB/s, %llu ops",
+                "sdf", opt.workload.c_str(), opt.channels, r.mbps,
+                static_cast<unsigned long long>(r.operations));
+    if (r.latencies.count() > 0) {
+        std::printf(", latency mean %.1f ms p99 %.1f ms",
+                    r.latencies.MeanMs(), r.latencies.PercentileMs(99));
+    }
+    std::printf("\n");
+    if (opt.wear_report) {
+        const auto w = device.GetWearReport();
+        std::printf("wear: erase counts %u..%u mean %.2f, retired %llu, "
+                    "life used %.4f%%\n",
+                    w.min_erase_count, w.max_erase_count, w.mean_erase_count,
+                    static_cast<unsigned long long>(w.blocks_retired),
+                    100 * w.life_used);
+    }
+    return 0;
+}
+
+int
+RunRawConventional(const Options &opt)
+{
+    ssd::ConventionalSsdConfig cfg =
+        opt.device == "huawei"     ? ssd::HuaweiGen3Config(opt.scale)
+        : opt.device == "memblaze" ? ssd::MemblazeQ520Config(opt.scale)
+                                   : ssd::Intel320Config(opt.scale);
+    if (opt.op_ratio >= 0.0) cfg.op_ratio = opt.op_ratio;
+
+    sim::Simulator sim;
+    ssd::ConventionalSsd device(sim, cfg);
+    host::IoStack stack(sim, host::KernelIoStackSpec());
+
+    workload::RawRunConfig run;
+    run.warmup = util::SecToNs(opt.warmup);
+    run.duration = util::SecToNs(opt.duration);
+    run.seed = opt.seed;
+
+    workload::RawResult r;
+    if (opt.workload == "seqread" || opt.workload == "randread") {
+        device.PreconditionFill(0.95);
+        r = workload::RunConvReads(sim, device, stack, opt.qd, opt.request,
+                                   opt.workload == "seqread"
+                                       ? workload::Pattern::kSequential
+                                       : workload::Pattern::kRandom,
+                                   run);
+    } else if (opt.workload == "write" || opt.workload == "randwrite") {
+        if (opt.workload == "randwrite") device.PreconditionFillRandom(1.0);
+        r = workload::RunConvWrites(sim, device, stack, opt.qd, opt.request,
+                                    opt.workload == "write"
+                                        ? workload::Pattern::kSequential
+                                        : workload::Pattern::kRandom,
+                                    run);
+    } else {
+        std::fprintf(stderr, "workload %s not supported on %s\n",
+                     opt.workload.c_str(), opt.device.c_str());
+        return 1;
+    }
+    std::printf("%s %s qd%u: %.1f MB/s, %llu ops, WA %.2f\n",
+                cfg.name.c_str(), opt.workload.c_str(), opt.qd, r.mbps,
+                static_cast<unsigned long long>(r.operations),
+                device.stats().WriteAmplification());
+    return 0;
+}
+
+int
+RunKv(const Options &opt)
+{
+    using bench::DeviceKind;
+    const DeviceKind kind = opt.device == "huawei" ? DeviceKind::kHuaweiGen3
+                            : opt.device == "intel" ? DeviceKind::kIntel320
+                                                    : DeviceKind::kBaiduSdf;
+    bench::KvTestbed bed(kind, opt.slices, opt.slices, opt.scale);
+    workload::KvRunConfig run;
+    run.warmup = util::SecToNs(opt.warmup);
+    run.duration = util::SecToNs(opt.duration);
+    run.seed = opt.seed;
+
+    if (opt.workload == "kvread") {
+        const auto keys = bed.Preload(200 * util::kMiB,
+                                      opt.value_kib * util::kKiB);
+        const auto r = workload::RunBatchedRandomReads(
+            bed.sim(), bed.net(), bed.SlicePtrs(), keys, opt.batch, run);
+        std::printf("%s kvread %u slices batch %u value %uKiB: %.1f MB/s "
+                    "(%llu batches)\n",
+                    bench::DeviceName(kind), opt.slices, opt.batch,
+                    opt.value_kib, r.client_mbps,
+                    static_cast<unsigned long long>(r.requests));
+    } else if (opt.workload == "scan") {
+        bed.Preload(200 * util::kMiB, opt.value_kib * util::kKiB);
+        const auto r =
+            workload::RunSequentialScan(bed.sim(), bed.SlicePtrs(), 6, run);
+        std::printf("%s scan %u slices x6 threads: %.1f MB/s\n",
+                    bench::DeviceName(kind), opt.slices, r.client_mbps);
+    } else if (opt.workload == "kvwrite") {
+        const auto r = workload::RunKvWrites(bed.sim(), bed.net(),
+                                             bed.SlicePtrs(), 100 * util::kKiB,
+                                             util::kMiB, run);
+        std::printf("%s kvwrite %u slices: device write %.1f MB/s, "
+                    "compaction read %.1f MB/s (%llu puts)\n",
+                    bench::DeviceName(kind), opt.slices, r.device_write_mbps,
+                    r.device_read_mbps,
+                    static_cast<unsigned long long>(r.requests));
+    } else {
+        std::fprintf(stderr, "unknown kv workload %s\n",
+                     opt.workload.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace sdf
+
+int
+main(int argc, char **argv)
+{
+    sdf::Options opt;
+    if (!sdf::ParseArgs(argc, argv, opt)) return argc > 1 ? 1 : 0;
+
+    if (opt.workload.rfind("kv", 0) == 0 || opt.workload == "scan") {
+        return sdf::RunKv(opt);
+    }
+    if (opt.device == "sdf") return sdf::RunRawSdf(opt);
+    return sdf::RunRawConventional(opt);
+}
