@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_instorage_scan.dir/ablation_instorage_scan.cc.o"
+  "CMakeFiles/ablation_instorage_scan.dir/ablation_instorage_scan.cc.o.d"
+  "ablation_instorage_scan"
+  "ablation_instorage_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_instorage_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_op_sweep.dir/ablation_op_sweep.cc.o"
+  "CMakeFiles/ablation_op_sweep.dir/ablation_op_sweep.cc.o.d"
+  "ablation_op_sweep"
+  "ablation_op_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_op_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_cost.dir/capacity_cost.cc.o"
+  "CMakeFiles/capacity_cost.dir/capacity_cost.cc.o.d"
+  "capacity_cost"
+  "capacity_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_batch_one_slice.dir/fig10_batch_one_slice.cc.o"
+  "CMakeFiles/fig10_batch_one_slice.dir/fig10_batch_one_slice.cc.o.d"
+  "fig10_batch_one_slice"
+  "fig10_batch_one_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_batch_one_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

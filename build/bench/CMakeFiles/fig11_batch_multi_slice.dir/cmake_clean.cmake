@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_batch_multi_slice.dir/fig11_batch_multi_slice.cc.o"
+  "CMakeFiles/fig11_batch_multi_slice.dir/fig11_batch_multi_slice.cc.o.d"
+  "fig11_batch_multi_slice"
+  "fig11_batch_multi_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_batch_multi_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sequential_scan.dir/fig13_sequential_scan.cc.o"
+  "CMakeFiles/fig13_sequential_scan.dir/fig13_sequential_scan.cc.o.d"
+  "fig13_sequential_scan"
+  "fig13_sequential_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sequential_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

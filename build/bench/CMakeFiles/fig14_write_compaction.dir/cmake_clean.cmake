@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_write_compaction.dir/fig14_write_compaction.cc.o"
+  "CMakeFiles/fig14_write_compaction.dir/fig14_write_compaction.cc.o.d"
+  "fig14_write_compaction"
+  "fig14_write_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_write_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_overprovisioning.dir/fig1_overprovisioning.cc.o"
+  "CMakeFiles/fig1_overprovisioning.dir/fig1_overprovisioning.cc.o.d"
+  "fig1_overprovisioning"
+  "fig1_overprovisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_overprovisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

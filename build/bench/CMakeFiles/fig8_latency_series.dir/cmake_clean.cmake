@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_latency_series.dir/fig8_latency_series.cc.o"
+  "CMakeFiles/fig8_latency_series.dir/fig8_latency_series.cc.o.d"
+  "fig8_latency_series"
+  "fig8_latency_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_latency_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_microbench.dir/table4_microbench.cc.o"
+  "CMakeFiles/table4_microbench.dir/table4_microbench.cc.o.d"
+  "table4_microbench"
+  "table4_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_batch_server.dir/kv_batch_server.cpp.o"
+  "CMakeFiles/kv_batch_server.dir/kv_batch_server.cpp.o.d"
+  "kv_batch_server"
+  "kv_batch_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_batch_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

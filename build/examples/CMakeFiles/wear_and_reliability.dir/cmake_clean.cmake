@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_and_reliability.dir/wear_and_reliability.cpp.o"
+  "CMakeFiles/wear_and_reliability.dir/wear_and_reliability.cpp.o.d"
+  "wear_and_reliability"
+  "wear_and_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_and_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

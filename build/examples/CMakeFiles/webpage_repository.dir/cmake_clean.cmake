@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webpage_repository.dir/webpage_repository.cpp.o"
+  "CMakeFiles/webpage_repository.dir/webpage_repository.cpp.o.d"
+  "webpage_repository"
+  "webpage_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webpage_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

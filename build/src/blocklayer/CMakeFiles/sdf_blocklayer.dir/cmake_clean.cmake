@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_blocklayer.dir/block_layer.cc.o"
+  "CMakeFiles/sdf_blocklayer.dir/block_layer.cc.o.d"
+  "libsdf_blocklayer.a"
+  "libsdf_blocklayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_blocklayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

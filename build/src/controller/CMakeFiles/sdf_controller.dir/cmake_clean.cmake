@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_controller.dir/bch.cc.o"
+  "CMakeFiles/sdf_controller.dir/bch.cc.o.d"
+  "CMakeFiles/sdf_controller.dir/interrupts.cc.o"
+  "CMakeFiles/sdf_controller.dir/interrupts.cc.o.d"
+  "CMakeFiles/sdf_controller.dir/link.cc.o"
+  "CMakeFiles/sdf_controller.dir/link.cc.o.d"
+  "libsdf_controller.a"
+  "libsdf_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

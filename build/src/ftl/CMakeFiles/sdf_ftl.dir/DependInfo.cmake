@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/bad_block_manager.cc" "src/ftl/CMakeFiles/sdf_ftl.dir/bad_block_manager.cc.o" "gcc" "src/ftl/CMakeFiles/sdf_ftl.dir/bad_block_manager.cc.o.d"
+  "/root/repo/src/ftl/page_map.cc" "src/ftl/CMakeFiles/sdf_ftl.dir/page_map.cc.o" "gcc" "src/ftl/CMakeFiles/sdf_ftl.dir/page_map.cc.o.d"
+  "/root/repo/src/ftl/wear_leveler.cc" "src/ftl/CMakeFiles/sdf_ftl.dir/wear_leveler.cc.o" "gcc" "src/ftl/CMakeFiles/sdf_ftl.dir/wear_leveler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

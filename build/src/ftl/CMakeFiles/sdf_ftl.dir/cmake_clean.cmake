@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_ftl.dir/bad_block_manager.cc.o"
+  "CMakeFiles/sdf_ftl.dir/bad_block_manager.cc.o.d"
+  "CMakeFiles/sdf_ftl.dir/page_map.cc.o"
+  "CMakeFiles/sdf_ftl.dir/page_map.cc.o.d"
+  "CMakeFiles/sdf_ftl.dir/wear_leveler.cc.o"
+  "CMakeFiles/sdf_ftl.dir/wear_leveler.cc.o.d"
+  "libsdf_ftl.a"
+  "libsdf_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_host.dir/io_stack.cc.o"
+  "CMakeFiles/sdf_host.dir/io_stack.cc.o.d"
+  "libsdf_host.a"
+  "libsdf_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

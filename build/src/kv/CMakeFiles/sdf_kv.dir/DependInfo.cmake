@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/memtable.cc" "src/kv/CMakeFiles/sdf_kv.dir/memtable.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/memtable.cc.o.d"
+  "/root/repo/src/kv/patch.cc" "src/kv/CMakeFiles/sdf_kv.dir/patch.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/patch.cc.o.d"
+  "/root/repo/src/kv/patch_storage.cc" "src/kv/CMakeFiles/sdf_kv.dir/patch_storage.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/patch_storage.cc.o.d"
+  "/root/repo/src/kv/slice.cc" "src/kv/CMakeFiles/sdf_kv.dir/slice.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/slice.cc.o.d"
+  "/root/repo/src/kv/store.cc" "src/kv/CMakeFiles/sdf_kv.dir/store.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocklayer/CMakeFiles/sdf_blocklayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/sdf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/sdf_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/sdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/sdf_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/sdf_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/sdf_controller.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

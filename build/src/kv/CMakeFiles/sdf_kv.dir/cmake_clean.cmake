@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_kv.dir/memtable.cc.o"
+  "CMakeFiles/sdf_kv.dir/memtable.cc.o.d"
+  "CMakeFiles/sdf_kv.dir/patch.cc.o"
+  "CMakeFiles/sdf_kv.dir/patch.cc.o.d"
+  "CMakeFiles/sdf_kv.dir/patch_storage.cc.o"
+  "CMakeFiles/sdf_kv.dir/patch_storage.cc.o.d"
+  "CMakeFiles/sdf_kv.dir/slice.cc.o"
+  "CMakeFiles/sdf_kv.dir/slice.cc.o.d"
+  "CMakeFiles/sdf_kv.dir/store.cc.o"
+  "CMakeFiles/sdf_kv.dir/store.cc.o.d"
+  "libsdf_kv.a"
+  "libsdf_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

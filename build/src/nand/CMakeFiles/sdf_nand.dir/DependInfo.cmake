@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/channel.cc" "src/nand/CMakeFiles/sdf_nand.dir/channel.cc.o" "gcc" "src/nand/CMakeFiles/sdf_nand.dir/channel.cc.o.d"
+  "/root/repo/src/nand/error_model.cc" "src/nand/CMakeFiles/sdf_nand.dir/error_model.cc.o" "gcc" "src/nand/CMakeFiles/sdf_nand.dir/error_model.cc.o.d"
+  "/root/repo/src/nand/flash_array.cc" "src/nand/CMakeFiles/sdf_nand.dir/flash_array.cc.o" "gcc" "src/nand/CMakeFiles/sdf_nand.dir/flash_array.cc.o.d"
+  "/root/repo/src/nand/geometry.cc" "src/nand/CMakeFiles/sdf_nand.dir/geometry.cc.o" "gcc" "src/nand/CMakeFiles/sdf_nand.dir/geometry.cc.o.d"
+  "/root/repo/src/nand/types.cc" "src/nand/CMakeFiles/sdf_nand.dir/types.cc.o" "gcc" "src/nand/CMakeFiles/sdf_nand.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

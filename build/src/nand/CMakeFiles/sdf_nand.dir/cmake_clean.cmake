@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_nand.dir/channel.cc.o"
+  "CMakeFiles/sdf_nand.dir/channel.cc.o.d"
+  "CMakeFiles/sdf_nand.dir/error_model.cc.o"
+  "CMakeFiles/sdf_nand.dir/error_model.cc.o.d"
+  "CMakeFiles/sdf_nand.dir/flash_array.cc.o"
+  "CMakeFiles/sdf_nand.dir/flash_array.cc.o.d"
+  "CMakeFiles/sdf_nand.dir/geometry.cc.o"
+  "CMakeFiles/sdf_nand.dir/geometry.cc.o.d"
+  "CMakeFiles/sdf_nand.dir/types.cc.o"
+  "CMakeFiles/sdf_nand.dir/types.cc.o.d"
+  "libsdf_nand.a"
+  "libsdf_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_net.dir/network.cc.o"
+  "CMakeFiles/sdf_net.dir/network.cc.o.d"
+  "libsdf_net.a"
+  "libsdf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_core.dir/sdf_device.cc.o"
+  "CMakeFiles/sdf_core.dir/sdf_device.cc.o.d"
+  "libsdf_core.a"
+  "libsdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_sim.dir/simulator.cc.o"
+  "CMakeFiles/sdf_sim.dir/simulator.cc.o.d"
+  "libsdf_sim.a"
+  "libsdf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_ssd.dir/conventional_ssd.cc.o"
+  "CMakeFiles/sdf_ssd.dir/conventional_ssd.cc.o.d"
+  "libsdf_ssd.a"
+  "libsdf_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

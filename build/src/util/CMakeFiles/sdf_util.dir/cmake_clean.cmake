@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_util.dir/fingerprint.cc.o"
+  "CMakeFiles/sdf_util.dir/fingerprint.cc.o.d"
+  "CMakeFiles/sdf_util.dir/histogram.cc.o"
+  "CMakeFiles/sdf_util.dir/histogram.cc.o.d"
+  "CMakeFiles/sdf_util.dir/latency_recorder.cc.o"
+  "CMakeFiles/sdf_util.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/sdf_util.dir/rng.cc.o"
+  "CMakeFiles/sdf_util.dir/rng.cc.o.d"
+  "CMakeFiles/sdf_util.dir/table_printer.cc.o"
+  "CMakeFiles/sdf_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/sdf_util.dir/throughput_meter.cc.o"
+  "CMakeFiles/sdf_util.dir/throughput_meter.cc.o.d"
+  "CMakeFiles/sdf_util.dir/units.cc.o"
+  "CMakeFiles/sdf_util.dir/units.cc.o.d"
+  "libsdf_util.a"
+  "libsdf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_workload.dir/kv_driver.cc.o"
+  "CMakeFiles/sdf_workload.dir/kv_driver.cc.o.d"
+  "CMakeFiles/sdf_workload.dir/raw_device.cc.o"
+  "CMakeFiles/sdf_workload.dir/raw_device.cc.o.d"
+  "CMakeFiles/sdf_workload.dir/trace.cc.o"
+  "CMakeFiles/sdf_workload.dir/trace.cc.o.d"
+  "libsdf_workload.a"
+  "libsdf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bch.dir/test_bch.cc.o"
+  "CMakeFiles/test_bch.dir/test_bch.cc.o.d"
+  "test_bch"
+  "test_bch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

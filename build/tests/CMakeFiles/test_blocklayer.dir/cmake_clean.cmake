@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocklayer.dir/test_blocklayer.cc.o"
+  "CMakeFiles/test_blocklayer.dir/test_blocklayer.cc.o.d"
+  "test_blocklayer"
+  "test_blocklayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocklayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_net.dir/test_host_net.cc.o"
+  "CMakeFiles/test_host_net.dir/test_host_net.cc.o.d"
+  "test_host_net"
+  "test_host_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

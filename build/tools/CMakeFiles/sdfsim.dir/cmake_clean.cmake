@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdfsim.dir/sdfsim.cc.o"
+  "CMakeFiles/sdfsim.dir/sdfsim.cc.o.d"
+  "sdfsim"
+  "sdfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
