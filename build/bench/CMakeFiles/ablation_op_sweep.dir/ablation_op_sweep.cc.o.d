@@ -219,17 +219,17 @@ bench/CMakeFiles/ablation_op_sweep.dir/ablation_op_sweep.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/ftl/block_map.h /root/repo/src/ftl/wear_leveler.h \
- /usr/include/c++/12/cstddef /root/repo/src/nand/flash_array.h \
- /root/repo/src/nand/channel.h /root/repo/src/nand/error_model.h \
- /root/repo/src/util/rng.h /root/repo/src/nand/geometry.h \
- /root/repo/src/nand/timing.h /root/repo/src/nand/types.h \
+ /root/repo/src/ftl/bad_block_manager.h /root/repo/src/ftl/block_map.h \
+ /root/repo/src/ftl/wear_leveler.h /usr/include/c++/12/cstddef \
+ /root/repo/src/nand/flash_array.h /root/repo/src/nand/channel.h \
+ /root/repo/src/nand/error_model.h /root/repo/src/util/rng.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/nand/timing.h \
+ /root/repo/src/nand/types.h /root/repo/src/sdf/io_status.h \
+ /root/repo/src/util/latency_recorder.h /root/repo/src/util/histogram.h \
  /root/repo/src/host/io_stack.h /root/repo/src/kv/patch_storage.h \
  /root/repo/src/ssd/conventional_ssd.h /root/repo/src/ftl/page_map.h \
  /root/repo/src/ftl/striping.h /root/repo/src/util/assert.h \
  /root/repo/src/kv/slice.h /root/repo/src/kv/memtable.h \
  /root/repo/src/kv/types.h /root/repo/src/kv/patch.h \
  /root/repo/src/net/network.h /root/repo/src/workload/kv_driver.h \
- /root/repo/src/workload/raw_device.h \
- /root/repo/src/util/latency_recorder.h /root/repo/src/util/histogram.h \
- /root/repo/src/util/table_printer.h
+ /root/repo/src/workload/raw_device.h /root/repo/src/util/table_printer.h

@@ -220,7 +220,9 @@ examples/CMakeFiles/wear_and_reliability.dir/wear_and_reliability.cpp.o: \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/units.h \
  /root/repo/src/controller/link.h /root/repo/src/sim/fifo_resource.h \
- /root/repo/src/ftl/block_map.h /root/repo/src/ftl/wear_leveler.h \
- /usr/include/c++/12/cstddef /root/repo/src/nand/flash_array.h \
- /root/repo/src/nand/channel.h /root/repo/src/nand/geometry.h \
- /root/repo/src/nand/timing.h /root/repo/src/nand/types.h
+ /root/repo/src/ftl/bad_block_manager.h /root/repo/src/ftl/block_map.h \
+ /root/repo/src/ftl/wear_leveler.h /usr/include/c++/12/cstddef \
+ /root/repo/src/nand/flash_array.h /root/repo/src/nand/channel.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/nand/timing.h \
+ /root/repo/src/nand/types.h /root/repo/src/sdf/io_status.h \
+ /root/repo/src/util/latency_recorder.h /root/repo/src/util/histogram.h

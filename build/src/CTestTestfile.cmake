@@ -11,6 +11,7 @@ subdirs("controller")
 subdirs("ftl")
 subdirs("ssd")
 subdirs("sdf")
+subdirs("fault")
 subdirs("host")
 subdirs("net")
 subdirs("blocklayer")

@@ -220,10 +220,12 @@ src/blocklayer/CMakeFiles/sdf_blocklayer.dir/block_layer.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/ftl/block_map.h /root/repo/src/ftl/wear_leveler.h \
- /usr/include/c++/12/cstddef /root/repo/src/nand/flash_array.h \
- /root/repo/src/nand/channel.h /root/repo/src/nand/error_model.h \
- /root/repo/src/util/rng.h /root/repo/src/nand/geometry.h \
- /root/repo/src/nand/timing.h /root/repo/src/nand/types.h \
+ /root/repo/src/ftl/bad_block_manager.h /root/repo/src/ftl/block_map.h \
+ /root/repo/src/ftl/wear_leveler.h /usr/include/c++/12/cstddef \
+ /root/repo/src/nand/flash_array.h /root/repo/src/nand/channel.h \
+ /root/repo/src/nand/error_model.h /root/repo/src/util/rng.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/nand/timing.h \
+ /root/repo/src/nand/types.h /root/repo/src/sdf/io_status.h \
+ /root/repo/src/util/latency_recorder.h /root/repo/src/util/histogram.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/assert.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdf_fault.dir/fault.cc.o"
+  "CMakeFiles/sdf_fault.dir/fault.cc.o.d"
+  "libsdf_fault.a"
+  "libsdf_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdf_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

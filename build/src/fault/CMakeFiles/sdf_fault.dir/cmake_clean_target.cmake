@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdf_fault.a"
+)

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/kv/memtable.cc" "src/kv/CMakeFiles/sdf_kv.dir/memtable.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/memtable.cc.o.d"
   "/root/repo/src/kv/patch.cc" "src/kv/CMakeFiles/sdf_kv.dir/patch.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/patch.cc.o.d"
   "/root/repo/src/kv/patch_storage.cc" "src/kv/CMakeFiles/sdf_kv.dir/patch_storage.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/patch_storage.cc.o.d"
+  "/root/repo/src/kv/replicated_store.cc" "src/kv/CMakeFiles/sdf_kv.dir/replicated_store.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/replicated_store.cc.o.d"
   "/root/repo/src/kv/slice.cc" "src/kv/CMakeFiles/sdf_kv.dir/slice.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/slice.cc.o.d"
   "/root/repo/src/kv/store.cc" "src/kv/CMakeFiles/sdf_kv.dir/store.cc.o" "gcc" "src/kv/CMakeFiles/sdf_kv.dir/store.cc.o.d"
   )

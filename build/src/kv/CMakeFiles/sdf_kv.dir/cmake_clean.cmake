@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sdf_kv.dir/patch.cc.o.d"
   "CMakeFiles/sdf_kv.dir/patch_storage.cc.o"
   "CMakeFiles/sdf_kv.dir/patch_storage.cc.o.d"
+  "CMakeFiles/sdf_kv.dir/replicated_store.cc.o"
+  "CMakeFiles/sdf_kv.dir/replicated_store.cc.o.d"
   "CMakeFiles/sdf_kv.dir/slice.cc.o"
   "CMakeFiles/sdf_kv.dir/slice.cc.o.d"
   "CMakeFiles/sdf_kv.dir/store.cc.o"

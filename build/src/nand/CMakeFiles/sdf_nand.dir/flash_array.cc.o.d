@@ -203,12 +203,13 @@ src/nand/CMakeFiles/sdf_nand.dir/flash_array.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/nand/error_model.h \
- /root/repo/src/util/rng.h /root/repo/src/nand/geometry.h \
- /root/repo/src/util/units.h /root/repo/src/nand/timing.h \
- /root/repo/src/nand/types.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/nand/error_model.h /root/repo/src/util/rng.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/util/units.h \
+ /root/repo/src/nand/timing.h /root/repo/src/nand/types.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -219,5 +220,4 @@ src/nand/CMakeFiles/sdf_nand.dir/flash_array.cc.o: \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/assert.h
+ /root/repo/src/util/assert.h

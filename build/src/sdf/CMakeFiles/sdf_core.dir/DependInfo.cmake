@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdf/io_status.cc" "src/sdf/CMakeFiles/sdf_core.dir/io_status.cc.o" "gcc" "src/sdf/CMakeFiles/sdf_core.dir/io_status.cc.o.d"
   "/root/repo/src/sdf/sdf_device.cc" "src/sdf/CMakeFiles/sdf_core.dir/sdf_device.cc.o" "gcc" "src/sdf/CMakeFiles/sdf_core.dir/sdf_device.cc.o.d"
   )
 

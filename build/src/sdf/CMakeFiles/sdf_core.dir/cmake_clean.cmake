@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/sdf_core.dir/io_status.cc.o"
+  "CMakeFiles/sdf_core.dir/io_status.cc.o.d"
   "CMakeFiles/sdf_core.dir/sdf_device.cc.o"
   "CMakeFiles/sdf_core.dir/sdf_device.cc.o.d"
   "libsdf_core.a"

@@ -219,13 +219,14 @@ src/workload/CMakeFiles/sdf_workload.dir/raw_device.cc.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/util/units.h \
  /root/repo/src/sdf/sdf_device.h /root/repo/src/controller/interrupts.h \
- /root/repo/src/controller/link.h /root/repo/src/ftl/block_map.h \
- /root/repo/src/ftl/wear_leveler.h /usr/include/c++/12/cstddef \
- /root/repo/src/nand/flash_array.h /root/repo/src/nand/channel.h \
- /root/repo/src/nand/error_model.h /root/repo/src/util/rng.h \
- /root/repo/src/nand/geometry.h /root/repo/src/nand/timing.h \
- /root/repo/src/nand/types.h /root/repo/src/ssd/conventional_ssd.h \
+ /root/repo/src/controller/link.h /root/repo/src/ftl/bad_block_manager.h \
+ /root/repo/src/ftl/block_map.h /root/repo/src/ftl/wear_leveler.h \
+ /usr/include/c++/12/cstddef /root/repo/src/nand/flash_array.h \
+ /root/repo/src/nand/channel.h /root/repo/src/nand/error_model.h \
+ /root/repo/src/util/rng.h /root/repo/src/nand/geometry.h \
+ /root/repo/src/nand/timing.h /root/repo/src/nand/types.h \
+ /root/repo/src/sdf/io_status.h /root/repo/src/util/latency_recorder.h \
+ /root/repo/src/util/histogram.h /root/repo/src/ssd/conventional_ssd.h \
  /root/repo/src/ftl/page_map.h /root/repo/src/ftl/striping.h \
- /root/repo/src/util/assert.h /root/repo/src/util/latency_recorder.h \
- /root/repo/src/util/histogram.h /usr/include/c++/12/utility \
+ /root/repo/src/util/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h

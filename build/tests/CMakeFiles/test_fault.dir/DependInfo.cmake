@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault.cc" "tests/CMakeFiles/test_fault.dir/test_fault.cc.o" "gcc" "tests/CMakeFiles/test_fault.dir/test_fault.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sdf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/sdf_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocklayer/CMakeFiles/sdf_blocklayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/sdf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/sdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/sdf_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/sdf_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/sdf_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/sdf_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sdf_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -293,16 +293,16 @@ tests/CMakeFiles/test_nand.dir/test_nand.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/nand/channel.h /root/repo/src/nand/error_model.h \
- /root/repo/src/util/rng.h /root/repo/src/nand/geometry.h \
- /root/repo/src/util/units.h /root/repo/src/nand/timing.h \
- /root/repo/src/nand/types.h /root/repo/src/sim/fifo_resource.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/nand/channel.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/nand/error_model.h /root/repo/src/util/rng.h \
+ /root/repo/src/nand/geometry.h /root/repo/src/util/units.h \
+ /root/repo/src/nand/timing.h /root/repo/src/nand/types.h \
+ /root/repo/src/sim/fifo_resource.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/nand/flash_array.h /root/repo/src/util/fingerprint.h

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/sdf_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/kv/CMakeFiles/sdf_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sdf_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/blocklayer/CMakeFiles/sdf_blocklayer.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/sdf_net.dir/DependInfo.cmake"
   "/root/repo/build/src/host/CMakeFiles/sdf_host.dir/DependInfo.cmake"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build and run the full test suite twice: a normal RelWithDebInfo build,
+# then an ASan+UBSan build (-DSDF_SANITIZE=ON) in a separate build tree.
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== normal build =="
+cmake -B build -S . > /dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$@")
+
+echo "== sanitizer build (ASan+UBSan) =="
+cmake -B build-asan -S . -DSDF_SANITIZE=ON > /dev/null
+cmake --build build-asan -j
+(cd build-asan && ctest --output-on-failure -j "$@")
+
+echo "All checks passed."

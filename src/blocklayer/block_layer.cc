@@ -27,11 +27,12 @@ BlockLayer::FreeUnits() const
 }
 
 void
-BlockLayer::Fail(IoCallback done)
+BlockLayer::Fail(IoCallback done, core::IoError error)
 {
     ++stats_.failed_ops;
     if (done) {
-        sim_.Schedule(0, [done = std::move(done)]() { done(false); });
+        sim_.Schedule(0,
+                      [done = std::move(done), error]() { done(error); });
     }
 }
 
@@ -46,13 +47,22 @@ BlockLayer::ChannelLoad(uint32_t channel) const
 uint32_t
 BlockLayer::PickWriteChannel(uint64_t id) const
 {
-    if (config_.placement_policy == PlacementPolicy::kIdHash)
-        return ChannelOf(id);
+    if (config_.placement_policy == PlacementPolicy::kIdHash) {
+        // Degraded mode: a dead channel's hash slots probe forward to the
+        // next surviving channel so writes keep completing.
+        const auto n = static_cast<uint32_t>(channels_.size());
+        uint32_t c = ChannelOf(id);
+        for (uint32_t i = 0; i < n && device_.ChannelDead(c); ++i)
+            c = (c + 1) % n;
+        return c;
+    }
     // Least-loaded placement (the paper's future-work scheduler): lowest
     // queue depth wins; ties broken by free-unit count, then by the hash
     // channel so an idle system still round-robins.
     uint32_t best = ChannelOf(id);
     auto better = [this](uint32_t a, uint32_t b) {
+        const bool da = device_.ChannelDead(a), db = device_.ChannelDead(b);
+        if (da != db) return !da;  // A surviving channel beats a dead one.
         const uint32_t la = ChannelLoad(a), lb = ChannelLoad(b);
         if (la != lb) return la < lb;
         const size_t fa =
@@ -73,14 +83,14 @@ BlockLayer::Put(uint64_t id, IoCallback done, const uint8_t *data,
 {
     ++stats_.puts;
     if (id_map_.count(id)) {
-        Fail(std::move(done));  // IDs are write-once.
+        Fail(std::move(done), core::IoError::kContractViolation);  // Write-once.
         return;
     }
     const uint32_t ch = PickWriteChannel(id);
     ChannelState &cs = channels_[ch];
     if (cs.clean_units.empty() && cs.dirty_units.empty() &&
         !cs.bg_erase_running) {
-        Fail(std::move(done));  // Channel out of space.
+        Fail(std::move(done), core::IoError::kNoSpace);
         return;
     }
     Enqueue(ch, Op{false, id, 0, device_.unit_bytes(), std::move(done), data,
@@ -94,7 +104,7 @@ BlockLayer::Get(uint64_t id, uint64_t offset, uint64_t length,
     ++stats_.gets;
     auto it = id_map_.find(id);
     if (it == id_map_.end()) {
-        Fail(std::move(done));
+        Fail(std::move(done), core::IoError::kNotFound);
         return;
     }
     const uint32_t ch = it->second.first;
@@ -213,19 +223,56 @@ BlockLayer::IssueRead(uint32_t ch, Op op)
     if (it == id_map_.end()) {
         // Deleted while queued.
         --cs.reads_inflight;
-        Fail(std::move(op.done));
+        Fail(std::move(op.done), core::IoError::kNotFound);
         Dispatch(ch);
         return;
     }
     const uint32_t unit = it->second.second;
     device_.Read(ch, unit, op.offset, op.length,
-                 [this, ch, done = std::move(op.done)](bool ok) {
+                 [this, ch, unit, id = op.id,
+                  done = std::move(op.done)](core::IoStatus st) {
                      ChannelState &cs2 = channels_[ch];
                      --cs2.reads_inflight;
-                     if (done) done(ok);
+                     if (st.error == core::IoError::kReadUncorrectable) {
+                         // The device exhausted its retry ladder and
+                         // retired the pages: the block's data is gone.
+                         // Drop the id so the store falls back to a
+                         // replica and re-replicates, and recycle the
+                         // unit for future writes.
+                         auto it2 = id_map_.find(id);
+                         if (it2 != id_map_.end() &&
+                             it2->second.second == unit) {
+                             id_map_.erase(it2);
+                             cs2.dirty_units.push_back(unit);
+                             ++stats_.lost_blocks;
+                         }
+                     }
+                     if (done) done(st);
                      Dispatch(ch);
                  },
                  op.out);
+}
+
+bool
+BlockLayer::RedirectWrite(uint64_t id, const uint8_t *data, int priority,
+                          uint32_t redirects, uint32_t from, IoCallback &done)
+{
+    if (redirects + 1 >= channels_.size()) return false;
+    for (uint32_t i = 1; i < channels_.size(); ++i) {
+        const auto c =
+            static_cast<uint32_t>((from + i) % channels_.size());
+        if (device_.ChannelDead(c)) continue;
+        ChannelState &cs = channels_[c];
+        if (cs.clean_units.empty() && cs.dirty_units.empty() &&
+            !cs.bg_erase_running) {
+            continue;
+        }
+        ++stats_.redirected_writes;
+        Enqueue(c, Op{false, id, 0, device_.unit_bytes(), std::move(done),
+                      data, nullptr, priority, next_seq_++, redirects + 1});
+        return true;
+    }
+    return false;
 }
 
 void
@@ -245,35 +292,49 @@ BlockLayer::IssueWrite(uint32_t ch, Op op)
         cs.dirty_units.pop_front();
     } else {
         --cs.writes_inflight;
-        Fail(std::move(op.done));
+        Fail(std::move(op.done), core::IoError::kNoSpace);
         Dispatch(ch);
         return;
     }
 
     auto write_step = [this, ch, unit, id = op.id, data = op.data,
-                       done = std::move(op.done)](bool erased_ok) mutable {
-        if (!erased_ok) {
+                       priority = op.priority, redirects = op.redirects,
+                       done = std::move(op.done)](core::IoStatus erased) mutable {
+        if (!erased.ok()) {
             ChannelState &cs2 = channels_[ch];
             --cs2.writes_inflight;
-            Fail(std::move(done));
+            if (erased.error == core::IoError::kChannelDead &&
+                RedirectWrite(id, data, priority, redirects, ch, done)) {
+                Dispatch(ch);
+                return;
+            }
+            Fail(std::move(done), erased.error);
             Dispatch(ch);
             return;
         }
-        device_.WriteUnit(ch, unit,
-                          [this, ch, unit, id,
-                           done = std::move(done)](bool ok) {
-                              ChannelState &cs2 = channels_[ch];
-                              --cs2.writes_inflight;
-                              if (ok) {
-                                  id_map_[id] = {ch, unit};
-                              } else {
-                                  cs2.dirty_units.push_back(unit);
-                                  ++stats_.failed_ops;
-                              }
-                              if (done) done(ok);
-                              Dispatch(ch);
-                          },
-                          data);
+        device_.WriteUnit(
+            ch, unit,
+            [this, ch, unit, id, data, priority, redirects,
+             done = std::move(done)](core::IoStatus st) mutable {
+                ChannelState &cs2 = channels_[ch];
+                --cs2.writes_inflight;
+                if (st.ok()) {
+                    id_map_[id] = {ch, unit};
+                    if (done) done(st);
+                } else {
+                    cs2.dirty_units.push_back(unit);
+                    if (st.error == core::IoError::kChannelDead &&
+                        RedirectWrite(id, data, priority, redirects, ch,
+                                      done)) {
+                        // Rerouted; completion comes from the new channel.
+                    } else {
+                        ++stats_.failed_ops;
+                        if (done) done(st);
+                    }
+                }
+                Dispatch(ch);
+            },
+            data);
     };
 
     if (device_.unit_state(ch, unit) == core::UnitState::kErased) {

@@ -75,6 +75,10 @@ struct BlockLayerStats
     uint64_t inline_erases = 0;
     uint64_t background_erases = 0;
     uint64_t failed_ops = 0;
+    /** Blocks whose data became unreadable (device retired the pages). */
+    uint64_t lost_blocks = 0;
+    /** Writes rerouted from a dead channel to a surviving one. */
+    uint64_t redirected_writes = 0;
 };
 
 /**
@@ -141,6 +145,7 @@ class BlockLayer
         std::vector<uint8_t> *out;
         int priority;
         uint64_t seq;
+        uint32_t redirects = 0;  ///< Dead-channel reroutes so far.
     };
 
     struct ChannelState
@@ -160,7 +165,15 @@ class BlockLayer
     void IssueRead(uint32_t ch, Op op);
     void IssueWrite(uint32_t ch, Op op);
     void MaybeBackgroundErase(uint32_t ch);
-    void Fail(IoCallback done);
+    void Fail(IoCallback done, core::IoError error);
+
+    /**
+     * Re-enqueue a write that failed because its channel died onto a
+     * surviving channel with space. Consumes @p done on success. Returns
+     * false (leaving @p done intact) when no live channel can take it.
+     */
+    bool RedirectWrite(uint64_t id, const uint8_t *data, int priority,
+                       uint32_t redirects, uint32_t from, IoCallback &done);
 
     sim::Simulator &sim_;
     core::SdfDevice &device_;

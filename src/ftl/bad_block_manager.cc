@@ -1,7 +1,6 @@
 #include "ftl/bad_block_manager.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "util/assert.h"
 
@@ -36,7 +35,7 @@ BadBlockManager::RetireBlock(uint32_t block)
         bad_[block] = true;
         ++grown_bad_;
     }
-    if (spares_.empty()) return std::numeric_limits<uint32_t>::max();
+    if (spares_.empty()) return kNoSpare;
     const uint32_t replacement = spares_.back();
     spares_.pop_back();
     return replacement;

@@ -12,6 +12,9 @@
 
 namespace sdf::ftl {
 
+/** Returned by RetireBlock when the spare pool is exhausted. */
+inline constexpr uint32_t kNoSpare = UINT32_MAX;
+
 /**
  * Tracks usable physical blocks in one channel and remaps grown bad blocks
  * to spares.
@@ -40,8 +43,8 @@ class BadBlockManager
 
     /**
      * Record that @p block failed; returns the spare that replaces it, or
-     * UINT32_MAX if the spare pool is exhausted (the caller must shrink its
-     * logical space).
+     * kNoSpare if the spare pool is exhausted (the caller must shrink its
+     * logical space — on SDF the unit goes kDead).
      */
     uint32_t RetireBlock(uint32_t block);
 

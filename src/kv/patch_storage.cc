@@ -10,7 +10,8 @@ namespace {
 
 /**
  * Run @p op through @p stack when present; otherwise call it directly.
- * Adapts the bool-carrying PatchCallback to the IoStack's plain callbacks.
+ * Adapts the status-carrying PatchCallback to the IoStack's plain
+ * callbacks, preserving the typed error across the stack transit.
  */
 void
 ThroughStack(host::IoStack *stack,
@@ -20,16 +21,16 @@ ThroughStack(host::IoStack *stack,
         op(std::move(done));
         return;
     }
-    auto ok = std::make_shared<bool>(false);
+    auto st = std::make_shared<core::IoStatus>(core::IoError::kWriteFailed);
     stack->Issue(
-        [op = std::move(op), ok](sim::Callback d) {
-            op([ok, d = std::move(d)](bool success) {
-                *ok = success;
+        [op = std::move(op), st](sim::Callback d) {
+            op([st, d = std::move(d)](core::IoStatus status) {
+                *st = status;
                 d();
             });
         },
-        [ok, done = std::move(done)]() {
-            if (done) done(*ok);
+        [st, done = std::move(done)]() {
+            if (done) done(*st);
         });
 }
 
@@ -83,7 +84,7 @@ SsdPatchStorage::PutPatch(uint64_t id, PatchCallback done,
     (void)priority;  // A conventional SSD cannot distinguish traffic classes.
     SDF_CHECK_MSG(!extent_of_.count(id), "patch id reused");
     if (free_extents_.empty()) {
-        if (done) done(false);
+        if (done) done(core::IoError::kNoSpace);
         return;
     }
     const uint64_t offset = free_extents_.front();
@@ -104,7 +105,7 @@ SsdPatchStorage::GetRange(uint64_t id, uint64_t offset, uint64_t length,
     (void)priority;
     auto it = extent_of_.find(id);
     if (it == extent_of_.end() || offset + length > patch_bytes_) {
-        if (done) done(false);
+        if (done) done(core::IoError::kNotFound);
         return;
     }
     const uint64_t base = it->second;

@@ -22,8 +22,13 @@
 
 namespace sdf::kv {
 
-/** Completion callback for patch I/O. */
-using PatchCallback = std::function<void(bool ok)>;
+/**
+ * Completion callback for patch I/O. Carries the typed device error so
+ * upper layers can distinguish lost data (kReadUncorrectable — fall back
+ * to a replica) from a dead channel or plain congestion. Callables taking
+ * bool still work: IoStatus converts to bool (true == ok).
+ */
+using PatchCallback = std::function<void(core::IoStatus)>;
 
 /** Abstract home for immutable fixed-size patches. */
 class PatchStorage

@@ -1,0 +1,102 @@
+#include "kv/replicated_store.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace sdf::kv {
+
+ReplicatedKv::ReplicatedKv(sim::Simulator &sim, std::vector<Store *> replicas)
+    : sim_(sim), replicas_(std::move(replicas))
+{
+    SDF_CHECK_MSG(!replicas_.empty(), "need at least one replica");
+    for (Store *s : replicas_) SDF_CHECK(s != nullptr);
+}
+
+void
+ReplicatedKv::Put(uint64_t key, uint32_t value_size, PutCallback done,
+                  std::shared_ptr<std::vector<uint8_t>> payload)
+{
+    ++stats_.puts;
+    const auto r = static_cast<uint32_t>(replicas_.size());
+    auto remaining = std::make_shared<uint32_t>(r);
+    auto successes = std::make_shared<uint32_t>(0);
+    for (uint32_t i = 0; i < r; ++i) {
+        replicas_[i]->Put(
+            key, value_size,
+            [this, remaining, successes,
+             done = i + 1 == r ? std::move(done) : done](bool ok) mutable {
+                if (ok) {
+                    ++*successes;
+                } else {
+                    ++stats_.put_replica_failures;
+                }
+                if (--*remaining > 0) return;
+                if (*successes == 0) ++stats_.put_failures;
+                if (done) done(*successes > 0);
+            },
+            payload);
+    }
+}
+
+void
+ReplicatedKv::Get(uint64_t key, GetCallback done)
+{
+    ++stats_.gets;
+    DoGet(key, std::move(done), 0, 0);
+}
+
+void
+ReplicatedKv::DoGet(uint64_t key, GetCallback done, uint32_t attempt,
+                    util::TimeNs first_fail)
+{
+    const auto r = static_cast<uint32_t>(replicas_.size());
+    if (attempt == r) {
+        ++stats_.failed_reads;
+        GetResult res;
+        res.found = false;
+        res.ok = false;
+        if (done) done(res);
+        return;
+    }
+    const uint32_t replica = (PrimaryOf(key) + attempt) % r;
+    replicas_[replica]->Get(
+        key, [this, key, done = std::move(done), attempt,
+              first_fail](const GetResult &res) mutable {
+            if (!res.ok) {
+                // Storage-level failure on this replica: fail over.
+                const util::TimeNs t0 =
+                    attempt == 0 ? sim_.Now() : first_fail;
+                DoGet(key, std::move(done), attempt + 1, t0);
+                return;
+            }
+            if (attempt > 0) {
+                ++stats_.degraded_reads;
+                recovery_latencies_.Record(sim_.Now() - first_fail);
+                // Read-repair: restore redundancy on the replicas that
+                // failed ahead of this one.
+                if (res.found) Repair(key, res, attempt);
+            }
+            if (done) done(res);
+        });
+}
+
+void
+ReplicatedKv::Repair(uint64_t key, const GetResult &good,
+                     uint32_t failed_count)
+{
+    const auto r = static_cast<uint32_t>(replicas_.size());
+    for (uint32_t i = 0; i < failed_count; ++i) {
+        const uint32_t replica = (PrimaryOf(key) + i) % r;
+        ++stats_.re_replications;
+        replicas_[replica]->Put(
+            key, good.value_size,
+            [this](bool ok) {
+                if (!ok) ++stats_.re_replication_failures;
+            },
+            good.payload);
+    }
+}
+
+}  // namespace sdf::kv

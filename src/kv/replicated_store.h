@@ -1,0 +1,105 @@
+/**
+ * @file
+ * R-way replicated KV frontend for degraded-mode operation.
+ *
+ * The paper's web-scale setting (§2.4, §5) keeps replicas of every object
+ * on independent devices precisely because SDF drops the drive-internal
+ * safety nets (no parity across channels, no super-capacitors): durability
+ * is the distributed system's job. This frontend models that contract over
+ * R independent Store stacks (each typically backed by its own SdfDevice):
+ *
+ *  - Put fans out to every replica; the ack carries overall success
+ *    (at least one durable copy) and per-replica failures are counted.
+ *  - Get reads the primary replica (key-hash order) and transparently
+ *    fails over to the next replica when storage reports a typed error
+ *    (uncorrectable data, dead channel, lost block).
+ *  - A degraded read triggers read-repair: the value recovered from a
+ *    surviving replica is re-replicated onto the replicas that failed,
+ *    restoring R-way redundancy in the background.
+ */
+#ifndef SDF_KV_REPLICATED_STORE_H
+#define SDF_KV_REPLICATED_STORE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/store.h"
+#include "sim/simulator.h"
+#include "util/latency_recorder.h"
+
+namespace sdf::kv {
+
+/** Cumulative replication-layer statistics. */
+struct ReplicatedKvStats
+{
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t put_replica_failures = 0;  ///< Individual replica puts failed.
+    uint64_t put_failures = 0;          ///< Puts with zero durable copies.
+    uint64_t degraded_reads = 0;        ///< Served by a non-primary replica.
+    uint64_t failed_reads = 0;          ///< Every replica errored.
+    uint64_t re_replications = 0;       ///< Read-repair puts issued.
+    uint64_t re_replication_failures = 0;
+};
+
+/** R-way replication over independent Store instances. */
+class ReplicatedKv
+{
+  public:
+    /** @param replicas One Store per failure domain; all must outlive us. */
+    ReplicatedKv(sim::Simulator &sim, std::vector<Store *> replicas);
+
+    ReplicatedKv(const ReplicatedKv &) = delete;
+    ReplicatedKv &operator=(const ReplicatedKv &) = delete;
+
+    uint32_t replica_count() const
+    {
+        return static_cast<uint32_t>(replicas_.size());
+    }
+
+    /** Primary replica index for @p key. */
+    uint32_t PrimaryOf(uint64_t key) const
+    {
+        return static_cast<uint32_t>(key % replicas_.size());
+    }
+
+    /**
+     * Store @p key on every replica. @p done receives true when at least
+     * one replica persisted the value (the others are repaired by later
+     * degraded reads).
+     */
+    void Put(uint64_t key, uint32_t value_size, PutCallback done,
+             std::shared_ptr<std::vector<uint8_t>> payload = nullptr);
+
+    /**
+     * Read @p key with transparent failover: replicas are tried in
+     * primary order until one completes without a storage error. The
+     * result's ok flag is false only when every replica failed.
+     */
+    void Get(uint64_t key, GetCallback done);
+
+    const ReplicatedKvStats &stats() const { return stats_; }
+
+    /**
+     * Latency from the primary replica's failure to the moment a
+     * surviving replica served the value (per degraded read).
+     */
+    const util::LatencyRecorder &recovery_latencies() const
+    {
+        return recovery_latencies_;
+    }
+
+  private:
+    void DoGet(uint64_t key, GetCallback done, uint32_t attempt,
+               util::TimeNs first_fail);
+    void Repair(uint64_t key, const GetResult &good, uint32_t failed_count);
+
+    sim::Simulator &sim_;
+    std::vector<Store *> replicas_;
+    ReplicatedKvStats stats_;
+    util::LatencyRecorder recovery_latencies_;
+};
+
+}  // namespace sdf::kv
+
+#endif  // SDF_KV_REPLICATED_STORE_H

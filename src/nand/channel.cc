@@ -11,7 +11,7 @@ namespace sdf::nand {
 Channel::Channel(sim::Simulator &sim, const Geometry &geo,
                  const TimingSpec &timing, const ErrorModel &errors,
                  util::Rng rng, bool store_payloads,
-                 uint32_t ecc_correctable_bits)
+                 uint32_t ecc_correctable_bits, uint32_t retry_extra_bits)
     : sim_(sim),
       geo_(geo),
       timing_(timing),
@@ -19,6 +19,7 @@ Channel::Channel(sim::Simulator &sim, const Geometry &geo,
       rng_(rng),
       store_payloads_(store_payloads),
       ecc_correctable_bits_(ecc_correctable_bits),
+      retry_extra_bits_(retry_extra_bits),
       bus_(sim),
       blocks_(geo.BlocksPerChannel())
 {
@@ -61,6 +62,34 @@ Channel::MarkBad(const BlockAddr &addr)
 }
 
 void
+Channel::InjectStall(util::TimeNs duration)
+{
+    bus_.Submit(duration, nullptr);
+    for (auto &plane : planes_) plane->Submit(duration, nullptr);
+}
+
+void
+Channel::CorruptPage(const PageAddr &addr)
+{
+    SDF_CHECK(ValidPage(addr));
+    corrupted_.insert(FlatPageIndex(geo_, addr));
+}
+
+void
+Channel::InjectTransientErrors(util::TimeNs duration, double probability)
+{
+    transient_until_ = std::max(transient_until_, sim_.Now() + duration);
+    transient_prob_ = probability;
+}
+
+void
+Channel::ElevateRber(const BlockAddr &addr, double factor)
+{
+    SDF_CHECK(ValidBlock(addr));
+    Meta(addr).rber_boost *= factor;
+}
+
+void
 Channel::DebugSetProgrammed(const BlockAddr &addr, uint32_t pages)
 {
     SDF_CHECK(ValidBlock(addr));
@@ -83,10 +112,14 @@ Channel::CompleteAt(util::TimeNs when, OpCallback done, OpStatus status)
 
 void
 Channel::ReadPage(const PageAddr &addr, OpCallback done,
-                  std::vector<uint8_t> *out)
+                  std::vector<uint8_t> *out, uint32_t retry_level)
 {
     if (!ValidPage(addr)) {
         CompleteAt(sim_.Now(), std::move(done), OpStatus::kOutOfRange);
+        return;
+    }
+    if (dead_) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kChannelDead);
         return;
     }
     BlockMeta &meta = Meta(addr.BlockOf());
@@ -94,6 +127,7 @@ Channel::ReadPage(const PageAddr &addr, OpCallback done,
         CompleteAt(sim_.Now(), std::move(done), OpStatus::kBadBlock);
         return;
     }
+    if (retry_level > 0) ++stats_.retry_reads;
 
     // Resolve data and status at submit time; plane/bus ordering makes this
     // consistent with completion-time semantics.
@@ -116,9 +150,21 @@ Channel::ReadPage(const PageAddr &addr, OpCallback done,
                 }
             }
         }
-        const uint32_t errs =
-            errors_.SampleBitErrors(rng_, geo_.page_size, meta.erase_count);
-        if (errs > ecc_correctable_bits_) {
+        // Each retry level re-senses with shifted read voltages, buying
+        // extra correction margin; latent corruption defeats all levels.
+        const uint32_t budget =
+            ecc_correctable_bits_ + retry_level * retry_extra_bits_;
+        const uint32_t errs = errors_.SampleBitErrors(
+            rng_, geo_.page_size, meta.erase_count, meta.rber_boost);
+        const bool corrupted =
+            corrupted_.count(FlatPageIndex(geo_, addr)) != 0;
+        bool transient = false;
+        if (sim_.Now() < transient_until_ &&
+            rng_.NextBool(transient_prob_)) {
+            transient = true;
+            ++stats_.transient_errors;
+        }
+        if (corrupted || transient || errs > budget) {
             status = OpStatus::kReadUncorrectable;
             ++stats_.uncorrectable_reads;
         } else {
@@ -145,6 +191,10 @@ Channel::ProgramPage(const PageAddr &addr, OpCallback done,
 {
     if (!ValidPage(addr)) {
         CompleteAt(sim_.Now(), std::move(done), OpStatus::kOutOfRange);
+        return;
+    }
+    if (dead_) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kChannelDead);
         return;
     }
     BlockMeta &meta = Meta(addr.BlockOf());
@@ -192,6 +242,10 @@ Channel::EraseBlock(const BlockAddr &addr, OpCallback done)
         CompleteAt(sim_.Now(), std::move(done), OpStatus::kOutOfRange);
         return;
     }
+    if (dead_) {
+        CompleteAt(sim_.Now(), std::move(done), OpStatus::kChannelDead);
+        return;
+    }
     BlockMeta &meta = Meta(addr);
     if (meta.bad) {
         CompleteAt(sim_.Now(), std::move(done), OpStatus::kBadBlock);
@@ -207,12 +261,12 @@ Channel::EraseBlock(const BlockAddr &addr, OpCallback done)
     } else {
         meta.state = BlockState::kErased;
         meta.next_page = 0;
-        if (store_payloads_) {
-            // Drop stored payloads for the erased block.
-            const PageAddr base{addr.plane, addr.block, 0};
-            const uint64_t first = FlatPageIndex(geo_, base);
-            for (uint32_t p = 0; p < geo_.pages_per_block; ++p)
-                data_.erase(first + p);
+        meta.rber_boost = 1.0;  // Injected RBER elevation clears on erase.
+        const PageAddr base{addr.plane, addr.block, 0};
+        const uint64_t first = FlatPageIndex(geo_, base);
+        for (uint32_t p = 0; p < geo_.pages_per_block; ++p) {
+            corrupted_.erase(first + p);
+            if (store_payloads_) data_.erase(first + p);
         }
     }
 

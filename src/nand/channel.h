@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "nand/error_model.h"
@@ -47,6 +48,8 @@ struct BlockMeta
     uint32_t next_page = 0;
     uint32_t erase_count = 0;
     bool bad = false;
+    /** RBER multiplier for this block (fault injection; reset on erase). */
+    double rber_boost = 1.0;
 };
 
 /** Cumulative operation counters for one channel. */
@@ -60,6 +63,8 @@ struct ChannelStats
     uint64_t corrected_bit_errors = 0;
     uint64_t uncorrectable_reads = 0;
     uint64_t blocks_gone_bad = 0;
+    uint64_t retry_reads = 0;        ///< Reads issued at retry level > 0.
+    uint64_t transient_errors = 0;   ///< Injected link-CRC read failures.
 };
 
 /** One flash channel with its dies, planes, bus, and block state. */
@@ -76,10 +81,12 @@ class Channel
      *     and returned by reads (needed for data-integrity tests; benches
      *     run timing-only with this off).
      * @param ecc_correctable_bits BCH correction budget per page.
+     * @param retry_extra_bits Additional correction budget gained per
+     *     read-retry level (retry voltage shifts recover margin).
      */
     Channel(sim::Simulator &sim, const Geometry &geo, const TimingSpec &timing,
             const ErrorModel &errors, util::Rng rng, bool store_payloads,
-            uint32_t ecc_correctable_bits);
+            uint32_t ecc_correctable_bits, uint32_t retry_extra_bits = 10);
 
     Channel(const Channel &) = delete;
     Channel &operator=(const Channel &) = delete;
@@ -87,9 +94,15 @@ class Channel
     /**
      * Read one page. If @p out is non-null and payload storage is enabled,
      * the stored payload is copied into it (erased pages read as 0xFF).
+     *
+     * @p retry_level models the controller's read-retry voltage ladder:
+     * each level above 0 re-senses the page and widens the effective BCH
+     * correction budget by `retry_extra_bits` (set at construction), at
+     * the cost of another full array read. Level 0 is a normal read.
      */
     void ReadPage(const PageAddr &addr, OpCallback done,
-                  std::vector<uint8_t> *out = nullptr);
+                  std::vector<uint8_t> *out = nullptr,
+                  uint32_t retry_level = 0);
 
     /**
      * Program one page. @p payload may be null (timing-only mode); when
@@ -103,6 +116,41 @@ class Channel
 
     /** Mark a block bad (factory defects, FTL decisions). */
     void MarkBad(const BlockAddr &addr);
+
+    // ---- fault-injection hooks (driven by sdf::fault::FaultInjector) ----
+
+    /**
+     * Kill the channel: every subsequent operation completes immediately
+     * with kChannelDead. Models controller/chip death; irreversible.
+     */
+    void InjectDeath() { dead_ = true; }
+
+    /** True once InjectDeath() has been called. */
+    bool dead() const { return dead_; }
+
+    /**
+     * Stall the channel for @p duration: the bus and every plane are
+     * occupied with dummy work, delaying all queued and future operations
+     * (models firmware hiccups / chip-level retries blocking the bus).
+     */
+    void InjectStall(util::TimeNs duration);
+
+    /**
+     * Latent corruption of one page: reads of it fail uncorrectably at
+     * every retry level until the containing block is erased. Models
+     * retention loss / program disturb beyond any read-retry voltage.
+     */
+    void CorruptPage(const PageAddr &addr);
+
+    /**
+     * For @p duration from now, each read additionally fails with
+     * probability @p probability (transient link CRC errors; a plain
+     * re-read at any retry level can succeed).
+     */
+    void InjectTransientErrors(util::TimeNs duration, double probability);
+
+    /** Multiply @p addr's RBER by @p factor (sticky until erase). */
+    void ElevateRber(const BlockAddr &addr, double factor);
 
     /**
      * Instantly mark @p pages pages of @p addr as programmed, bypassing
@@ -144,11 +192,16 @@ class Channel
     util::Rng rng_;
     bool store_payloads_;
     uint32_t ecc_correctable_bits_;
+    uint32_t retry_extra_bits_;
 
     sim::FifoResource bus_;
     std::vector<std::unique_ptr<sim::FifoResource>> planes_;
     std::vector<BlockMeta> blocks_;  ///< Indexed by FlatBlockIndex.
     std::unordered_map<uint64_t, std::vector<uint8_t>> data_;
+    std::unordered_set<uint64_t> corrupted_;  ///< Flat indices of bad pages.
+    bool dead_ = false;
+    util::TimeNs transient_until_ = 0;
+    double transient_prob_ = 0.0;
     ChannelStats stats_;
 };
 

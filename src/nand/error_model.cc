@@ -14,11 +14,11 @@ ErrorModel::RberAt(uint32_t erase_count) const
 
 uint32_t
 ErrorModel::SampleBitErrors(util::Rng &rng, uint32_t page_bytes,
-                            uint32_t erase_count) const
+                            uint32_t erase_count, double rber_scale) const
 {
     if (!enabled) return 0;
     const double bits = 8.0 * page_bytes;
-    const double lambda = bits * RberAt(erase_count);
+    const double lambda = bits * RberAt(erase_count) * rber_scale;
     // Poisson approximation of Binomial(bits, rber); rber is tiny.
     if (lambda <= 0.0) return 0;
     if (lambda < 30.0) {

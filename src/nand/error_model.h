@@ -42,10 +42,12 @@ struct ErrorModel
 
     /**
      * Sample the number of raw bit errors in a page of @p page_bytes read
-     * from a block with @p erase_count cycles.
+     * from a block with @p erase_count cycles. @p rber_scale multiplies the
+     * block's RBER (1.0 = nominal; fault injection elevates it per block).
      */
     uint32_t SampleBitErrors(util::Rng &rng, uint32_t page_bytes,
-                             uint32_t erase_count) const;
+                             uint32_t erase_count,
+                             double rber_scale = 1.0) const;
 
     /** Sample whether an erase at @p erase_count cycles bricks the block. */
     bool SampleWearOut(util::Rng &rng, uint32_t erase_count) const;

@@ -16,7 +16,8 @@ FlashArray::FlashArray(sim::Simulator &sim, const FlashArrayConfig &config)
         channels_.push_back(std::make_unique<Channel>(
             sim, config_.geometry, config_.timing, config_.errors,
             seeder.Fork(), config_.store_payloads,
-            config_.ecc_correctable_bits));
+            config_.ecc_correctable_bits,
+            config_.retry_extra_correctable_bits));
     }
 
     // Factory defect injection: mark a random sprinkle of blocks bad.
@@ -47,6 +48,8 @@ FlashArray::TotalStats() const
         total.corrected_bit_errors += s.corrected_bit_errors;
         total.uncorrectable_reads += s.uncorrectable_reads;
         total.blocks_gone_bad += s.blocks_gone_bad;
+        total.retry_reads += s.retry_reads;
+        total.transient_errors += s.transient_errors;
     }
     return total;
 }

@@ -14,6 +14,7 @@ OpStatusName(OpStatus s)
       case OpStatus::kBadBlock: return "bad-block";
       case OpStatus::kWornOut: return "worn-out";
       case OpStatus::kOutOfRange: return "out-of-range";
+      case OpStatus::kChannelDead: return "channel-dead";
     }
     return "unknown";
 }

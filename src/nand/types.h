@@ -67,6 +67,7 @@ enum class OpStatus : uint8_t
     kBadBlock,            ///< Operation on a block marked bad.
     kWornOut,             ///< Erase/program failed; block newly marked bad.
     kOutOfRange,          ///< Address outside the geometry.
+    kChannelDead,         ///< Channel controller/chips dead (injected fault).
 };
 
 /** True for statuses that indicate usable completion. */

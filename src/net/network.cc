@@ -105,4 +105,54 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
     });
 }
 
+void
+Network::RpcWithRetry(uint32_t client, uint64_t request_bytes,
+                      Handler handler, std::function<void(bool ok)> done)
+{
+    AttemptRpc(client, request_bytes, std::move(handler),
+               std::make_shared<std::function<void(bool)>>(std::move(done)),
+               0);
+}
+
+void
+Network::AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
+                    std::shared_ptr<std::function<void(bool)>> done,
+                    uint32_t attempt)
+{
+    // Both the response and the timeout race on this flag; whichever
+    // fires second becomes a no-op, so no event cancellation is needed
+    // and the schedule stays deterministic.
+    auto settled = std::make_shared<bool>(false);
+    Rpc(client, request_bytes, handler, [this, settled, done]() {
+        if (*settled) {
+            ++rpc_stats_.late_responses;
+            return;
+        }
+        *settled = true;
+        if (*done) (*done)(true);
+    });
+    if (spec_.rpc_timeout == 0) return;
+
+    sim_.Schedule(spec_.rpc_timeout, [this, client, request_bytes,
+                                      handler = std::move(handler), done,
+                                      settled, attempt]() mutable {
+        if (*settled) return;
+        *settled = true;
+        ++rpc_stats_.timeouts;
+        if (attempt >= spec_.rpc_max_retries) {
+            ++rpc_stats_.failures;
+            if (*done) (*done)(false);
+            return;
+        }
+        ++rpc_stats_.retries;
+        const TimeNs backoff = spec_.rpc_backoff_base << attempt;
+        sim_.Schedule(backoff, [this, client, request_bytes,
+                                handler = std::move(handler), done,
+                                attempt]() mutable {
+            AttemptRpc(client, request_bytes, std::move(handler),
+                       std::move(done), attempt + 1);
+        });
+    });
+}
+
 }  // namespace sdf::net

@@ -40,6 +40,24 @@ struct NetworkSpec
      * ~1/per_byte GB/s independent of the device.
      */
     double worker_per_byte_ns = 1.3;  // ~770 MB/s per slice connection
+    /**
+     * Client-side RPC timeout per attempt for RpcWithRetry; 0 disables
+     * timeouts (an attempt then waits forever, as plain Rpc does).
+     */
+    TimeNs rpc_timeout = util::MsToNs(50);
+    /** Retries after the first attempt before giving up. */
+    uint32_t rpc_max_retries = 3;
+    /** First retry delay; doubles each further attempt (exponential). */
+    TimeNs rpc_backoff_base = util::MsToNs(1);
+};
+
+/** Client-side reliability counters for RpcWithRetry. */
+struct RpcStats
+{
+    uint64_t timeouts = 0;        ///< Attempts abandoned at the deadline.
+    uint64_t retries = 0;         ///< Re-issued attempts.
+    uint64_t failures = 0;        ///< Requests failed after all retries.
+    uint64_t late_responses = 0;  ///< Responses that raced a timeout.
 };
 
 /**
@@ -68,6 +86,19 @@ class Network
              sim::Callback delivered);
 
     /**
+     * Rpc with client-side fault tolerance: each attempt is abandoned
+     * after spec.rpc_timeout and re-issued after an exponentially growing
+     * backoff (spec.rpc_backoff_base << attempt), up to
+     * spec.rpc_max_retries retries. @p done receives true when some
+     * attempt's response arrives before its deadline, false after the
+     * final attempt times out. The handler must be idempotent: an
+     * attempt that already reached the server keeps running and its late
+     * response is discarded.
+     */
+    void RpcWithRetry(uint32_t client, uint64_t request_bytes,
+                      Handler handler, std::function<void(bool ok)> done);
+
+    /**
      * One-way client -> server message; @p at_server fires when the
      * server has dispatched it. Used with Push() to model streamed
      * responses (sub-request results flow back as they complete instead
@@ -83,8 +114,13 @@ class Network
     uint64_t messages() const { return messages_; }
     uint64_t bytes_to_clients() const { return bytes_to_clients_; }
     const NetworkSpec &spec() const { return spec_; }
+    const RpcStats &rpc_stats() const { return rpc_stats_; }
 
   private:
+    void AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
+                    std::shared_ptr<std::function<void(bool)>> done,
+                    uint32_t attempt);
+
     sim::Simulator &sim_;
     NetworkSpec spec_;
     std::vector<std::unique_ptr<sim::FifoResource>> client_nics_;
@@ -94,6 +130,7 @@ class Network
     sim::FifoResource server_cpu_;
     uint64_t messages_ = 0;
     uint64_t bytes_to_clients_ = 0;
+    RpcStats rpc_stats_;
 };
 
 }  // namespace sdf::net

@@ -1,0 +1,22 @@
+#include "sdf/io_status.h"
+
+namespace sdf::core {
+
+const char *
+IoErrorName(IoError e)
+{
+    switch (e) {
+      case IoError::kOk: return "ok";
+      case IoError::kContractViolation: return "contract-violation";
+      case IoError::kReadUncorrectable: return "read-uncorrectable";
+      case IoError::kChannelDead: return "channel-dead";
+      case IoError::kUnitDead: return "unit-dead";
+      case IoError::kNoSpace: return "no-space";
+      case IoError::kWriteFailed: return "write-failed";
+      case IoError::kNotFound: return "not-found";
+      case IoError::kTimedOut: return "timed-out";
+    }
+    return "unknown";
+}
+
+}  // namespace sdf::core

@@ -28,38 +28,40 @@ SdfDevice::SdfDevice(sim::Simulator &sim, const SdfConfig &config)
     const nand::Geometry &geo = flash_->geometry();
     unit_bytes_ = uint64_t{geo.PlanesPerChannel()} * geo.BlockBytes();
 
+    // Per-plane bad-block managers take ownership of the factory-bad list
+    // and the spare pool; the free pool only ever holds usable blocks.
     // Logical sizing: a unit needs one block in every plane, so the number
-    // of exposed units is bounded by the worst plane's good-block count
-    // minus the bad-block spares.
+    // of exposed units is bounded by the worst plane's usable-block count.
     uint32_t min_usable = geo.blocks_per_plane;
-    for (uint32_t c = 0; c < geo.channels; ++c) {
-        for (uint32_t pl = 0; pl < geo.PlanesPerChannel(); ++pl) {
-            uint32_t good = 0;
-            for (uint32_t b = 0; b < geo.blocks_per_plane; ++b) {
-                if (!flash_->channel(c).block_meta(nand::BlockAddr{pl, b}).bad)
-                    ++good;
-            }
-            SDF_CHECK_MSG(good > config_.spare_blocks_per_plane,
-                          "too many factory bad blocks");
-            min_usable =
-                std::min(min_usable, good - config_.spare_blocks_per_plane);
-        }
-    }
-    units_per_channel_ = min_usable;
-
     channels_.resize(geo.channels);
     for (uint32_t c = 0; c < geo.channels; ++c) {
         ChannelEngine &ce = channels_[c];
         ce.engine = std::make_unique<sim::FifoResource>(sim);
-        ce.units.assign(units_per_channel_, UnitState::kUnwritten);
         ce.planes.resize(geo.PlanesPerChannel());
         for (uint32_t pl = 0; pl < geo.PlanesPerChannel(); ++pl) {
             PlaneEngine &pe = ce.planes[pl];
-            pe.map = std::make_unique<ftl::BlockMap>(units_per_channel_);
+            std::vector<uint32_t> factory_bad;
             for (uint32_t b = 0; b < geo.blocks_per_plane; ++b) {
-                if (!flash_->channel(c).block_meta(nand::BlockAddr{pl, b}).bad)
-                    pe.free_pool.Release(b, 0);
+                if (flash_->channel(c).block_meta(nand::BlockAddr{pl, b}).bad)
+                    factory_bad.push_back(b);
             }
+            SDF_CHECK_MSG(geo.blocks_per_plane - factory_bad.size() >
+                              config_.spare_blocks_per_plane,
+                          "too many factory bad blocks");
+            pe.bbm = std::make_unique<ftl::BadBlockManager>(
+                geo.blocks_per_plane, factory_bad,
+                config_.spare_blocks_per_plane);
+            for (uint32_t b : pe.bbm->usable_blocks()) pe.free_pool.Release(b, 0);
+            min_usable = std::min(
+                min_usable,
+                static_cast<uint32_t>(pe.bbm->usable_blocks().size()));
+        }
+    }
+    units_per_channel_ = min_usable;
+    for (auto &ce : channels_) {
+        ce.units.assign(units_per_channel_, UnitState::kUnwritten);
+        for (auto &pe : ce.planes) {
+            pe.map = std::make_unique<ftl::BlockMap>(units_per_channel_);
         }
     }
 }
@@ -111,11 +113,82 @@ SdfDevice::DebugForceWritten(uint32_t channel, uint32_t unit)
 }
 
 void
-SdfDevice::Complete(uint32_t channel, IoCallback done, bool ok)
+SdfDevice::Complete(uint32_t channel, IoCallback done, IoStatus status)
 {
     if (!done) return;
     irq_->OnCompletion(channel,
-                       [done = std::move(done), ok]() { done(ok); });
+                       [done = std::move(done), status]() { done(status); });
+}
+
+uint32_t
+SdfDevice::RetireAndRemap(uint32_t channel, uint32_t plane, uint32_t unit,
+                          uint32_t block)
+{
+    ChannelEngine &ce = channels_[channel];
+    PlaneEngine &pe = ce.planes[plane];
+    flash_->channel(channel).MarkBad(nand::BlockAddr{plane, block});
+    ++stats_.blocks_retired;
+    const uint32_t spare = pe.bbm->RetireBlock(block);
+    if (spare != ftl::kNoSpare) {
+        const uint32_t ec = flash_->channel(channel)
+                                .block_meta(nand::BlockAddr{plane, spare})
+                                .erase_count;
+        pe.free_pool.Release(spare, ec);
+    }
+    if (!pe.free_pool.Empty()) {
+        const uint32_t fresh = pe.free_pool.Allocate();
+        pe.map->Set(unit, fresh);
+        return fresh;
+    }
+    // Spares and pool both exhausted: the logical unit is lost.
+    pe.map->Clear(unit);
+    if (ce.units[unit] != UnitState::kDead) {
+        ce.units[unit] = UnitState::kDead;
+        ++stats_.units_lost;
+    }
+    return ftl::kUnmappedBlock;
+}
+
+void
+SdfDevice::ReadPageLadder(uint32_t channel, uint32_t unit, uint32_t plane,
+                          uint32_t block, uint32_t page_in_block,
+                          uint32_t level, TimeNs first_fail,
+                          std::function<void(IoStatus)> done,
+                          std::vector<uint8_t> *buf)
+{
+    flash_->channel(channel).ReadPage(
+        nand::PageAddr{plane, block, page_in_block},
+        [this, channel, unit, plane, block, page_in_block, level, first_fail,
+         done = std::move(done), buf](nand::OpStatus status) mutable {
+            if (nand::IsOk(status)) {  // kOk or kOkErased (unprogrammed).
+                if (level > 0) {
+                    ++stats_.retry_recoveries;
+                    recovery_latencies_.Record(sim_.Now() - first_fail);
+                }
+                done(IoStatus());
+                return;
+            }
+            if (status == nand::OpStatus::kChannelDead) {
+                done(IoError::kChannelDead);
+                return;
+            }
+            // BCH-uncorrectable: climb the retry-voltage ladder.
+            const TimeNs t0 = level == 0 ? sim_.Now() : first_fail;
+            if (level < config_.read_retry_levels) {
+                ++stats_.read_retries;
+                ReadPageLadder(channel, unit, plane, block, page_in_block,
+                               level + 1, t0, std::move(done), buf);
+                return;
+            }
+            // Ladder exhausted: data is lost; retire the block so future
+            // writes land on healthy flash. The host sees a typed error
+            // and must recover from a replica.
+            ++stats_.read_failures;
+            ++stats_.read_retirements;
+            RetireAndRemap(channel, plane, unit, block);
+            done(IoError::kReadUncorrectable);
+        },
+        buf, level);
 }
 
 void
@@ -128,7 +201,7 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
         length % page != 0 || offset + length > unit_bytes_) {
         ++stats_.contract_violations;
         sim_.Schedule(0, [done = std::move(done)]() {
-            if (done) done(false);
+            if (done) done(IoError::kContractViolation);
         });
         return;
     }
@@ -143,7 +216,7 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
         uint32_t total_pages;
         uint32_t flash_done = 0;
         uint32_t transferred = 0;
-        bool ok = true;
+        IoStatus status;  ///< First page-level error wins.
         IoCallback done;
         std::vector<uint8_t> *out;
     };
@@ -177,9 +250,8 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
                     sim_.Now(), uint64_t{n} * page,
                     final_chunk
                         ? sim::Callback([this, channel, state]() {
-                              if (!state->ok) ++stats_.read_failures;
                               Complete(channel, std::move(state->done),
-                                       state->ok);
+                                       state->status);
                           })
                         : nullptr);
             }
@@ -202,12 +274,11 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
             }
             auto buf = state->out ? std::make_shared<std::vector<uint8_t>>()
                                   : nullptr;
-            flash_->channel(channel).ReadPage(
-                nand::PageAddr{plane, block, page_in_block},
-                [state, buf, out_pos, page,
-                 page_complete](nand::OpStatus status) {
-                    if (!nand::IsOk(status)) state->ok = false;
-                    if (state->out && buf) {
+            ReadPageLadder(
+                channel, unit, plane, block, page_in_block, 0, 0,
+                [state, buf, out_pos, page, page_complete](IoStatus st) {
+                    if (!st.ok() && state->status.ok()) state->status = st;
+                    if (state->out && buf && !buf->empty()) {
                         std::memcpy(state->out->data() + out_pos, buf->data(),
                                     std::min<size_t>(page, buf->size()));
                     }
@@ -226,7 +297,7 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
         channels_[channel].units[unit] != UnitState::kErased) {
         ++stats_.contract_violations;
         sim_.Schedule(0, [done = std::move(done)]() {
-            if (done) done(false);
+            if (done) done(IoError::kContractViolation);
         });
         return;
     }
@@ -250,11 +321,11 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
                 ChannelEngine &ce2 = channels_[channel];
 
                 auto remaining = std::make_shared<uint32_t>(planes * ppb);
-                auto write_ok = std::make_shared<bool>(true);
-                auto finish = [this, channel, remaining, write_ok,
+                auto write_st = std::make_shared<IoStatus>();
+                auto finish = [this, channel, remaining, write_st,
                                done = std::move(done)]() mutable {
                     if (--*remaining > 0) return;
-                    Complete(channel, std::move(done), *write_ok);
+                    Complete(channel, std::move(done), *write_st);
                 };
 
                 // Interleave planes page-by-page so all four program
@@ -270,8 +341,13 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
                                  : nullptr;
                         flash_->channel(channel).ProgramPage(
                             nand::PageAddr{plane, block, p},
-                            [finish, write_ok](nand::OpStatus status) mutable {
-                                if (!nand::IsOk(status)) *write_ok = false;
+                            [finish, write_st](nand::OpStatus status) mutable {
+                                if (!nand::IsOk(status) && write_st->ok()) {
+                                    *write_st =
+                                        status == nand::OpStatus::kChannelDead
+                                            ? IoError::kChannelDead
+                                            : IoError::kWriteFailed;
+                                }
                                 finish();
                             },
                             payload);
@@ -284,11 +360,19 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
 void
 SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
 {
-    if (!ValidUnit(channel, unit) ||
-        channels_[channel].units[unit] == UnitState::kDead) {
+    if (!ValidUnit(channel, unit)) {
         ++stats_.contract_violations;
         sim_.Schedule(0, [done = std::move(done)]() {
-            if (done) done(false);
+            if (done) done(IoError::kContractViolation);
+        });
+        return;
+    }
+    if (channels_[channel].units[unit] == UnitState::kDead) {
+        // Not a software bug: the unit was lost to wear-out. Report it as
+        // such so hosts can distinguish "stop using this" from "you
+        // violated the contract".
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(IoError::kUnitDead);
         });
         return;
     }
@@ -303,16 +387,15 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
         ChannelEngine &ce2 = channels_[channel];
 
         auto remaining = std::make_shared<uint32_t>(planes);
-        auto all_ok = std::make_shared<bool>(true);
-        auto finish = [this, channel, unit, remaining, all_ok,
+        auto st = std::make_shared<IoStatus>();
+        auto finish = [this, channel, unit, remaining, st,
                        done = std::move(done)]() mutable {
             if (--*remaining > 0) return;
             ChannelEngine &ce3 = channels_[channel];
-            if (ce3.units[unit] != UnitState::kDead) {
-                ce3.units[unit] =
-                    *all_ok ? UnitState::kErased : UnitState::kDead;
+            if (st->ok() && ce3.units[unit] != UnitState::kDead) {
+                ce3.units[unit] = UnitState::kErased;
             }
-            Complete(channel, std::move(done), *all_ok);
+            Complete(channel, std::move(done), *st);
         };
 
         for (uint32_t plane = 0; plane < planes; ++plane) {
@@ -321,7 +404,11 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
             if (old_block == ftl::kUnmappedBlock) {
                 // First use: just map a pre-erased block from the pool.
                 if (pe.free_pool.Empty()) {
-                    *all_ok = false;
+                    *st = IoStatus(IoError::kUnitDead);
+                    if (ce2.units[unit] != UnitState::kDead) {
+                        ce2.units[unit] = UnitState::kDead;
+                        ++stats_.units_lost;
+                    }
                     sim_.Schedule(0, finish);
                     continue;
                 }
@@ -332,7 +419,7 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
             ++stats_.physical_block_erases;
             flash_->channel(channel).EraseBlock(
                 nand::BlockAddr{plane, old_block},
-                [this, channel, plane, unit, old_block, all_ok,
+                [this, channel, plane, unit, old_block, st,
                  finish](nand::OpStatus status) mutable {
                     ChannelEngine &ce3 = channels_[channel];
                     PlaneEngine &pe2 = ce3.planes[plane];
@@ -344,15 +431,17 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
                                 .erase_count;
                         pe2.free_pool.Release(old_block, ec);
                         pe2.map->Set(unit, pe2.free_pool.Allocate());
+                    } else if (status == nand::OpStatus::kChannelDead) {
+                        // The whole channel is gone; keep the mapping so a
+                        // post-mortem sees where the data lived.
+                        if (st->ok()) *st = IoError::kChannelDead;
                     } else {
-                        // Wear-out: retire the block, pull a spare.
-                        ++stats_.blocks_retired;
-                        if (pe2.free_pool.Empty()) {
-                            pe2.map->Clear(unit);
-                            ce3.units[unit] = UnitState::kDead;
-                            *all_ok = false;
-                        } else {
-                            pe2.map->Set(unit, pe2.free_pool.Allocate());
+                        // Wear-out: retire the block, remap via the spare
+                        // pool; the unit dies only when spares run out.
+                        if (RetireAndRemap(channel, plane, unit, old_block) ==
+                                ftl::kUnmappedBlock &&
+                            st->ok()) {
+                            *st = IoError::kUnitDead;
                         }
                     }
                     finish();

@@ -29,18 +29,18 @@
 
 #include "controller/interrupts.h"
 #include "controller/link.h"
+#include "ftl/bad_block_manager.h"
 #include "ftl/block_map.h"
 #include "ftl/wear_leveler.h"
 #include "nand/flash_array.h"
+#include "sdf/io_status.h"
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
+#include "util/latency_recorder.h"
 
 namespace sdf::core {
 
 using util::TimeNs;
-
-/** Completion callback: ok=false on contract violation or device failure. */
-using IoCallback = std::function<void(bool ok)>;
 
 /** Lifecycle of one 8 MB logical unit within a channel. */
 enum class UnitState : uint8_t
@@ -62,6 +62,13 @@ struct SdfConfig
     uint32_t spare_blocks_per_plane = 8;
     /** Channel-engine processing cost per command (FPGA pipeline). */
     TimeNs engine_op_cost = util::UsToNs(1);
+    /**
+     * Read-retry ladder depth: on a BCH-uncorrectable read the engine
+     * re-senses the page up to this many times with escalating correction
+     * strength before declaring the data lost and retiring the block.
+     * 0 disables retries (the original error-counting-only behaviour).
+     */
+    uint32_t read_retry_levels = 4;
 };
 
 /** Cumulative device statistics. */
@@ -75,7 +82,11 @@ struct SdfStats
     uint64_t written_bytes = 0;
     uint64_t contract_violations = 0;  ///< e.g. write to a non-erased unit.
     uint64_t blocks_retired = 0;
-    uint64_t read_failures = 0;
+    uint64_t read_failures = 0;     ///< Terminal (post-ladder) page failures.
+    uint64_t read_retries = 0;      ///< Ladder re-reads issued.
+    uint64_t retry_recoveries = 0;  ///< Pages recovered by the ladder.
+    uint64_t read_retirements = 0;  ///< Blocks retired by persistent reads.
+    uint64_t units_lost = 0;        ///< Units gone kDead (no spare left).
 };
 
 /**
@@ -167,6 +178,37 @@ class SdfDevice
     WearReport GetWearReport() const;
 
     /**
+     * True once the channel's hardware has failed (fault injection):
+     * every operation on it completes with IoError::kChannelDead. Hosts
+     * poll this to steer writes and reads to surviving channels.
+     */
+    bool ChannelDead(uint32_t channel) const
+    {
+        return flash_->channel(channel).dead();
+    }
+
+    /**
+     * Latency from the first uncorrectable sense of a page to its
+     * recovery by the read-retry ladder (per recovered page).
+     */
+    const util::LatencyRecorder &recovery_latencies() const
+    {
+        return recovery_latencies_;
+    }
+
+    /** Bad-block spares remaining in one plane's pool. */
+    uint32_t SparesLeft(uint32_t channel, uint32_t plane) const
+    {
+        return channels_[channel].planes[plane].bbm->spares_left();
+    }
+
+    /** Grown (post-factory) bad blocks recorded in one plane. */
+    uint32_t GrownBadCount(uint32_t channel, uint32_t plane) const
+    {
+        return channels_[channel].planes[plane].bbm->grown_bad_count();
+    }
+
+    /**
      * Instantly (zero simulated time, no payload) bring a unit to the
      * written state: maps physical blocks and marks them programmed.
      * Simulation backdoor for preconditioning experiments only.
@@ -181,8 +223,9 @@ class SdfDevice
   private:
     struct PlaneEngine
     {
-        std::unique_ptr<ftl::BlockMap> map;   ///< unit -> physical block.
-        ftl::DynamicWearLeveler free_pool;    ///< Erased blocks; also spares.
+        std::unique_ptr<ftl::BlockMap> map;        ///< unit -> physical block.
+        std::unique_ptr<ftl::BadBlockManager> bbm; ///< Bad blocks + spares.
+        ftl::DynamicWearLeveler free_pool;         ///< Erased usable blocks.
     };
 
     struct ChannelEngine
@@ -193,7 +236,27 @@ class SdfDevice
     };
 
     bool ValidUnit(uint32_t channel, uint32_t unit) const;
-    void Complete(uint32_t channel, IoCallback done, bool ok);
+    void Complete(uint32_t channel, IoCallback done, IoStatus status);
+
+    /**
+     * One rung of the read-retry ladder: read the page at @p level; on
+     * kReadUncorrectable escalate up to config_.read_retry_levels, then
+     * retire the block and report kReadUncorrectable. @p first_fail is
+     * the sim time of the first failed sense (0 while level == 0).
+     */
+    void ReadPageLadder(uint32_t channel, uint32_t unit, uint32_t plane,
+                        uint32_t block, uint32_t page_in_block, uint32_t level,
+                        TimeNs first_fail, std::function<void(IoStatus)> done,
+                        std::vector<uint8_t> *buf);
+
+    /**
+     * Retire @p block (grown bad) in (@p channel, @p plane): mark it bad,
+     * pull a spare from the plane's BadBlockManager into the free pool,
+     * and remap @p unit to a fresh block. If no block is available the
+     * unit goes kDead. Returns the new physical block or kUnmappedBlock.
+     */
+    uint32_t RetireAndRemap(uint32_t channel, uint32_t plane, uint32_t unit,
+                            uint32_t block);
 
     sim::Simulator &sim_;
     SdfConfig config_;
@@ -204,6 +267,7 @@ class SdfDevice
     uint32_t units_per_channel_ = 0;
     uint64_t unit_bytes_ = 0;
     SdfStats stats_;
+    util::LatencyRecorder recovery_latencies_;
 };
 
 /**

@@ -1,0 +1,578 @@
+/**
+ * @file
+ * End-to-end fault injection and recovery tests: the fault plan format,
+ * the injector, the device read-retry ladder and block retirement, unit
+ * lifecycle under wear-out, network timeout/retry, replicated failover
+ * with read-repair, and full fault-campaign invariants (no data loss,
+ * bounded completion, determinism).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault_common.h"
+#include "kv/replicated_store.h"
+#include "net/network.h"
+#include "sdf/sdf_device.h"
+#include "sim/simulator.h"
+
+namespace sdf {
+namespace {
+
+core::SdfConfig
+TinyConfig()
+{
+    core::SdfConfig c;
+    c.flash.geometry = nand::TinyTestGeometry();
+    c.flash.timing = nand::FastTestTiming();
+    c.link = controller::UnlimitedLinkSpec();
+    c.spare_blocks_per_plane = 2;
+    c.irq.coalesce = false;
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, RandomIsDeterministicPerSeed)
+{
+    fault::FaultPlanSpec spec;
+    spec.fault_count = 64;
+    const fault::FaultPlan a = fault::FaultPlan::Random(spec, 7);
+    const fault::FaultPlan b = fault::FaultPlan::Random(spec, 7);
+    const fault::FaultPlan c = fault::FaultPlan::Random(spec, 8);
+    ASSERT_EQ(a.size(), 64u);
+    ASSERT_EQ(a.size(), b.size());
+    bool differs_from_c = a.size() != c.size();
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].when, b.events()[i].when);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].channel, b.events()[i].channel);
+        if (!differs_from_c &&
+            (a.events()[i].when != c.events()[i].when ||
+             a.events()[i].kind != c.events()[i].kind)) {
+            differs_from_c = true;
+        }
+    }
+    EXPECT_TRUE(differs_from_c);
+}
+
+TEST(FaultPlan, RespectsMaxDeaths)
+{
+    fault::FaultPlanSpec spec;
+    spec.fault_count = 500;
+    spec.weight_death = 100.0;  // Make deaths dominate the draw.
+    spec.max_deaths = 3;
+    const fault::FaultPlan plan = fault::FaultPlan::Random(spec, 11);
+    uint32_t deaths = 0;
+    for (const auto &e : plan.events()) {
+        if (e.kind == fault::FaultKind::kChannelDeath) ++deaths;
+    }
+    EXPECT_LE(deaths, 3u);
+}
+
+TEST(FaultPlan, ParseToTextRoundTrip)
+{
+    const std::string text =
+        "# comment line\n"
+        "1000 stall 0 3 500\n"
+        "2000 death 0 7\n"
+        "\n"
+        "3000 corrupt 1 2 3 4 5   # trailing comment\n"
+        "4000 crc 0 5 800 0.25\n"
+        "5000 rber 0 2 0 3 50\n";
+    fault::FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(fault::FaultPlan::Parse(text, &plan, &error)) << error;
+    ASSERT_EQ(plan.size(), 5u);
+    EXPECT_EQ(plan.events()[0].kind, fault::FaultKind::kChannelStall);
+    EXPECT_EQ(plan.events()[0].when, util::UsToNs(1000));
+    EXPECT_EQ(plan.events()[0].duration, util::UsToNs(500));
+    EXPECT_EQ(plan.events()[1].kind, fault::FaultKind::kChannelDeath);
+    EXPECT_EQ(plan.events()[1].channel, 7u);
+    EXPECT_EQ(plan.events()[2].device, 1u);
+    EXPECT_EQ(plan.events()[2].page, 5u);
+    EXPECT_DOUBLE_EQ(plan.events()[3].magnitude, 0.25);
+    EXPECT_DOUBLE_EQ(plan.events()[4].magnitude, 50.0);
+
+    fault::FaultPlan again;
+    ASSERT_TRUE(fault::FaultPlan::Parse(plan.ToText(), &again, &error))
+        << error;
+    ASSERT_EQ(again.size(), plan.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(again.events()[i].when, plan.events()[i].when);
+        EXPECT_EQ(again.events()[i].kind, plan.events()[i].kind);
+        EXPECT_EQ(again.events()[i].device, plan.events()[i].device);
+        EXPECT_EQ(again.events()[i].channel, plan.events()[i].channel);
+        EXPECT_EQ(again.events()[i].block, plan.events()[i].block);
+    }
+}
+
+TEST(FaultPlan, ParseRejectsMalformedLines)
+{
+    fault::FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(fault::FaultPlan::Parse("5 explode 0 0\n", &plan, &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+    EXPECT_FALSE(fault::FaultPlan::Parse("5 stall 0\n", &plan, &error));
+    EXPECT_FALSE(fault::FaultPlan::Parse("5 stall 0 0 -3\n", &plan, &error));
+    EXPECT_FALSE(
+        fault::FaultPlan::Parse("5 crc 0 0 100 1.5\n", &plan, &error));
+    EXPECT_FALSE(fault::FaultPlan::Parse("ok\n5 death 0 0\n", &plan, &error));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, AppliesEventsAndSkipsOutOfRange)
+{
+    sim::Simulator sim;
+    core::SdfDevice dev(sim, TinyConfig());
+    std::vector<fault::FaultEvent> events;
+    fault::FaultEvent death;
+    death.kind = fault::FaultKind::kChannelDeath;
+    death.when = util::UsToNs(10);
+    death.channel = 1;
+    events.push_back(death);
+    fault::FaultEvent bogus = death;  // Channel beyond the tiny geometry.
+    bogus.channel = 99;
+    events.push_back(bogus);
+    fault::FaultEvent stall;
+    stall.kind = fault::FaultKind::kChannelStall;
+    stall.when = util::UsToNs(20);
+    stall.channel = 0;
+    stall.duration = util::UsToNs(100);
+    events.push_back(stall);
+
+    fault::FaultInjector injector(sim, {&dev},
+                                  fault::FaultPlan(std::move(events)));
+    sim.Run();
+    EXPECT_TRUE(dev.ChannelDead(1));
+    EXPECT_FALSE(dev.ChannelDead(0));
+    EXPECT_EQ(injector.stats().deaths, 1u);
+    EXPECT_EQ(injector.stats().stalls, 1u);
+    EXPECT_EQ(injector.stats().skipped, 1u);
+    EXPECT_EQ(injector.stats().total(), 2u);
+}
+
+TEST(FaultInjector, DeadChannelFailsOperationsTyped)
+{
+    sim::Simulator sim;
+    core::SdfDevice dev(sim, TinyConfig());
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    dev.flash().channel(0).InjectDeath();
+
+    core::IoStatus write_st;
+    dev.WriteUnit(0, 0, [&](core::IoStatus st) { write_st = st; });
+    sim.Run();
+    EXPECT_FALSE(write_st.ok());
+    EXPECT_EQ(write_st.error, core::IoError::kChannelDead);
+
+    core::IoStatus read_st;
+    dev.Read(0, 0, 0, dev.read_unit_bytes(),
+             [&](core::IoStatus st) { read_st = st; });
+    sim.Run();
+    EXPECT_EQ(read_st.error, core::IoError::kChannelDead);
+}
+
+// ---------------------------------------------------------------------------
+// Read-retry ladder
+// ---------------------------------------------------------------------------
+
+/** Erase+write every unit, then read every page once; returns the device. */
+std::unique_ptr<core::SdfDevice>
+RunElevatedRberReads(sim::Simulator &sim, uint32_t retry_levels,
+                     uint64_t seed)
+{
+    core::SdfConfig cfg = TinyConfig();
+    // ~29 expected raw bit errors per 4 KiB page against a 40-bit BCH
+    // budget: a few percent of plain reads fail, but each extra ladder
+    // level adds 10 correctable bits, putting re-reads deep in the safe
+    // tail of the Poisson distribution.
+    cfg.flash.errors.enabled = true;
+    cfg.flash.errors.base_rber = 9e-4;
+    cfg.flash.seed = seed;
+    cfg.read_retry_levels = retry_levels;
+    auto dev = std::make_unique<core::SdfDevice>(sim, cfg);
+    for (uint32_t c = 0; c < dev->channel_count(); ++c) {
+        for (uint32_t u = 0; u < dev->units_per_channel(); ++u) {
+            dev->EraseUnit(c, u, nullptr);
+            sim.Run();
+            dev->WriteUnit(c, u, nullptr);
+            sim.Run();
+        }
+    }
+    for (uint32_t c = 0; c < dev->channel_count(); ++c) {
+        for (uint32_t u = 0; u < dev->units_per_channel(); ++u) {
+            dev->Read(c, u, 0, dev->unit_bytes(), nullptr);
+            sim.Run();
+        }
+    }
+    return dev;
+}
+
+TEST(ReadRetryLadder, RecoversAtLeastTenfold)
+{
+    sim::Simulator sim_off;
+    const auto without = RunElevatedRberReads(sim_off, 0, 123);
+    sim::Simulator sim_on;
+    const auto with = RunElevatedRberReads(sim_on, 4, 123);
+
+    const uint64_t failures_without = without->stats().read_failures;
+    const uint64_t failures_with = with->stats().read_failures;
+    EXPECT_EQ(without->stats().read_retries, 0u);
+    EXPECT_GT(with->stats().read_retries, 0u);
+    EXPECT_GT(with->stats().retry_recoveries, 0u);
+    ASSERT_GT(failures_without, 0u);
+    // The acceptance bar: the ladder cuts terminal read failures by >= 10x.
+    EXPECT_GE(failures_without,
+              10 * std::max<uint64_t>(failures_with, 1));
+    // Recovered pages have recorded recovery latencies.
+    EXPECT_EQ(with->recovery_latencies().count(),
+              with->stats().retry_recoveries);
+}
+
+TEST(ReadRetryLadder, DeterministicStatsForEqualSeeds)
+{
+    sim::Simulator sim_a;
+    const auto a = RunElevatedRberReads(sim_a, 4, 99);
+    sim::Simulator sim_b;
+    const auto b = RunElevatedRberReads(sim_b, 4, 99);
+    EXPECT_EQ(a->stats().page_reads, b->stats().page_reads);
+    EXPECT_EQ(a->stats().read_retries, b->stats().read_retries);
+    EXPECT_EQ(a->stats().retry_recoveries, b->stats().retry_recoveries);
+    EXPECT_EQ(a->stats().read_failures, b->stats().read_failures);
+    EXPECT_EQ(a->stats().blocks_retired, b->stats().blocks_retired);
+    EXPECT_EQ(a->stats().units_lost, b->stats().units_lost);
+    EXPECT_EQ(sim_a.Now(), sim_b.Now());
+}
+
+TEST(ReadRetryLadder, CorruptionRetiresBlockAndSurfacesTypedError)
+{
+    sim::Simulator sim;
+    core::SdfDevice dev(sim, TinyConfig());
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    dev.WriteUnit(0, 0, nullptr);
+    sim.Run();
+
+    // Corrupt page 0 of every plane-0 block: whichever block unit 0
+    // mapped, its first page is now uncorrectable at every retry level.
+    const nand::Geometry &geo = dev.flash().geometry();
+    for (uint32_t b = 0; b < geo.blocks_per_plane; ++b) {
+        dev.flash().channel(0).CorruptPage(nand::PageAddr{0, b, 0});
+    }
+    const uint32_t spares_before = dev.SparesLeft(0, 0);
+
+    core::IoStatus st;
+    dev.Read(0, 0, 0, dev.unit_bytes(), [&](core::IoStatus s) { st = s; });
+    sim.Run();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.error, core::IoError::kReadUncorrectable);
+    EXPECT_GE(dev.stats().read_retirements, 1u);
+    EXPECT_GE(dev.stats().blocks_retired, 1u);
+    EXPECT_GE(dev.GrownBadCount(0, 0), 1u);
+    EXPECT_EQ(dev.SparesLeft(0, 0), spares_before - dev.GrownBadCount(0, 0));
+    // The unit was remapped, not killed: spares absorbed the loss.
+    EXPECT_EQ(dev.unit_state(0, 0), core::UnitState::kWritten);
+}
+
+// ---------------------------------------------------------------------------
+// Unit lifecycle under wear-out
+// ---------------------------------------------------------------------------
+
+TEST(UnitLifecycle, WearOutWalksUnwrittenErasedWrittenDead)
+{
+    sim::Simulator sim;
+    core::SdfConfig cfg = TinyConfig();
+    cfg.flash.errors.enabled = true;
+    cfg.flash.errors.endurance_cycles = 2;
+    cfg.flash.errors.wearout_fail_scale = 1.0;
+    core::SdfDevice dev(sim, cfg);
+
+    EXPECT_EQ(dev.unit_state(0, 0), core::UnitState::kUnwritten);
+    dev.EraseUnit(0, 0, nullptr);
+    sim.Run();
+    EXPECT_EQ(dev.unit_state(0, 0), core::UnitState::kErased);
+    dev.WriteUnit(0, 0, nullptr);
+    sim.Run();
+    EXPECT_EQ(dev.unit_state(0, 0), core::UnitState::kWritten);
+
+    // Hammer erase/write cycles until wear-out exhausts the plane's
+    // spares and the unit dies.
+    for (int round = 0; round < 500; ++round) {
+        bool dead = false;
+        for (uint32_t u = 0; u < dev.units_per_channel(); ++u) {
+            dev.EraseUnit(0, u, nullptr);
+            sim.Run();
+            if (dev.unit_state(0, u) == core::UnitState::kDead) {
+                dead = true;
+                break;
+            }
+            dev.WriteUnit(0, u, nullptr);
+            sim.Run();
+        }
+        if (dead) break;
+    }
+    uint32_t dead_units = 0;
+    for (uint32_t u = 0; u < dev.units_per_channel(); ++u) {
+        if (dev.unit_state(0, u) == core::UnitState::kDead) ++dead_units;
+    }
+    ASSERT_GE(dead_units, 1u);
+    EXPECT_EQ(dev.stats().units_lost, dead_units);
+    EXPECT_GT(dev.stats().blocks_retired, 0u);
+
+    // A dead unit stays dead: erase completes with kUnitDead.
+    uint32_t dead_u = 0;
+    while (dev.unit_state(0, dead_u) != core::UnitState::kDead) ++dead_u;
+    core::IoStatus st;
+    dev.EraseUnit(0, dead_u, [&](core::IoStatus s) { st = s; });
+    sim.Run();
+    EXPECT_EQ(st.error, core::IoError::kUnitDead);
+    EXPECT_EQ(dev.unit_state(0, dead_u), core::UnitState::kDead);
+}
+
+// ---------------------------------------------------------------------------
+// Network timeout and retry
+// ---------------------------------------------------------------------------
+
+TEST(NetworkRetry, TimesOutBacksOffAndGivesUp)
+{
+    sim::Simulator sim;
+    net::NetworkSpec spec;
+    spec.rpc_timeout = util::MsToNs(1);
+    spec.rpc_max_retries = 3;
+    spec.rpc_backoff_base = util::UsToNs(100);
+    net::Network net(sim, spec, 1);
+
+    int handler_runs = 0;
+    bool done_ok = true;
+    bool completed = false;
+    net.RpcWithRetry(
+        0, 256,
+        [&](std::function<void(uint64_t)>) { ++handler_runs; },  // Black hole.
+        [&](bool ok) {
+            done_ok = ok;
+            completed = true;
+        });
+    sim.Run();
+    EXPECT_TRUE(completed);
+    EXPECT_FALSE(done_ok);
+    EXPECT_EQ(handler_runs, 4);  // Initial attempt + 3 retries.
+    EXPECT_EQ(net.rpc_stats().timeouts, 4u);
+    EXPECT_EQ(net.rpc_stats().retries, 3u);
+    EXPECT_EQ(net.rpc_stats().failures, 1u);
+    // Total elapsed covers 4 timeouts plus the backoff gaps.
+    EXPECT_GE(sim.Now(), 4 * spec.rpc_timeout + 7 * spec.rpc_backoff_base);
+}
+
+TEST(NetworkRetry, FastResponseSucceedsWithoutRetries)
+{
+    sim::Simulator sim;
+    net::NetworkSpec spec;
+    spec.rpc_timeout = util::MsToNs(50);
+    net::Network net(sim, spec, 1);
+    bool done_ok = false;
+    net.RpcWithRetry(
+        0, 256, [](std::function<void(uint64_t)> reply) { reply(4096); },
+        [&](bool ok) { done_ok = ok; });
+    sim.Run();
+    EXPECT_TRUE(done_ok);
+    EXPECT_EQ(net.rpc_stats().timeouts, 0u);
+    EXPECT_EQ(net.rpc_stats().retries, 0u);
+    EXPECT_EQ(net.rpc_stats().failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated degraded-mode operation
+// ---------------------------------------------------------------------------
+
+struct TinyStack
+{
+    std::unique_ptr<core::SdfDevice> device;
+    std::unique_ptr<blocklayer::BlockLayer> layer;
+    std::unique_ptr<kv::SdfPatchStorage> storage;
+    std::unique_ptr<kv::Store> store;
+};
+
+TinyStack
+MakeTinyStack(sim::Simulator &sim, uint64_t seed)
+{
+    TinyStack s;
+    core::SdfConfig cfg = TinyConfig();
+    cfg.flash.seed = seed;
+    s.device = std::make_unique<core::SdfDevice>(sim, cfg);
+    s.layer = std::make_unique<blocklayer::BlockLayer>(
+        sim, *s.device, blocklayer::BlockLayerConfig{});
+    s.storage = std::make_unique<kv::SdfPatchStorage>(*s.layer);
+    kv::StoreConfig sc;
+    sc.slice_count = 2;
+    s.store = std::make_unique<kv::Store>(sim, *s.storage, sc);
+    return s;
+}
+
+void
+KillDevice(core::SdfDevice &dev)
+{
+    for (uint32_t c = 0; c < dev.channel_count(); ++c) {
+        dev.flash().channel(c).InjectDeath();
+    }
+}
+
+TEST(ReplicatedKv, FailsOverAndReadRepairs)
+{
+    sim::Simulator sim;
+    std::vector<TinyStack> stacks;
+    std::vector<kv::Store *> stores;
+    for (uint64_t r = 0; r < 3; ++r) {
+        stacks.push_back(MakeTinyStack(sim, 1000 + r));
+        stores.push_back(stacks.back().store.get());
+    }
+    kv::ReplicatedKv rep(sim, stores);
+
+    const uint64_t key = 3;  // PrimaryOf(3) == 0.
+    ASSERT_EQ(rep.PrimaryOf(key), 0u);
+    bool put_ok = false;
+    rep.Put(key, 4096, [&](bool ok) { put_ok = ok; });
+    sim.Run();
+    ASSERT_TRUE(put_ok);
+    // Push the value out of every memtable so reads touch real media.
+    for (auto &s : stacks) {
+        for (uint32_t i = 0; i < s.store->slice_count(); ++i) {
+            s.store->slice(i).Flush();
+        }
+    }
+    sim.Run();
+
+    KillDevice(*stacks[0].device);
+    bool found = false, ok = false;
+    rep.Get(key, [&](const kv::GetResult &res) {
+        found = res.found;
+        ok = res.ok;
+    });
+    sim.Run();
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(rep.stats().degraded_reads, 1u);
+    EXPECT_GE(rep.stats().re_replications, 1u);
+    EXPECT_EQ(rep.recovery_latencies().count(), 1u);
+
+    // The repair re-put the value into replica 0 (its memtable still
+    // accepts writes): a re-read of the repaired key is no longer
+    // degraded.
+    rep.Get(key, [](const kv::GetResult &res) { EXPECT_TRUE(res.found); });
+    sim.Run();
+    EXPECT_EQ(rep.stats().degraded_reads, 1u);
+}
+
+TEST(ReplicatedKv, AllReplicasDeadFailsCleanly)
+{
+    sim::Simulator sim;
+    std::vector<TinyStack> stacks;
+    std::vector<kv::Store *> stores;
+    for (uint64_t r = 0; r < 3; ++r) {
+        stacks.push_back(MakeTinyStack(sim, 3000 + r));
+        stores.push_back(stacks.back().store.get());
+    }
+    kv::ReplicatedKv rep(sim, stores);
+    bool put_ok = false;
+    rep.Put(5, 4096, [&](bool ok) { put_ok = ok; });
+    sim.Run();
+    ASSERT_TRUE(put_ok);
+    for (auto &s : stacks) {
+        for (uint32_t i = 0; i < s.store->slice_count(); ++i) {
+            s.store->slice(i).Flush();
+        }
+    }
+    sim.Run();
+
+    for (auto &s : stacks) KillDevice(*s.device);
+    // Every replica's storage errors out: the read must fail cleanly —
+    // and promptly — rather than hang.
+    bool completed = false;
+    rep.Get(5, [&](const kv::GetResult &res) {
+        completed = true;
+        EXPECT_FALSE(res.ok);
+        EXPECT_FALSE(res.found);
+    });
+    sim.Run();
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(rep.stats().failed_reads, 1u);
+}
+
+TEST(ReplicatedKv, PutSurvivesOneDeadReplica)
+{
+    sim::Simulator sim;
+    std::vector<TinyStack> stacks;
+    std::vector<kv::Store *> stores;
+    for (uint64_t r = 0; r < 3; ++r) {
+        stacks.push_back(MakeTinyStack(sim, 2000 + r));
+        stores.push_back(stacks.back().store.get());
+    }
+    kv::ReplicatedKv rep(sim, stores);
+    KillDevice(*stacks[1].device);
+
+    bool put_ok = false;
+    rep.Put(9, 4096, [&](bool ok) { put_ok = ok; });
+    sim.Run();
+    // Memtable writes ack even on the dead replica (its flush will fail
+    // later); the put must report overall success either way.
+    EXPECT_TRUE(put_ok);
+    bool found = false;
+    rep.Get(9, [&](const kv::GetResult &res) { found = res.found; });
+    sim.Run();
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Full campaign invariants
+// ---------------------------------------------------------------------------
+
+bench::FaultCampaignConfig
+SmallCampaign(uint64_t seed)
+{
+    bench::FaultCampaignConfig cfg;
+    cfg.keys = 150;
+    cfg.reads = 300;
+    cfg.writes = 40;
+    cfg.fault_count = 100;
+    cfg.horizon_sec = 0.2;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(FaultCampaign, NoDataLossAndAllRequestsComplete)
+{
+    const bench::FaultCampaignResult r =
+        bench::RunFaultCampaign(SmallCampaign(5));
+    EXPECT_EQ(r.faults.total() + r.faults.skipped, 100u);
+    EXPECT_GE(r.keys_stored, 150u);
+    EXPECT_EQ(r.keys_lost, 0u);
+    EXPECT_EQ(r.requests_issued, 340u);
+    EXPECT_EQ(r.requests_completed, r.requests_issued);
+}
+
+TEST(FaultCampaign, FingerprintIsSeedDeterministic)
+{
+    const bench::FaultCampaignResult a =
+        bench::RunFaultCampaign(SmallCampaign(5));
+    const bench::FaultCampaignResult b =
+        bench::RunFaultCampaign(SmallCampaign(5));
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.device.page_reads, b.device.page_reads);
+    EXPECT_EQ(a.kv.degraded_reads, b.kv.degraded_reads);
+    EXPECT_EQ(a.rpc.timeouts, b.rpc.timeouts);
+
+    const bench::FaultCampaignResult c =
+        bench::RunFaultCampaign(SmallCampaign(6));
+    EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -86,7 +86,7 @@ TEST(BadBlockManager, RetireDrawsFromSpares)
     BadBlockManager bbm(50, {}, 3);
     const uint32_t victim = bbm.usable_blocks()[0];
     const uint32_t repl1 = bbm.RetireBlock(victim);
-    EXPECT_NE(repl1, UINT32_MAX);
+    EXPECT_NE(repl1, kNoSpare);
     EXPECT_TRUE(bbm.IsBad(victim));
     EXPECT_EQ(bbm.spares_left(), 2u);
     EXPECT_EQ(bbm.grown_bad_count(), 1u);
@@ -94,7 +94,33 @@ TEST(BadBlockManager, RetireDrawsFromSpares)
     bbm.RetireBlock(bbm.usable_blocks()[1]);
     bbm.RetireBlock(bbm.usable_blocks()[2]);
     EXPECT_EQ(bbm.spares_left(), 0u);
-    EXPECT_EQ(bbm.RetireBlock(bbm.usable_blocks()[3]), UINT32_MAX);
+    EXPECT_EQ(bbm.RetireBlock(bbm.usable_blocks()[3]), kNoSpare);
+}
+
+TEST(BadBlockManager, ExhaustionKeepsCountingGrownBad)
+{
+    // Past spare exhaustion, retirements still mark blocks bad and keep
+    // the grown-bad ledger accurate -- the device layer relies on this
+    // to report honest wear statistics after units start dying.
+    BadBlockManager bbm(10, {0}, 2);
+    const uint32_t usable = static_cast<uint32_t>(bbm.usable_blocks().size());
+    ASSERT_EQ(usable, 10u - 1 - 2);
+    uint32_t retired = 0;
+    for (uint32_t i = 0; i < usable; ++i) {
+        const uint32_t b = bbm.usable_blocks()[i];
+        const uint32_t repl = bbm.RetireBlock(b);
+        ++retired;
+        EXPECT_TRUE(bbm.IsBad(b));
+        if (retired <= 2) {
+            EXPECT_NE(repl, kNoSpare);
+            EXPECT_FALSE(bbm.IsBad(repl));
+        } else {
+            EXPECT_EQ(repl, kNoSpare);
+        }
+        EXPECT_EQ(bbm.grown_bad_count(), retired);
+    }
+    EXPECT_EQ(bbm.spares_left(), 0u);
+    EXPECT_EQ(bbm.grown_bad_count(), usable);
 }
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "fault_common.h"
 #include "util/table_printer.h"
 
 namespace sdf {
@@ -40,8 +41,24 @@ struct Options
     uint32_t slices = 8;             // KV workloads.
     uint32_t batch = 44;
     uint32_t value_kib = 512;
+    bool value_explicit = false;     // --value was passed on the command line.
     uint64_t seed = 42;
     bool wear_report = false;
+
+    // Error model overrides (apply to the sdf device; <0 keeps defaults).
+    bool errors = false;             // Enable the NAND error model.
+    double rber = -1.0;              // Base raw bit-error rate.
+    double wear_factor = -1.0;       // RBER multiplier at rated endurance.
+    int64_t endurance = -1;          // Rated P/E cycles.
+    int64_t ecc_bits = -1;           // BCH correction budget per page.
+    int64_t retry_levels = -1;       // Read-retry ladder depth.
+
+    // Fault-campaign workload (--workload=faults).
+    std::string fault_plan;          // Plan file; empty = random from seed.
+    uint32_t faults = 120;
+    uint32_t replicas = 3;
+    uint32_t keys = 300;
+    uint32_t reads = 1500;
 };
 
 void
@@ -63,7 +80,22 @@ PrintHelp()
         "  --batch=<n>          kvread batch size (default 44)\n"
         "  --value=<KiB>        kv value size in KiB (default 512)\n"
         "  --seed=<n>           RNG seed (default 42)\n"
-        "  --wear               print the device wear report afterwards\n");
+        "  --wear               print the device wear report afterwards\n"
+        "\n"
+        "error model (sdf device):\n"
+        "  --errors             enable the NAND error model\n"
+        "  --rber=<f>           base raw bit-error rate\n"
+        "  --wear-factor=<f>    RBER multiplier at rated endurance\n"
+        "  --endurance=<n>      rated P/E cycles\n"
+        "  --ecc-bits=<n>       BCH correction budget per page\n"
+        "  --retry-levels=<n>   read-retry ladder depth\n"
+        "\n"
+        "fault campaign (--workload=faults):\n"
+        "  --fault-plan=<file>  replay a saved fault plan (else random)\n"
+        "  --faults=<n>         random faults to inject (default 120)\n"
+        "  --replicas=<n>       replicated stacks (default 3)\n"
+        "  --keys=<n>           keys preloaded per replica (default 300)\n"
+        "  --reads=<n>          reads during the fault window (default 1500)\n");
 }
 
 uint64_t
@@ -112,10 +144,36 @@ ParseArgs(int argc, char **argv, Options &opt)
             opt.batch = static_cast<uint32_t>(std::stoul(val));
         } else if (key == "--value") {
             opt.value_kib = static_cast<uint32_t>(std::stoul(val));
+            opt.value_explicit = true;
         } else if (key == "--seed") {
             opt.seed = std::stoull(val);
         } else if (key == "--wear") {
             opt.wear_report = true;
+        } else if (key == "--errors") {
+            opt.errors = true;
+        } else if (key == "--rber") {
+            opt.rber = std::stod(val);
+            opt.errors = true;
+        } else if (key == "--wear-factor") {
+            opt.wear_factor = std::stod(val);
+            opt.errors = true;
+        } else if (key == "--endurance") {
+            opt.endurance = std::stoll(val);
+            opt.errors = true;
+        } else if (key == "--ecc-bits") {
+            opt.ecc_bits = std::stoll(val);
+        } else if (key == "--retry-levels") {
+            opt.retry_levels = std::stoll(val);
+        } else if (key == "--fault-plan") {
+            opt.fault_plan = val;
+        } else if (key == "--faults") {
+            opt.faults = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--replicas") {
+            opt.replicas = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--keys") {
+            opt.keys = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--reads") {
+            opt.reads = static_cast<uint32_t>(std::stoul(val));
         } else {
             std::fprintf(stderr, "unknown flag: %s (try --help)\n",
                          key.c_str());
@@ -125,11 +183,30 @@ ParseArgs(int argc, char **argv, Options &opt)
     return true;
 }
 
+/** Apply the --errors/--rber/... overrides to an sdf device config. */
+void
+ApplyErrorOverrides(core::SdfConfig &cfg, const Options &opt)
+{
+    if (opt.errors) cfg.flash.errors.enabled = true;
+    if (opt.rber >= 0) cfg.flash.errors.base_rber = opt.rber;
+    if (opt.wear_factor >= 0)
+        cfg.flash.errors.wear_rber_factor = opt.wear_factor;
+    if (opt.endurance >= 0)
+        cfg.flash.errors.endurance_cycles =
+            static_cast<uint32_t>(opt.endurance);
+    if (opt.ecc_bits >= 0)
+        cfg.flash.ecc_correctable_bits = static_cast<uint32_t>(opt.ecc_bits);
+    if (opt.retry_levels >= 0)
+        cfg.read_retry_levels = static_cast<uint32_t>(opt.retry_levels);
+}
+
 int
 RunRawSdf(const Options &opt)
 {
     sim::Simulator sim;
-    core::SdfDevice device(sim, core::BaiduSdfConfig(opt.scale));
+    core::SdfConfig cfg = core::BaiduSdfConfig(opt.scale);
+    ApplyErrorOverrides(cfg, opt);
+    core::SdfDevice device(sim, cfg);
     host::IoStack stack(sim, host::SdfUserStackSpec());
     workload::PreconditionSdf(device);
 
@@ -168,7 +245,72 @@ RunRawSdf(const Options &opt)
                     static_cast<unsigned long long>(w.blocks_retired),
                     100 * w.life_used);
     }
+    if (opt.errors) {
+        const core::SdfStats &s = device.stats();
+        std::printf("errors: %llu retries, %llu recoveries, %llu terminal "
+                    "failures, %llu blocks retired\n",
+                    static_cast<unsigned long long>(s.read_retries),
+                    static_cast<unsigned long long>(s.retry_recoveries),
+                    static_cast<unsigned long long>(s.read_failures),
+                    static_cast<unsigned long long>(s.blocks_retired));
+    }
     return 0;
+}
+
+int
+RunFaults(const Options &opt)
+{
+    bench::FaultCampaignConfig cfg;
+    cfg.replicas = opt.replicas;
+    cfg.fault_count = opt.faults;
+    cfg.keys = opt.keys;
+    cfg.reads = opt.reads;
+    cfg.seed = opt.seed;
+    cfg.horizon_sec = opt.duration;
+    cfg.capacity_scale = opt.scale;
+    cfg.slices_per_replica = opt.slices;
+    // Keep the campaign's small-value default (large values make every
+    // read brush against the campaign's tight RPC timeout) unless the
+    // user asked for a specific size.
+    if (opt.value_explicit) cfg.value_bytes = opt.value_kib * util::kKiB;
+    if (opt.rber >= 0) cfg.base_rber = opt.rber;
+    if (opt.wear_factor >= 0) cfg.wear_rber_factor = opt.wear_factor;
+    if (opt.endurance >= 0)
+        cfg.endurance_cycles = static_cast<uint32_t>(opt.endurance);
+    if (opt.ecc_bits >= 0)
+        cfg.ecc_bits = static_cast<uint32_t>(opt.ecc_bits);
+    if (opt.retry_levels >= 0)
+        cfg.read_retry_levels = static_cast<uint32_t>(opt.retry_levels);
+    if (!opt.fault_plan.empty()) {
+        std::FILE *f = std::fopen(opt.fault_plan.c_str(), "rb");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open fault plan %s\n",
+                         opt.fault_plan.c_str());
+            return 1;
+        }
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+            cfg.plan_text.append(buf, n);
+        }
+        std::fclose(f);
+    }
+
+    std::printf("== fault campaign: %u-way replication, %s over %.0f ms, "
+                "seed %llu ==\n",
+                cfg.replicas,
+                opt.fault_plan.empty()
+                    ? (std::to_string(cfg.fault_count) + " random faults")
+                          .c_str()
+                    : opt.fault_plan.c_str(),
+                cfg.horizon_sec * 1000.0,
+                static_cast<unsigned long long>(cfg.seed));
+    const bench::FaultCampaignResult r = bench::RunFaultCampaign(cfg);
+    if (!r.plan_error.empty()) return 2;  // Parse error already printed.
+    bench::PrintFaultCampaignResult(cfg, r);
+    return r.keys_lost == 0 && r.requests_completed == r.requests_issued
+               ? 0
+               : 1;
 }
 
 int
@@ -271,6 +413,7 @@ main(int argc, char **argv)
     sdf::Options opt;
     if (!sdf::ParseArgs(argc, argv, opt)) return argc > 1 ? 1 : 0;
 
+    if (opt.workload == "faults") return sdf::RunFaults(opt);
     if (opt.workload.rfind("kv", 0) == 0 || opt.workload == "scan") {
         return sdf::RunKv(opt);
     }
