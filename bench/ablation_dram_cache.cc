@@ -15,9 +15,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Ablation — DRAM write-back cache size",
                          "§2.2 'no DRAM cache' design choice, Figure 8");
 
@@ -31,6 +32,8 @@ main()
             cache_mib == 0 ? 8 * util::kMiB : cache_mib * util::kMiB;
 
         sim::Simulator sim;
+
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, cfg);
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFillRandom(1.0);
@@ -54,5 +57,6 @@ main()
     std::printf("SDF's position (§2.2): drop the cache (and its battery),\n"
                 "acknowledge only when data is on flash, and get the flat\n"
                 "latency of Figure 8 instead.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "ablation_dram_cache");
+    return bench::GlobalObs().Export();
 }

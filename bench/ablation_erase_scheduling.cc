@@ -30,6 +30,7 @@ Result
 RunPolicy(blocklayer::ErasePolicy policy)
 {
     sim::Simulator sim;
+    bench::BindObs(sim);
     core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
     blocklayer::BlockLayerConfig cfg;
     cfg.erase_policy = policy;
@@ -71,9 +72,10 @@ RunPolicy(blocklayer::ErasePolicy policy)
 }  // namespace sdf
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Ablation — erase scheduling policy",
                          "§2.3 motivation for the explicit erase command");
 
@@ -97,5 +99,6 @@ main()
                 "from the write path when idle time exists; the paper\n"
                 "measured with erase-on-write (Figure 8's 383 ms includes\n"
                 "the erase).\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "ablation_erase_scheduling");
+    return bench::GlobalObs().Export();
 }

@@ -37,6 +37,8 @@ Run(ssd::GcPolicy policy, double hot_fraction)
     cfg.dram_cache_bytes = 8 * util::kMiB;
 
     sim::Simulator sim;
+
+    bench::BindObs(sim);
     ssd::ConventionalSsd device(sim, cfg);
     host::IoStack stack(sim, host::KernelIoStackSpec());
     device.PreconditionFillRandom(1.0);
@@ -82,9 +84,10 @@ Run(ssd::GcPolicy policy, double hot_fraction)
 }  // namespace sdf
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Ablation — GC victim selection policy",
                          "FTL design space behind §2.2's 'no GC at all'");
 
@@ -105,5 +108,6 @@ main()
     std::printf("SDF's answer to this whole design space: an interface\n"
                 "where no on-device GC exists and the application, which\n"
                 "knows data lifetimes, does the reclamation (§2.3).\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "ablation_gc_policy");
+    return bench::GlobalObs().Export();
 }

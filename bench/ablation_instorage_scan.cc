@@ -24,6 +24,7 @@ double
 RunScan(bool offload, double selectivity)
 {
     sim::Simulator sim;
+    bench::BindObs(sim);
     core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
     workload::PreconditionSdf(device);
 
@@ -59,9 +60,10 @@ RunScan(bool offload, double selectivity)
 }  // namespace sdf
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Extension — in-storage scan offload",
                          "§5 future work / Active SSD [17]");
 
@@ -78,5 +80,6 @@ main()
     std::printf("Host-side scans cap at the PCIe limit (1.61 GB/s) no\n"
                 "matter the selectivity; the offloaded scan examines data\n"
                 "at raw flash speed (1.67 GB/s) and frees the link.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "ablation_instorage_scan");
+    return bench::GlobalObs().Export();
 }

@@ -13,9 +13,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Ablation — interrupt coalescing",
                          "§2.1 interrupt merging (1/4-1/5 of max IOPS)");
 
@@ -28,6 +29,8 @@ main()
         cfg.irq.coalesce = coalesce;
 
         sim::Simulator sim;
+
+        bench::BindObs(sim);
         core::SdfDevice device(sim, cfg);
         host::IoStack stack(sim, host::SdfUserStackSpec());
         workload::PreconditionSdf(device);
@@ -55,5 +58,6 @@ main()
     std::printf("Paper: merging reduces the interrupt rate to 1/5-1/4 of\n"
                 "the IOPS; the throughput cost of the added delay is small\n"
                 "while the interrupt-handling CPU drops ~4x.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "ablation_interrupts");
+    return bench::GlobalObs().Export();
 }

@@ -20,6 +20,7 @@ double
 RunPlacement(blocklayer::PlacementPolicy policy, double skew)
 {
     sim::Simulator sim;
+    bench::BindObs(sim);
     core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
     blocklayer::BlockLayerConfig cfg;
     cfg.placement_policy = policy;
@@ -62,9 +63,10 @@ RunPlacement(blocklayer::PlacementPolicy policy, double skew)
 }  // namespace sdf
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Extension — load-balance-aware scheduler",
                          "§2.4/§5 future work");
 
@@ -84,5 +86,6 @@ main()
     std::printf("Expectation: identical when uniform; under skew, id-hash\n"
                 "bottlenecks on the hot channels while least-loaded keeps\n"
                 "all 44 channels writing (~1 GB/s).\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "ablation_scheduler");
+    return bench::GlobalObs().Export();
 }

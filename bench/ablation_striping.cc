@@ -14,9 +14,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Ablation — conventional SSD striping unit",
                          "§2.3 'exposing internal parallelism' design choice");
 
@@ -33,6 +34,7 @@ main()
                                std::pair{64u, 512 * util::kKiB},
                                std::pair{16u, 8 * util::kMiB}}) {
             sim::Simulator sim;
+            bench::BindObs(sim);
             ssd::ConventionalSsd device(sim, cfg);
             host::IoStack stack(sim, host::KernelIoStackSpec());
             device.PreconditionFill(0.9);
@@ -52,5 +54,6 @@ main()
                 "all channels); channel-affine large stripes catch up or\n"
                 "win once concurrency supplies the parallelism — the\n"
                 "workload property SDF's design leans on.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "ablation_striping");
+    return bench::GlobalObs().Export();
 }

@@ -13,9 +13,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Capacity, bandwidth, and cost utilization",
                          "§1 abstract + §2.2 + §5 headline claims");
 
@@ -24,6 +25,7 @@ main()
     cap.SetHeader({"Configuration", "Raw", "Usable", "Fraction"});
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         core::SdfDevice sdf_dev(sim, core::BaiduSdfConfig(1.0));
         cap.AddRow({"Baidu SDF (BBM spares only)",
                     util::FormatBytes(sdf_dev.raw_capacity()),
@@ -35,6 +37,7 @@ main()
     }
     for (double op : {0.10, 0.25, 0.40}) {
         sim::Simulator sim;
+        bench::BindObs(sim);
         auto cfg = ssd::HuaweiGen3Config(1.0);
         cfg.op_ratio = op;
         ssd::ConventionalSsd dev(sim, cfg);
@@ -55,6 +58,7 @@ main()
     bw.SetHeader({"Device", "Raw (MB/s)", "Delivered (MB/s)", "Fraction"});
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
         host::IoStack stack(sim, host::SdfUserStackSpec());
         workload::PreconditionSdf(device);
@@ -72,6 +76,7 @@ main()
     }
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, ssd::HuaweiGen3Config(0.04));
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFill(0.95);
@@ -123,5 +128,6 @@ main()
     std::printf("Paper: 99%% capacity for user data, ~95%% of raw bandwidth\n"
                 "delivered, and ~50%% per-GB cost reduction vs the 40%%-OP\n"
                 "commodity configuration (20-50%% depending on OP).\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "capacity_cost");
+    return bench::GlobalObs().Export();
 }

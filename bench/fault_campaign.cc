@@ -23,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_common.h"
 #include "fault_common.h"
 
 namespace {
@@ -41,6 +42,7 @@ MatchArg(const char *arg, const char *name, const char **value)
 int
 main(int argc, char **argv)
 {
+    sdf::bench::GlobalObs().ParseAndStrip(argc, argv);
     sdf::bench::FaultCampaignConfig cfg;
     bool print_plan = false;
     std::string plan_path;
@@ -97,6 +99,7 @@ main(int argc, char **argv)
         return 0;
     }
 
+    cfg.hub = sdf::bench::GlobalObs().hub();
     std::printf("== fault campaign: %u-way replication, %u faults over "
                 "%.0f ms, seed %llu ==\n",
                 cfg.replicas, cfg.fault_count, cfg.horizon_sec * 1000.0,
@@ -110,5 +113,8 @@ main(int argc, char **argv)
     std::printf("verdict:       %s\n",
                 ok ? "PASS (no data loss, all requests completed)"
                    : "FAIL");
+    sdf::bench::GlobalObs().AddMeta("experiment", "fault_campaign");
+    sdf::bench::GlobalObs().AddDerived("result.availability", r.availability);
+    if (const int rc = sdf::bench::GlobalObs().Export(); rc != 0) return rc;
     return ok ? 0 : 1;
 }

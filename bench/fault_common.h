@@ -85,6 +85,9 @@ struct FaultCampaignConfig
     uint32_t ecc_bits = 40;
     uint32_t retry_extra_bits = 10;
     net::NetworkSpec net = CampaignNetSpec();
+    /** Optional observability hub, installed on the campaign's simulator
+     *  before the replica stacks are built (see obs/hub.h). */
+    obs::Hub *hub = nullptr;
 };
 
 /** Campaign outcome. */
@@ -157,6 +160,7 @@ inline FaultCampaignResult
 RunFaultCampaign(const FaultCampaignConfig &cfg)
 {
     sim::Simulator sim;
+    if (cfg.hub != nullptr) sim.set_hub(cfg.hub);
 
     // --- replica stacks: independent devices = independent failure domains.
     std::vector<ReplicaStack> stacks(cfg.replicas);

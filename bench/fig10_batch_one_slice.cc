@@ -14,9 +14,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     using bench::DeviceKind;
     bench::PrintPreamble("Figure 10 — one slice, batched 512 KB random reads",
                          "Figure 10");
@@ -47,5 +48,6 @@ main()
     table.Print();
     std::printf("Paper: SDF 38 (batch 1) rising past 600; Huawei 245 (batch\n"
                 "1) rising to ~700 then declining slightly; crossover ~32.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig10_batch_one_slice");
+    return bench::GlobalObs().Export();
 }

@@ -12,9 +12,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     using bench::DeviceKind;
     bench::PrintPreamble("Figure 11 — multi-slice batched 512 KB reads",
                          "Figure 11");
@@ -49,5 +50,6 @@ main()
     std::printf("Paper: SDF 8-slice throughput reaches ~1.5 GB/s (e.g.\n"
                 "270 -> 1081 MB/s going from batch 1 to 4); Huawei is flat\n"
                 "~700 MB/s with 4- and 8-slice curves nearly coincident.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig11_batch_multi_slice");
+    return bench::GlobalObs().Export();
 }

@@ -14,9 +14,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     using bench::DeviceKind;
     bench::PrintPreamble("Figure 12 — value size x slice count, batch 44",
                          "Figure 12");
@@ -54,5 +55,6 @@ main()
     std::printf("Paper: SDF with >= 4 slices serves all sizes at high\n"
                 "throughput (larger moderately faster, up to ~1.5 GB/s);\n"
                 "only SDF-1slice drops to Huawei levels.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig12_request_sizes");
+    return bench::GlobalObs().Export();
 }

@@ -13,9 +13,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     using bench::DeviceKind;
     bench::PrintPreamble("Figure 13 — sequential scans vs slice count",
                          "Figure 13 (6 threads per slice)");
@@ -46,5 +47,6 @@ main()
     std::printf("Paper: SDF scales to a ~1.4 GB/s peak at 16 slices; Huawei\n"
                 "~650-700 MB/s flat (slightly worse at 32); Intel ~220 MB/s\n"
                 "constant.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig13_sequential_scan");
+    return bench::GlobalObs().Export();
 }

@@ -18,9 +18,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     using bench::DeviceKind;
     bench::PrintPreamble("Figure 14 — KV writes with compaction",
                          "Figure 14 (values 100 KB - 1 MB, unbatched)");
@@ -58,5 +59,6 @@ main()
                 "(compaction) share shrinks from 16 to 32 slices as client\n"
                 "writes take priority. Huawei is high at 1-2 slices but\n"
                 "flat after, with compaction share < 15 %% at 32 slices.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig14_write_compaction");
+    return bench::GlobalObs().Export();
 }

@@ -20,9 +20,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble(
         "Figure 1 — random-write throughput vs over-provisioning",
         "Figure 1 (Intel 320, 4 KB random writes)");
@@ -47,6 +48,8 @@ main()
         cfg.dram_cache_bytes = 8 * util::kMiB;
 
         sim::Simulator sim;
+
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, cfg);
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFillRandom(1.0);
@@ -73,5 +76,6 @@ main()
     table.Print();
     std::printf("Paper: ~2 (0%%), ~8 (7%%), ~9.7 (25%%), ~11.5 (50%%) MB/s;\n"
                 "25%% OP improves ~21%% over 7%%, and >400%% over 0%%.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig1_overprovisioning");
+    return bench::GlobalObs().Export();
 }

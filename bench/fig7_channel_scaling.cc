@@ -11,9 +11,10 @@
 #include "util/table_printer.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Figure 7 — throughput vs active channel count",
                          "Figure 7(a) reads, 7(b) writes");
 
@@ -26,6 +27,7 @@ main()
         double read_mbps = 0, write_mbps = 0;
         {
             sim::Simulator sim;
+            bench::BindObs(sim);
             core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
             host::IoStack stack(sim, host::SdfUserStackSpec());
             workload::PreconditionSdf(device);
@@ -39,6 +41,7 @@ main()
         }
         {
             sim::Simulator sim;
+            bench::BindObs(sim);
             core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
             host::IoStack stack(sim, host::SdfUserStackSpec());
             workload::PreconditionSdf(device);
@@ -58,5 +61,6 @@ main()
     table.Print();
     std::printf("Paper: linear scaling; reads saturate PCIe (~1.59 GB/s)\n"
                 "near 44 channels, writes scale to ~0.96 GB/s.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig7_channel_scaling");
+    return bench::GlobalObs().Export();
 }

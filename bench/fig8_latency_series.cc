@@ -34,9 +34,10 @@ PrintSeries(const char *name, const util::LatencyRecorder &lat, int max_print)
 }  // namespace sdf
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Figure 8 — write latency predictability",
                          "Figure 8 (200 writes, devices almost full)");
 
@@ -52,6 +53,7 @@ main()
     util::LatencyRecorder huawei8(true);
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, ssd::HuaweiGen3Config(0.04));
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFillRandom(1.0);
@@ -65,6 +67,7 @@ main()
     util::LatencyRecorder huawei352(true);
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, ssd::HuaweiGen3Config(0.04));
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFillRandom(1.0);
@@ -81,6 +84,7 @@ main()
     util::LatencyRecorder sdf8(true);
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         core::SdfDevice device(sim, core::BaiduSdfConfig(0.04));
         host::IoStack stack(sim, host::SdfUserStackSpec());
         workload::PreconditionSdf(device);
@@ -109,5 +113,6 @@ main()
     std::printf("\nPaper: Huawei 8 MB varies 7-650 ms (avg 73 ms); Huawei\n"
                 "352 MB has stddev ~25%% of a 2.94 s mean; SDF is flat at\n"
                 "~383 ms with little variation.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "fig8_latency_series");
+    return bench::GlobalObs().Export();
 }

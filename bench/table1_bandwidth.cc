@@ -43,6 +43,7 @@ RunDevice(util::TablePrinter &table, const DeviceRow &row)
     double read_mbps = 0;
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, row.config);
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFill(0.95);
@@ -59,6 +60,7 @@ RunDevice(util::TablePrinter &table, const DeviceRow &row)
         // active, then sequential writes in erase-block units (the
         // paper's measurement procedure).
         sim::Simulator sim;
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, row.config);
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFillRandom(row.precondition_fraction);
@@ -97,9 +99,10 @@ RunDevice(util::TablePrinter &table, const DeviceRow &row)
 }  // namespace sdf
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Table 1 — commodity SSD raw vs measured bandwidth",
                          "Table 1 (measured R 73-81 %, W 41-51 % of raw)");
 
@@ -122,5 +125,6 @@ main()
 
     table.Print();
     std::printf("Paper: low 219/153, mid 1200/460, high 1300/620 MB/s.\n");
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "table1_bandwidth");
+    return bench::GlobalObs().Export();
 }

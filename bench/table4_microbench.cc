@@ -26,6 +26,7 @@ RunSdfRow()
     for (uint64_t req :
          {8 * util::kKiB, 16 * util::kKiB, 64 * util::kKiB, 8 * util::kMiB}) {
         sim::Simulator sim;
+        bench::BindObs(sim);
         core::SdfDevice device(sim, core::BaiduSdfConfig(kScale));
         host::IoStack stack(sim, host::SdfUserStackSpec());
         workload::PreconditionSdf(device);
@@ -41,6 +42,7 @@ RunSdfRow()
     }
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         core::SdfDevice device(sim, core::BaiduSdfConfig(kScale));
         host::IoStack stack(sim, host::SdfUserStackSpec());
         workload::PreconditionSdf(device);
@@ -59,6 +61,7 @@ RunConvRow(const ssd::ConventionalSsdConfig &cfg)
     for (uint64_t req :
          {8 * util::kKiB, 16 * util::kKiB, 64 * util::kKiB, 8 * util::kMiB}) {
         sim::Simulator sim;
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, cfg);
         host::IoStack stack(sim, host::KernelIoStackSpec());
         device.PreconditionFill(0.95);
@@ -71,6 +74,7 @@ RunConvRow(const ssd::ConventionalSsdConfig &cfg)
     }
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         ssd::ConventionalSsd device(sim, cfg);
         host::IoStack stack(sim, host::KernelIoStackSpec());
         workload::RawRunConfig run;
@@ -100,15 +104,17 @@ AddRow(util::TablePrinter &table, const char *name,
 }  // namespace sdf
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+    bench::GlobalObs().ParseAndStrip(argc, argv);
     bench::PrintPreamble("Table 4 — throughput by request size",
                          "Table 4 + §3.2 architectural limits");
 
     // Architectural context (§3.2).
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         core::SdfDevice device(sim, core::BaiduSdfConfig(kScale));
         std::printf("PCIe 1.1 x8 effective: 1.61 GB/s read, 1.40 GB/s write\n");
         std::printf("SDF raw flash: %.2f GB/s read, %.2f GB/s write\n\n",
@@ -129,6 +135,7 @@ main()
     // §2.3/§3.2: erase bandwidth — all channels erasing in parallel.
     {
         sim::Simulator sim;
+        bench::BindObs(sim);
         core::SdfDevice device(sim, core::BaiduSdfConfig(kScale));
         workload::PreconditionSdf(device);
         int done = 0;
@@ -146,5 +153,6 @@ main()
                     "(paper: ~40 GB/s; %d x 8 MB units)\n",
                     util::BandwidthMBps(bytes, sim.Now()) / 1000.0, done);
     }
-    return 0;
+    bench::GlobalObs().AddMeta("experiment", "table4_microbench");
+    return bench::GlobalObs().Export();
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerate the machine-readable perf snapshot (BENCH_pr3.json by default)
+# from a fixed set of sdfsim runs with --stats-json. Every run is on the
+# simulated clock with a fixed seed, so the snapshot is deterministic and
+# diffs meaningfully across PRs: counters, per-stage latency means, and
+# derived throughput for the canonical workloads.
+#
+# Usage: scripts/bench_to_json.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr3.json}"
+
+cmake -B build -S . > /dev/null
+cmake --build build -j --target sdfsim > /dev/null
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run() {
+    local name="$1"
+    shift
+    echo "bench_to_json: $name"
+    ./build/tools/sdfsim "$@" --stats-json="$tmp/$name.json" > /dev/null
+}
+
+# The paper's canonical operating points (capacity-scaled).
+run sdf_seqread_8m   --device=sdf --workload=seqread  --request=8m --duration=1
+run sdf_randread_8k  --device=sdf --workload=randread --request=8k --duration=0.5
+run sdf_write_unit   --device=sdf --workload=write    --duration=0.5
+run conv_randread_8k --device=huawei --workload=randread --request=8k --duration=0.5
+run conv_write_8m    --device=huawei --workload=write --request=8m --duration=0.5
+
+python3 - "$out" "$tmp" <<'EOF'
+import json
+import os
+import sys
+
+out_path, tmp = sys.argv[1], sys.argv[2]
+runs = {}
+for fn in sorted(os.listdir(tmp)):
+    if fn.endswith(".json"):
+        with open(os.path.join(tmp, fn)) as f:
+            runs[fn[:-5]] = json.load(f)
+doc = {"generated_by": "scripts/bench_to_json.sh", "runs": runs}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+    f.write("\n")
+print("bench_to_json: wrote %s (%d runs)" % (out_path, len(runs)))
+EOF

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Build and run the full test suite twice: a normal RelWithDebInfo build,
 # then an ASan+UBSan build (-DSDF_SANITIZE=ON) in a separate build tree.
+# Also smoke-tests the observability exports (stats JSON invariants,
+# trace well-formedness, same-seed byte identity) via tools/validate_stats.py.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -10,6 +12,22 @@ echo "== normal build =="
 cmake -B build -S . > /dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j "$@")
+
+echo "== observability smoke =="
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+./build/tools/sdfsim --device=sdf --workload=write --duration=0.5 \
+    --stats-json="$obs_tmp/a.json" --stats-csv="$obs_tmp/a.csv" \
+    --trace="$obs_tmp/a.trace.json" > /dev/null
+./build/tools/sdfsim --device=sdf --workload=write --duration=0.5 \
+    --stats-json="$obs_tmp/b.json" --stats-csv="$obs_tmp/b.csv" > /dev/null
+cmp "$obs_tmp/a.json" "$obs_tmp/b.json"   # Same seed => byte-identical.
+cmp "$obs_tmp/a.csv" "$obs_tmp/b.csv"
+python3 tools/validate_stats.py "$obs_tmp/a.json" \
+    --trace="$obs_tmp/a.trace.json" --channels=44
+./build/tools/sdfsim --device=sdf --workload=randread --request=8k \
+    --duration=0.3 --stats-json="$obs_tmp/r.json" > /dev/null
+python3 tools/validate_stats.py "$obs_tmp/r.json"
 
 echo "== sanitizer build (ASan+UBSan) =="
 cmake -B build-asan -S . -DSDF_SANITIZE=ON > /dev/null

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/hub.h"
 #include "util/assert.h"
 
 namespace sdf::blocklayer {
@@ -15,6 +16,31 @@ BlockLayer::BlockLayer(sim::Simulator &sim, core::SdfDevice &device,
         for (uint32_t u = 0; u < device.units_per_channel(); ++u)
             ch.clean_units.push_back(u);
     }
+
+    if (obs::Hub *hub = sim.hub()) {
+        hub_ = hub;
+        obs::MetricsRegistry &m = hub->metrics();
+        metric_prefix_ = m.UniquePrefix("blocklayer");
+        m.RegisterCounter(metric_prefix_ + ".puts", &stats_.puts);
+        m.RegisterCounter(metric_prefix_ + ".gets", &stats_.gets);
+        m.RegisterCounter(metric_prefix_ + ".deletes", &stats_.deletes);
+        m.RegisterCounter(metric_prefix_ + ".inline_erases",
+                          &stats_.inline_erases);
+        m.RegisterCounter(metric_prefix_ + ".background_erases",
+                          &stats_.background_erases);
+        m.RegisterCounter(metric_prefix_ + ".failed_ops", &stats_.failed_ops);
+        m.RegisterCounter(metric_prefix_ + ".lost_blocks",
+                          &stats_.lost_blocks);
+        m.RegisterCounter(metric_prefix_ + ".redirected_writes",
+                          &stats_.redirected_writes);
+        m.RegisterGauge(metric_prefix_ + ".free_units",
+                        [this]() { return static_cast<double>(FreeUnits()); });
+    }
+}
+
+BlockLayer::~BlockLayer()
+{
+    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
 }
 
 uint64_t

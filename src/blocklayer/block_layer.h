@@ -16,12 +16,17 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "sdf/sdf_device.h"
 #include "sim/simulator.h"
+
+namespace sdf::obs {
+class Hub;
+}  // namespace sdf::obs
 
 namespace sdf::blocklayer {
 
@@ -90,6 +95,7 @@ class BlockLayer
   public:
     BlockLayer(sim::Simulator &sim, core::SdfDevice &device,
                const BlockLayerConfig &config);
+    ~BlockLayer();
 
     BlockLayer(const BlockLayer &) = delete;
     BlockLayer &operator=(const BlockLayer &) = delete;
@@ -182,6 +188,9 @@ class BlockLayer
     std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> id_map_;
     uint64_t next_seq_ = 0;
     BlockLayerStats stats_;
+
+    obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
+    std::string metric_prefix_;
 };
 
 }  // namespace sdf::blocklayer

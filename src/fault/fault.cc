@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/hub.h"
 #include "util/assert.h"
 
 namespace sdf::fault {
@@ -238,6 +239,26 @@ FaultInjector::FaultInjector(sim::Simulator &sim,
         sim_.ScheduleAt(std::max(e.when, sim_.Now()),
                         [this, e]() { Apply(e); });
     }
+
+    if (obs::Hub *hub = sim.hub()) {
+        hub_ = hub;
+        obs::MetricsRegistry &m = hub->metrics();
+        metric_prefix_ = m.UniquePrefix("fault");
+        m.RegisterCounter(metric_prefix_ + ".stalls", &stats_.stalls);
+        m.RegisterCounter(metric_prefix_ + ".deaths", &stats_.deaths);
+        m.RegisterCounter(metric_prefix_ + ".corruptions",
+                          &stats_.corruptions);
+        m.RegisterCounter(metric_prefix_ + ".crc_windows",
+                          &stats_.crc_windows);
+        m.RegisterCounter(metric_prefix_ + ".rber_elevations",
+                          &stats_.rber_elevations);
+        m.RegisterCounter(metric_prefix_ + ".skipped", &stats_.skipped);
+    }
+}
+
+FaultInjector::~FaultInjector()
+{
+    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
 }
 
 void

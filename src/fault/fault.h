@@ -147,6 +147,7 @@ class FaultInjector
   public:
     FaultInjector(sim::Simulator &sim, std::vector<core::SdfDevice *> devices,
                   const FaultPlan &plan);
+    ~FaultInjector();
 
     FaultInjector(const FaultInjector &) = delete;
     FaultInjector &operator=(const FaultInjector &) = delete;
@@ -159,6 +160,9 @@ class FaultInjector
     sim::Simulator &sim_;
     std::vector<core::SdfDevice *> devices_;
     FaultInjectorStats stats_;
+
+    obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
+    std::string metric_prefix_;
 };
 
 }  // namespace sdf::fault

@@ -56,13 +56,19 @@ IoStack::PickCpu()
 }
 
 void
-IoStack::Issue(Operation op, sim::Callback done)
+IoStack::Issue(Operation op, sim::Callback done, obs::IoSpan *span)
 {
     ++requests_;
     cpu_time_ += spec_.issue_cost + spec_.completion_cost;
-    PickCpu().Submit(spec_.issue_cost, [this, op = std::move(op),
+    PickCpu().Submit(spec_.issue_cost, [this, op = std::move(op), span,
                                         done = std::move(done)]() mutable {
-        op([this, done = std::move(done)]() mutable {
+        // Whatever the device does next is its own stage; mark the default
+        // (kDevice) in case it records nothing finer.
+        if (span != nullptr) span->Enter(obs::Stage::kDevice, sim_.Now());
+        op([this, span, done = std::move(done)]() mutable {
+            if (span != nullptr) {
+                span->Enter(obs::Stage::kHostComplete, sim_.Now());
+            }
             PickCpu().Submit(spec_.completion_cost, std::move(done));
         });
     });

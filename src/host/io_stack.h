@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.h"
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
 
@@ -61,8 +62,13 @@ class IoStack
     /** Operation: called with the callback it must invoke when done. */
     using Operation = std::function<void(sim::Callback done)>;
 
-    /** Run @p op through the stack; @p done fires after completion cost. */
-    void Issue(Operation op, sim::Callback done);
+    /**
+     * Run @p op through the stack; @p done fires after completion cost.
+     * @p span, when non-null, gets the host-side cuts: everything before
+     * the CPU hands the request to @p op is host_issue, everything between
+     * the device's completion and @p done is host_complete.
+     */
+    void Issue(Operation op, sim::Callback done, obs::IoSpan *span = nullptr);
 
     /** Total CPU time consumed by stack processing. */
     TimeNs cpu_time() const { return cpu_time_; }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/hub.h"
 #include "util/assert.h"
 
 namespace sdf::kv {
@@ -19,9 +20,37 @@ Slice::Slice(sim::Simulator &sim, PatchStorage &storage, IdAllocator &ids,
     SDF_CHECK(config_.compaction_trigger >= 2);
     SDF_CHECK(config_.max_levels >= 1);
     levels_.resize(1);
+
+    if (obs::Hub *hub = sim.hub()) {
+        hub_ = hub;
+        obs::MetricsRegistry &m = hub->metrics();
+        // One slice per channel: kv.slice, kv.slice.2, ... in channel order.
+        metric_prefix_ = m.UniquePrefix("kv.slice");
+        m.RegisterCounter(metric_prefix_ + ".puts", &stats_.puts);
+        m.RegisterCounter(metric_prefix_ + ".gets", &stats_.gets);
+        m.RegisterCounter(metric_prefix_ + ".gets_from_memtable",
+                          &stats_.gets_from_memtable);
+        m.RegisterCounter(metric_prefix_ + ".gets_not_found",
+                          &stats_.gets_not_found);
+        m.RegisterCounter(metric_prefix_ + ".deletes", &stats_.deletes);
+        m.RegisterCounter(metric_prefix_ + ".flushes", &stats_.flushes);
+        m.RegisterCounter(metric_prefix_ + ".compactions",
+                          &stats_.compactions);
+        m.RegisterCounter(metric_prefix_ + ".compaction_bytes_read",
+                          &stats_.compaction_bytes_read);
+        m.RegisterCounter(metric_prefix_ + ".compaction_bytes_written",
+                          &stats_.compaction_bytes_written);
+        m.RegisterCounter(metric_prefix_ + ".put_stalls",
+                          &stats_.put_stalls);
+        m.RegisterCounter(metric_prefix_ + ".get_retries",
+                          &stats_.get_retries);
+    }
 }
 
-Slice::~Slice() = default;
+Slice::~Slice()
+{
+    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
+}
 
 size_t
 Slice::patch_count() const

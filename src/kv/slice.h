@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,10 @@
 #include "kv/patch_storage.h"
 #include "kv/types.h"
 #include "sim/simulator.h"
+
+namespace sdf::obs {
+class Hub;
+}  // namespace sdf::obs
 
 namespace sdf::kv {
 
@@ -180,6 +185,9 @@ class Slice
     bool compaction_dropped_tombstones_ = false;
 
     SliceStats stats_;
+
+    obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
+    std::string metric_prefix_;
 };
 
 }  // namespace sdf::kv

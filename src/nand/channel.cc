@@ -1,6 +1,7 @@
 #include "nand/channel.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -62,10 +63,29 @@ Channel::MarkBad(const BlockAddr &addr)
 }
 
 void
+Channel::EnableTrace(obs::TraceSink *sink, uint32_t channel_index)
+{
+    trace_ = sink;
+    char name[32];
+    std::snprintf(name, sizeof name, "ch%02u.bus", channel_index);
+    bus_track_ = sink->RegisterTrack("flash", name);
+    plane_tracks_.clear();
+    for (uint32_t p = 0; p < geo_.PlanesPerChannel(); ++p) {
+        std::snprintf(name, sizeof name, "ch%02u.p%u", channel_index, p);
+        plane_tracks_.push_back(sink->RegisterTrack("flash", name));
+    }
+}
+
+void
 Channel::InjectStall(util::TimeNs duration)
 {
-    bus_.Submit(duration, nullptr);
-    for (auto &plane : planes_) plane->Submit(duration, nullptr);
+    TraceOp(bus_track_, "stall", bus_.Submit(duration, nullptr), duration);
+    for (size_t p = 0; p < planes_.size(); ++p) {
+        const util::TimeNs end = planes_[p]->Submit(duration, nullptr);
+        if (trace_ != nullptr) {
+            TraceOp(plane_tracks_[p], "stall", end, duration);
+        }
+    }
 }
 
 void
@@ -112,7 +132,8 @@ Channel::CompleteAt(util::TimeNs when, OpCallback done, OpStatus status)
 
 void
 Channel::ReadPage(const PageAddr &addr, OpCallback done,
-                  std::vector<uint8_t> *out, uint32_t retry_level)
+                  std::vector<uint8_t> *out, uint32_t retry_level,
+                  obs::IoSpan *span)
 {
     if (!ValidPage(addr)) {
         CompleteAt(sim_.Now(), std::move(done), OpStatus::kOutOfRange);
@@ -178,11 +199,40 @@ Channel::ReadPage(const PageAddr &addr, OpCallback done,
     // Array read on the plane, then data transfer out over the shared bus.
     const util::TimeNs array_done =
         PlaneRes(addr.plane).Submit(timing_.read_page, nullptr);
-    bus_.SubmitAfter(array_done, timing_.BusTime(geo_.page_size),
-                     [this, done = std::move(done), status]() mutable {
-                         if (done) done(status);
-                         (void)this;
-                     });
+    const util::TimeNs bus_time = timing_.BusTime(geo_.page_size);
+    const util::TimeNs decode = timing_.bch_decode;
+    const util::TimeNs bus_done = bus_.SubmitAfter(
+        array_done, bus_time,
+        [this, done = std::move(done), status, decode]() mutable {
+            if (decode > 0) {
+                sim_.Schedule(decode,
+                              [done = std::move(done), status]() mutable {
+                                  if (done) done(status);
+                              });
+            } else if (done) {
+                done(status);
+            }
+        });
+
+    if (trace_ != nullptr) {
+        TraceOp(plane_tracks_[addr.plane], "tR", array_done,
+                timing_.read_page);
+        TraceOp(bus_track_, "xfer", bus_done, bus_time);
+    }
+    if (span != nullptr) {
+        if (retry_level == 0) {
+            // The flow is serial for one page, so cut points are faithful:
+            // wait for the plane, sense, wait for the bus, transfer, decode.
+            span->Enter(obs::Stage::kQueue, sim_.Now());
+            span->Enter(obs::Stage::kFlashOp, array_done - timing_.read_page);
+            span->Enter(obs::Stage::kQueue, array_done);
+            span->Enter(obs::Stage::kChannelBus, bus_done - bus_time);
+            span->Enter(obs::Stage::kBchDecode, bus_done);
+        } else {
+            // A retry rung repeats the whole sequence; attribute it whole.
+            span->Enter(obs::Stage::kRetry, sim_.Now());
+        }
+    }
 }
 
 void
@@ -226,13 +276,19 @@ Channel::ProgramPage(const PageAddr &addr, OpCallback done,
     stats_.programmed_bytes += geo_.page_size;
 
     // Data in over the bus, then the plane programs the array.
-    const util::TimeNs data_in =
-        bus_.Submit(timing_.BusTime(geo_.page_size), nullptr);
-    PlaneRes(addr.plane)
-        .SubmitAfter(data_in, timing_.program_page,
-                     [done = std::move(done)]() mutable {
-                         if (done) done(OpStatus::kOk);
-                     });
+    const util::TimeNs bus_time = timing_.BusTime(geo_.page_size);
+    const util::TimeNs data_in = bus_.Submit(bus_time, nullptr);
+    const util::TimeNs prog_done =
+        PlaneRes(addr.plane)
+            .SubmitAfter(data_in, timing_.program_page,
+                         [done = std::move(done)]() mutable {
+                             if (done) done(OpStatus::kOk);
+                         });
+    if (trace_ != nullptr) {
+        TraceOp(bus_track_, "din", data_in, bus_time);
+        TraceOp(plane_tracks_[addr.plane], "tPROG", prog_done,
+                timing_.program_page);
+    }
 }
 
 void
@@ -273,11 +329,17 @@ Channel::EraseBlock(const BlockAddr &addr, OpCallback done)
     ++stats_.erases;
 
     const util::TimeNs cmd_done = bus_.Submit(timing_.bus_cmd_overhead, nullptr);
-    PlaneRes(addr.plane)
-        .SubmitAfter(cmd_done, timing_.erase_block,
-                     [done = std::move(done), status]() mutable {
-                         if (done) done(status);
-                     });
+    const util::TimeNs erase_done =
+        PlaneRes(addr.plane)
+            .SubmitAfter(cmd_done, timing_.erase_block,
+                         [done = std::move(done), status]() mutable {
+                             if (done) done(status);
+                         });
+    if (trace_ != nullptr) {
+        TraceOp(bus_track_, "cmd", cmd_done, timing_.bus_cmd_overhead);
+        TraceOp(plane_tracks_[addr.plane], "tBERS", erase_done,
+                timing_.erase_block);
+    }
 }
 
 bool

@@ -27,6 +27,8 @@
 #include "nand/geometry.h"
 #include "nand/timing.h"
 #include "nand/types.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -99,10 +101,16 @@ class Channel
      * each level above 0 re-senses the page and widens the effective BCH
      * correction budget by `retry_extra_bits` (set at construction), at
      * the cost of another full array read. Level 0 is a normal read.
+     *
+     * @p span, when non-null, receives fine-grained stage milestones
+     * (queue / flash_op / channel_bus / bch_decode for level 0; the whole
+     * rung is attributed to `retry` for levels above 0). The channel can
+     * mark known-future milestones because FifoResource schedules
+     * deterministically at submit time.
      */
     void ReadPage(const PageAddr &addr, OpCallback done,
                   std::vector<uint8_t> *out = nullptr,
-                  uint32_t retry_level = 0);
+                  uint32_t retry_level = 0, obs::IoSpan *span = nullptr);
 
     /**
      * Program one page. @p payload may be null (timing-only mode); when
@@ -167,8 +175,19 @@ class Channel
     const Geometry &geometry() const { return geo_; }
     const TimingSpec &timing() const { return timing_; }
 
+    /**
+     * Attach a trace sink: registers one track for the channel bus
+     * ("chNN.bus") and one per plane ("chNN.pK") under process "flash",
+     * then emits an event for every array read/program/erase and bus
+     * transfer. @p channel_index names the tracks.
+     */
+    void EnableTrace(obs::TraceSink *sink, uint32_t channel_index);
+
     /** Bus utilization in [0,1] over [0, now]. */
     double BusUtilization() const { return bus_.Utilization(sim_.Now()); }
+
+    /** Accumulated bus service time (utilization numerator). */
+    util::TimeNs bus_busy_ns() const { return bus_.busy_time(); }
 
     /** True if any plane or the bus has outstanding work. */
     bool Busy() const;
@@ -184,6 +203,14 @@ class Channel
 
     /** Deliver @p status via @p done at bus/plane completion time @p when. */
     void CompleteAt(util::TimeNs when, OpCallback done, OpStatus status);
+
+    /** Emit a trace event on @p track if tracing is attached. */
+    void
+    TraceOp(int32_t track, const char *name, util::TimeNs end,
+            util::TimeNs dur) const
+    {
+        if (trace_ != nullptr) trace_->Complete(track, name, end - dur, dur);
+    }
 
     sim::Simulator &sim_;
     Geometry geo_;
@@ -203,6 +230,10 @@ class Channel
     util::TimeNs transient_until_ = 0;
     double transient_prob_ = 0.0;
     ChannelStats stats_;
+
+    obs::TraceSink *trace_ = nullptr;          ///< Owned by the Hub.
+    int32_t bus_track_ = -1;
+    std::vector<int32_t> plane_tracks_;        ///< One per plane.
 };
 
 }  // namespace sdf::nand

@@ -29,6 +29,13 @@ struct TimingSpec
     double bus_bytes_per_sec = 40e6;
     /** Fixed command/address overhead per bus transaction. */
     TimeNs bus_cmd_overhead = util::UsToNs(11);
+    /**
+     * BCH decode latency after a page's bus transfer. Defaults to 0: the
+     * paper's bandwidth calibration folds decode into the pipelined bus
+     * rate, but the stage exists so experiments can price it explicitly
+     * (it then shows up as `bch_decode` in latency-stage attribution).
+     */
+    TimeNs bch_decode = 0;
 
     /** Bus occupancy to move @p bytes of data plus command overhead. */
     TimeNs

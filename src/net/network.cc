@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/hub.h"
 #include "util/assert.h"
 #include "util/units.h"
 
@@ -18,6 +19,31 @@ Network::Network(sim::Simulator &sim, const NetworkSpec &spec,
         client_nics_.push_back(std::make_unique<sim::FifoResource>(sim));
         workers_.push_back(std::make_unique<sim::FifoResource>(sim));
     }
+
+    if (obs::Hub *hub = sim.hub()) {
+        hub_ = hub;
+        obs::MetricsRegistry &m = hub->metrics();
+        metric_prefix_ = m.UniquePrefix("net");
+        m.RegisterCounter(metric_prefix_ + ".messages", &messages_);
+        m.RegisterCounter(metric_prefix_ + ".bytes_to_clients",
+                          &bytes_to_clients_);
+        m.RegisterCounter(metric_prefix_ + ".rpc_timeouts",
+                          &rpc_stats_.timeouts);
+        m.RegisterCounter(metric_prefix_ + ".rpc_retries",
+                          &rpc_stats_.retries);
+        m.RegisterCounter(metric_prefix_ + ".rpc_failures",
+                          &rpc_stats_.failures);
+        m.RegisterCounter(metric_prefix_ + ".rpc_late_responses",
+                          &rpc_stats_.late_responses);
+        m.RegisterGauge(metric_prefix_ + ".server_cpu_utilization", [this]() {
+            return server_cpu_.Utilization(sim_.Now());
+        });
+    }
+}
+
+Network::~Network()
+{
+    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
 }
 
 void

@@ -14,10 +14,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
+
+namespace sdf::obs {
+class Hub;
+}  // namespace sdf::obs
 
 namespace sdf::net {
 
@@ -73,6 +78,7 @@ class Network
     using Handler = std::function<void(std::function<void(uint64_t)> reply)>;
 
     Network(sim::Simulator &sim, const NetworkSpec &spec, uint32_t clients);
+    ~Network();
 
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;
@@ -131,6 +137,9 @@ class Network
     uint64_t messages_ = 0;
     uint64_t bytes_to_clients_ = 0;
     RpcStats rpc_stats_;
+
+    obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
+    std::string metric_prefix_;
 };
 
 }  // namespace sdf::net

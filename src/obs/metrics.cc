@@ -1,0 +1,98 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+namespace sdf::obs {
+
+namespace {
+
+/** True when @p path is @p prefix or lies under "<prefix>.". */
+bool
+UnderPrefix(const std::string &path, const std::string &prefix)
+{
+    if (path.size() < prefix.size()) return false;
+    if (path.compare(0, prefix.size(), prefix) != 0) return false;
+    return path.size() == prefix.size() || path[prefix.size()] == '.';
+}
+
+/** Read each source under @p prefix into @p out, then erase it. */
+template <typename Map, typename Out, typename Capture>
+void
+RetireAndErasePrefix(Map &map, const std::string &prefix, Out &out,
+                     Capture capture)
+{
+    for (auto it = map.lower_bound(prefix); it != map.end();) {
+        if (!UnderPrefix(it->first, prefix)) break;
+        out[it->first] = capture(it->second);
+        it = map.erase(it);
+    }
+}
+
+HistogramStats
+CaptureHistogram(const MetricsRegistry::HistogramFn &fn)
+{
+    HistogramStats s;
+    const util::Histogram *h = fn();
+    if (h != nullptr) {
+        s.count = h->count();
+        s.min = h->min();
+        s.max = h->max();
+        s.mean = h->Mean();
+        s.p50 = h->Percentile(50);
+        s.p99 = h->Percentile(99);
+        s.p999 = h->Percentile(99.9);
+    }
+    return s;
+}
+
+}  // namespace
+
+void
+MetricsRegistry::RegisterCounter(const std::string &path, CounterFn fn)
+{
+    counters_[path] = std::move(fn);
+}
+
+void
+MetricsRegistry::RegisterGauge(const std::string &path, GaugeFn fn)
+{
+    gauges_[path] = std::move(fn);
+}
+
+void
+MetricsRegistry::RegisterHistogram(const std::string &path, HistogramFn fn)
+{
+    histograms_[path] = std::move(fn);
+}
+
+void
+MetricsRegistry::UnregisterPrefix(const std::string &prefix)
+{
+    RetireAndErasePrefix(counters_, prefix, retired_.counters,
+                         [](const CounterFn &fn) { return fn(); });
+    RetireAndErasePrefix(gauges_, prefix, retired_.gauges,
+                         [](const GaugeFn &fn) { return fn(); });
+    RetireAndErasePrefix(histograms_, prefix, retired_.histograms,
+                         &CaptureHistogram);
+}
+
+std::string
+MetricsRegistry::UniquePrefix(const std::string &base)
+{
+    const uint32_t n = ++instance_counts_[base];
+    if (n == 1) return base;
+    return base + "." + std::to_string(n);
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::Take() const
+{
+    Snapshot snap = retired_;
+    for (const auto &[path, fn] : counters_) snap.counters[path] = fn();
+    for (const auto &[path, fn] : gauges_) snap.gauges[path] = fn();
+    for (const auto &[path, fn] : histograms_)
+        snap.histograms[path] = CaptureHistogram(fn);
+    return snap;
+}
+
+}  // namespace sdf::obs

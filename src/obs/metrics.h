@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Hierarchical metrics registry — the cross-layer observability seam.
+ *
+ * Components register *pull sources* (a lambda reading a counter they
+ * already maintain) under dotted paths such as `nand.ch07.page_reads` or
+ * `kv.slice0.compaction_bytes_read`. Nothing happens on the hot path:
+ * registration is construction-time, and values are only read when a
+ * snapshot is taken. With no hub installed the cost is exactly zero; with
+ * one installed it is a handful of map insertions per component lifetime.
+ *
+ * Sources must outlive every snapshot that reads them; components
+ * therefore unregister their prefix in their destructor (see
+ * UnregisterPrefix), which makes scoped benches safe: a destroyed device
+ * simply disappears from later snapshots.
+ */
+#ifndef SDF_OBS_METRICS_H
+#define SDF_OBS_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace sdf::obs {
+
+/** Point-in-time summary of one registered histogram. */
+struct HistogramStats
+{
+    uint64_t count = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+};
+
+/** Registry of named metric sources, snapshot-able at any simulated time. */
+class MetricsRegistry
+{
+  public:
+    using CounterFn = std::function<uint64_t()>;
+    using GaugeFn = std::function<double()>;
+    using HistogramFn = std::function<const util::Histogram *()>;
+
+    /** Monotonic counter source under @p path (last registration wins). */
+    void RegisterCounter(const std::string &path, CounterFn fn);
+
+    /** Convenience: counter backed directly by a component's field. */
+    void
+    RegisterCounter(const std::string &path, const uint64_t *value)
+    {
+        RegisterCounter(path, [value]() { return *value; });
+    }
+
+    /** Floating-point gauge source (ratios, utilizations). */
+    void RegisterGauge(const std::string &path, GaugeFn fn);
+
+    /** Histogram source (latency/size distributions). */
+    void RegisterHistogram(const std::string &path, HistogramFn fn);
+
+    /**
+     * Remove @p prefix itself and every metric under "<prefix>.". Called by
+     * component destructors so snapshots never read freed memory. The
+     * sources' *final values* are read one last time and retained, so a
+     * bench that scopes a device per configuration still exports its
+     * counters afterwards (UniquePrefix never reuses an instance name, so
+     * successive configurations do not collide).
+     */
+    void UnregisterPrefix(const std::string &prefix);
+
+    /**
+     * Deterministically disambiguate component instances: the first caller
+     * for @p base gets "base", the next "base.2", then "base.3", ...
+     * Construction order is deterministic, so names are stable across
+     * same-seed runs.
+     */
+    std::string UniquePrefix(const std::string &base);
+
+    /** Registered source count (all kinds). */
+    size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /** Values of every registered source at the moment of the call. */
+    struct Snapshot
+    {
+        std::map<std::string, uint64_t> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, HistogramStats> histograms;
+    };
+
+    Snapshot Take() const;
+
+  private:
+    std::map<std::string, CounterFn> counters_;
+    std::map<std::string, GaugeFn> gauges_;
+    std::map<std::string, HistogramFn> histograms_;
+    std::map<std::string, uint32_t> instance_counts_;
+    /** Final values of unregistered sources; live sources shadow them. */
+    Snapshot retired_;
+};
+
+}  // namespace sdf::obs
+
+#endif  // SDF_OBS_METRICS_H

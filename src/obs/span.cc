@@ -1,0 +1,38 @@
+#include "obs/span.h"
+
+namespace sdf::obs {
+
+const char *
+StageName(Stage s)
+{
+    switch (s) {
+      case Stage::kHostIssue: return "host_issue";
+      case Stage::kQueue: return "queue";
+      case Stage::kLinkTransfer: return "link_transfer";
+      case Stage::kFlashOp: return "flash_op";
+      case Stage::kChannelBus: return "channel_bus";
+      case Stage::kBchDecode: return "bch_decode";
+      case Stage::kRetry: return "retry";
+      case Stage::kEraseOp: return "erase_op";
+      case Stage::kInterrupt: return "interrupt";
+      case Stage::kHostComplete: return "host_complete";
+      case Stage::kDevice: return "device";
+      case Stage::kCount: break;
+    }
+    return "?";
+}
+
+void
+StageCollector::Record(const std::string &op, const IoSpan &span)
+{
+    OpStats &s = ops_[op];
+    ++s.count;
+    for (size_t i = 0; i < kStageCount; ++i) {
+        s.stage_sum_ns[i] +=
+            static_cast<uint64_t>(span.stage_ns(static_cast<Stage>(i)));
+    }
+    s.total_sum_ns += static_cast<uint64_t>(span.total_ns());
+    s.end_to_end.Record(span.total_ns());
+}
+
+}  // namespace sdf::obs

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Per-request latency-stage attribution.
+ *
+ * Each instrumented I/O carries an IoSpan. Components mark *milestones* on
+ * it — "the request is now waiting in the engine queue", "the flash phase
+ * started", "the completion interrupt is pending" — and the span turns
+ * consecutive milestones into disjoint time segments, one per Stage. By
+ * construction the segments tile the request's lifetime exactly, so
+ *
+ *     sum over stages of stage_ns(s)  ==  total_ns()
+ *
+ * holds for every span (the property `tools/validate_stats.py` checks on
+ * exported stats). That is what lets a bench print "where did the
+ * microseconds go": the paper's Figure 8 write spikes show up as kEraseOp
+ * time, and Table 4's read-vs-write gaps split into queue / link / flash.
+ *
+ * Serial request flows (every SDF request is serial at the orchestration
+ * level: engine queue -> DMA -> flash phase -> interrupt -> host) get a
+ * faithful breakdown. Phases that are internally parallel (a multi-page
+ * read pipelining array reads, bus transfers, and DMA) are attributed to
+ * the stage of the phase's critical path (kFlashOp up to the last flash
+ * page, then kLinkTransfer for the DMA tail); single-page reads get the
+ * full fine-grained bus/decode/retry split from the channel itself.
+ */
+#ifndef SDF_OBS_SPAN_H
+#define SDF_OBS_SPAN_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/latency_recorder.h"
+#include "util/units.h"
+
+namespace sdf::obs {
+
+using util::TimeNs;
+
+/** Stage taxonomy for request-latency attribution (DESIGN.md §9). */
+enum class Stage : uint8_t
+{
+    kHostIssue,     ///< Host software stack, submission side.
+    kQueue,         ///< Waiting: engine FIFO, plane/bus contention.
+    kLinkTransfer,  ///< Host-link DMA (write upload / read DMA tail).
+    kFlashOp,       ///< Array read/program phase (incl. pipelined bus).
+    kChannelBus,    ///< Channel bus transfer (single-page reads).
+    kBchDecode,     ///< BCH decode after the bus transfer.
+    kRetry,         ///< Read-retry ladder re-senses.
+    kEraseOp,       ///< Explicit erase on the write critical path.
+    kInterrupt,     ///< Completion waiting for the coalesced interrupt.
+    kHostComplete,  ///< Host software stack, completion side.
+    kDevice,        ///< Uninstrumented device interior (conventional SSD).
+    kCount
+};
+
+inline constexpr size_t kStageCount = static_cast<size_t>(Stage::kCount);
+
+/** Stable lower-case name used in exports ("host_issue", "queue", ...). */
+const char *StageName(Stage s);
+
+/** One request's stage timeline. */
+class IoSpan
+{
+  public:
+    /** Begin the span at @p now in Stage::kHostIssue. */
+    void
+    Start(TimeNs now)
+    {
+        start_ = last_ = now;
+        current_ = Stage::kHostIssue;
+        active_ = true;
+        finished_ = false;
+        acc_.fill(0);
+    }
+
+    /**
+     * Milestone: close the current stage's segment at @p t and continue in
+     * @p s. Timestamps may be "known future" times (a channel computes its
+     * bus schedule at submit time); they are clamped to be monotonic, so a
+     * late marker can never make a segment negative.
+     */
+    void
+    Enter(Stage s, TimeNs t)
+    {
+        if (!active_ || finished_) return;
+        if (t < last_) t = last_;
+        acc_[static_cast<size_t>(current_)] += t - last_;
+        last_ = t;
+        current_ = s;
+    }
+
+    /** Close the final segment at @p now; the span stops accumulating. */
+    void
+    Finish(TimeNs now)
+    {
+        if (!active_ || finished_) return;
+        Enter(current_, now);
+        finished_ = true;
+    }
+
+    TimeNs stage_ns(Stage s) const { return acc_[static_cast<size_t>(s)]; }
+    TimeNs total_ns() const { return last_ - start_; }
+    TimeNs start_ns() const { return start_; }
+    bool finished() const { return finished_; }
+
+  private:
+    TimeNs start_ = 0;
+    TimeNs last_ = 0;
+    Stage current_ = Stage::kHostIssue;
+    bool active_ = false;
+    bool finished_ = false;
+    std::array<TimeNs, kStageCount> acc_{};
+};
+
+/**
+ * Aggregates finished spans per operation class ("read", "write", ...):
+ * per-stage time sums plus an end-to-end latency histogram. Because each
+ * span's segments tile its lifetime, `sum_s stage_sum_ns[s] ==` the sum of
+ * end-to-end latencies — additivity survives aggregation exactly.
+ */
+class StageCollector
+{
+  public:
+    struct OpStats
+    {
+        uint64_t count = 0;
+        std::array<uint64_t, kStageCount> stage_sum_ns{};
+        uint64_t total_sum_ns = 0;
+        util::LatencyRecorder end_to_end{false};
+
+        double
+        StageMeanNs(Stage s) const
+        {
+            if (count == 0) return 0.0;
+            return static_cast<double>(
+                       stage_sum_ns[static_cast<size_t>(s)]) /
+                   static_cast<double>(count);
+        }
+
+        double
+        TotalMeanNs() const
+        {
+            if (count == 0) return 0.0;
+            return static_cast<double>(total_sum_ns) /
+                   static_cast<double>(count);
+        }
+    };
+
+    /** Fold a finished span into @p op's aggregate. */
+    void Record(const std::string &op, const IoSpan &span);
+
+    const std::map<std::string, OpStats> &ops() const { return ops_; }
+    bool empty() const { return ops_.empty(); }
+
+  private:
+    std::map<std::string, OpStats> ops_;
+};
+
+}  // namespace sdf::obs
+
+#endif  // SDF_OBS_SPAN_H

@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <set>
+
+namespace sdf::obs {
+
+int32_t
+TraceSink::RegisterTrack(const std::string &process, const std::string &thread)
+{
+    const std::string key = process + "/" + thread;
+    if (auto it = track_by_name_.find(key); it != track_by_name_.end()) {
+        return it->second;
+    }
+    auto [pit, inserted] =
+        pids_.emplace(process, static_cast<uint32_t>(pids_.size() + 1));
+    (void)inserted;
+    Track t;
+    t.process = process;
+    t.thread = thread;
+    t.pid = pit->second;
+    t.tid = static_cast<uint32_t>(tracks_.size() + 1);
+    tracks_.push_back(t);
+    const auto idx = static_cast<int32_t>(tracks_.size() - 1);
+    track_by_name_[key] = idx;
+    return idx;
+}
+
+namespace {
+
+/** Append @p ns as fractional microseconds (trace-event "ts"/"dur" unit). */
+void
+AppendUs(std::string &out, TimeNs ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    out += buf;
+}
+
+}  // namespace
+
+std::string
+TraceSink::ToJson() const
+{
+    std::string out;
+    out.reserve(128 + events_.size() * 96 + tracks_.size() * 160);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first) out += ",\n";
+        first = false;
+    };
+
+    // Metadata: name each process once and each thread track.
+    std::set<uint32_t> named_pids;
+    for (const Track &t : tracks_) {
+        if (named_pids.insert(t.pid).second) {
+            sep();
+            out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+            out += std::to_string(t.pid);
+            out += ",\"tid\":0,\"args\":{\"name\":\"" + t.process + "\"}}";
+        }
+        sep();
+        out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+        out += std::to_string(t.pid);
+        out += ",\"tid\":" + std::to_string(t.tid);
+        out += ",\"args\":{\"name\":\"" + t.thread + "\"}}";
+    }
+
+    for (const Event &e : events_) {
+        const Track &t = tracks_[static_cast<size_t>(e.track)];
+        sep();
+        out += "{\"ph\":\"X\",\"name\":\"";
+        out += e.name;
+        out += "\",\"cat\":\"";
+        out += t.process;
+        out += "\",\"pid\":" + std::to_string(t.pid);
+        out += ",\"tid\":" + std::to_string(t.tid);
+        out += ",\"ts\":";
+        AppendUs(out, e.start);
+        out += ",\"dur\":";
+        AppendUs(out, e.dur);
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+TraceSink::WriteJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string json = ToJson();
+    const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    return n == json.size() && closed;
+}
+
+}  // namespace sdf::obs

@@ -1,11 +1,13 @@
 #include "sdf/sdf_device.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <utility>
 
 #include "nand/timing.h"
+#include "obs/hub.h"
 #include "util/assert.h"
 
 namespace sdf::core {
@@ -64,9 +66,94 @@ SdfDevice::SdfDevice(sim::Simulator &sim, const SdfConfig &config)
             pe.map = std::make_unique<ftl::BlockMap>(units_per_channel_);
         }
     }
+
+    RegisterMetrics();
 }
 
-SdfDevice::~SdfDevice() = default;
+SdfDevice::~SdfDevice()
+{
+    if (hub_ != nullptr) {
+        for (const std::string &p : metric_prefixes_) {
+            hub_->metrics().UnregisterPrefix(p);
+        }
+    }
+}
+
+void
+SdfDevice::RegisterMetrics()
+{
+    hub_ = sim_.hub();
+    if (hub_ == nullptr) return;
+    obs::MetricsRegistry &m = hub_->metrics();
+
+    const std::string dev = m.UniquePrefix("sdf");
+    metric_prefixes_.push_back(dev);
+    m.RegisterCounter(dev + ".unit_writes", &stats_.unit_writes);
+    m.RegisterCounter(dev + ".unit_erases", &stats_.unit_erases);
+    m.RegisterCounter(dev + ".physical_block_erases",
+                      &stats_.physical_block_erases);
+    m.RegisterCounter(dev + ".page_reads", &stats_.page_reads);
+    m.RegisterCounter(dev + ".read_bytes", &stats_.read_bytes);
+    m.RegisterCounter(dev + ".written_bytes", &stats_.written_bytes);
+    m.RegisterCounter(dev + ".contract_violations",
+                      &stats_.contract_violations);
+    m.RegisterCounter(dev + ".blocks_retired", &stats_.blocks_retired);
+    m.RegisterCounter(dev + ".read_failures", &stats_.read_failures);
+    m.RegisterCounter(dev + ".read_retries", &stats_.read_retries);
+    m.RegisterCounter(dev + ".retry_recoveries", &stats_.retry_recoveries);
+    m.RegisterCounter(dev + ".read_retirements", &stats_.read_retirements);
+    m.RegisterCounter(dev + ".units_lost", &stats_.units_lost);
+    m.RegisterHistogram(dev + ".recovery_latency_ns", [this]() {
+        return &recovery_latencies_.histogram();
+    });
+
+    const std::string link = m.UniquePrefix("link");
+    metric_prefixes_.push_back(link);
+    m.RegisterCounter(link + ".to_host_bytes",
+                      [this]() { return link_->to_host_bytes(); });
+    m.RegisterCounter(link + ".to_device_bytes",
+                      [this]() { return link_->to_device_bytes(); });
+
+    const std::string irq = m.UniquePrefix("irq");
+    metric_prefixes_.push_back(irq);
+    m.RegisterCounter(irq + ".completions",
+                      [this]() { return irq_->completions(); });
+    m.RegisterCounter(irq + ".interrupts",
+                      [this]() { return irq_->interrupts(); });
+    m.RegisterGauge(irq + ".merge_factor",
+                    [this]() { return irq_->MergeFactor(); });
+
+    // Per-channel flash metrics, e.g. nand.ch07.page_reads. A second
+    // device instance lands under nand.2.chNN so prefixes never collide.
+    const std::string nand = m.UniquePrefix("nand");
+    metric_prefixes_.push_back(nand);
+    const uint32_t channels = flash_->geometry().channels;
+    for (uint32_t c = 0; c < channels; ++c) {
+        char chname[16];
+        std::snprintf(chname, sizeof chname, "ch%02u", c);
+        const std::string ch = nand + "." + chname;
+        const nand::ChannelStats &cs = flash_->channel(c).stats();
+        m.RegisterCounter(ch + ".page_reads", &cs.reads);
+        m.RegisterCounter(ch + ".page_programs", &cs.programs);
+        m.RegisterCounter(ch + ".block_erases", &cs.erases);
+        m.RegisterCounter(ch + ".read_bytes", &cs.read_bytes);
+        m.RegisterCounter(ch + ".programmed_bytes", &cs.programmed_bytes);
+        m.RegisterCounter(ch + ".corrected_bit_errors",
+                          &cs.corrected_bit_errors);
+        m.RegisterCounter(ch + ".uncorrectable_reads",
+                          &cs.uncorrectable_reads);
+        m.RegisterCounter(ch + ".retry_reads", &cs.retry_reads);
+        m.RegisterGauge(ch + ".bus_utilization", [this, c]() {
+            return flash_->channel(c).BusUtilization();
+        });
+    }
+
+    if (hub_->trace() != nullptr) {
+        for (uint32_t c = 0; c < channels; ++c) {
+            flash_->channel(c).EnableTrace(hub_->trace(), c);
+        }
+    }
+}
 
 uint32_t
 SdfDevice::channel_count() const
@@ -113,9 +200,12 @@ SdfDevice::DebugForceWritten(uint32_t channel, uint32_t unit)
 }
 
 void
-SdfDevice::Complete(uint32_t channel, IoCallback done, IoStatus status)
+SdfDevice::Complete(uint32_t channel, IoCallback done, IoStatus status,
+                    obs::IoSpan *span)
 {
     if (!done) return;
+    // From here the request waits for the (coalesced) completion interrupt.
+    if (span != nullptr) span->Enter(obs::Stage::kInterrupt, sim_.Now());
     irq_->OnCompletion(channel,
                        [done = std::move(done), status]() { done(status); });
 }
@@ -154,12 +244,12 @@ SdfDevice::ReadPageLadder(uint32_t channel, uint32_t unit, uint32_t plane,
                           uint32_t block, uint32_t page_in_block,
                           uint32_t level, TimeNs first_fail,
                           std::function<void(IoStatus)> done,
-                          std::vector<uint8_t> *buf)
+                          std::vector<uint8_t> *buf, obs::IoSpan *span)
 {
     flash_->channel(channel).ReadPage(
         nand::PageAddr{plane, block, page_in_block},
         [this, channel, unit, plane, block, page_in_block, level, first_fail,
-         done = std::move(done), buf](nand::OpStatus status) mutable {
+         done = std::move(done), buf, span](nand::OpStatus status) mutable {
             if (nand::IsOk(status)) {  // kOk or kOkErased (unprogrammed).
                 if (level > 0) {
                     ++stats_.retry_recoveries;
@@ -177,7 +267,7 @@ SdfDevice::ReadPageLadder(uint32_t channel, uint32_t unit, uint32_t plane,
             if (level < config_.read_retry_levels) {
                 ++stats_.read_retries;
                 ReadPageLadder(channel, unit, plane, block, page_in_block,
-                               level + 1, t0, std::move(done), buf);
+                               level + 1, t0, std::move(done), buf, span);
                 return;
             }
             // Ladder exhausted: data is lost; retire the block so future
@@ -188,12 +278,13 @@ SdfDevice::ReadPageLadder(uint32_t channel, uint32_t unit, uint32_t plane,
             RetireAndRemap(channel, plane, unit, block);
             done(IoError::kReadUncorrectable);
         },
-        buf, level);
+        buf, level, span);
 }
 
 void
 SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
-                uint64_t length, IoCallback done, std::vector<uint8_t> *out)
+                uint64_t length, IoCallback done, std::vector<uint8_t> *out,
+                obs::IoSpan *span)
 {
     const nand::Geometry &geo = flash_->geometry();
     const uint32_t page = geo.page_size;
@@ -219,11 +310,16 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
         IoStatus status;  ///< First page-level error wins.
         IoCallback done;
         std::vector<uint8_t> *out;
+        obs::IoSpan *span;
     };
     auto state = std::make_shared<ReadState>();
     state->total_pages = pages;
     state->done = std::move(done);
     state->out = out;
+    state->span = span;
+
+    // Everything until the engine picks the command up is queueing.
+    if (span != nullptr) span->Enter(obs::Stage::kQueue, sim_.Now());
 
     ChannelEngine &ce = channels_[channel];
     ce.engine->Submit(config_.engine_op_cost, [this, channel, unit, offset,
@@ -231,6 +327,14 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
         const nand::Geometry &geo2 = flash_->geometry();
         const uint64_t block_bytes = geo2.BlockBytes();
         ChannelEngine &ce2 = channels_[channel];
+
+        // A multi-page read pipelines planes, bus, and DMA; attribute its
+        // critical path (flash until the last page, then the DMA tail).
+        // Single-page reads instead get fine cuts inside Channel::ReadPage.
+        const bool fine_cuts = pages == 1;
+        if (state->span != nullptr && !fine_cuts) {
+            state->span->Enter(obs::Stage::kFlashOp, sim_.Now());
+        }
 
         // DMA pages to the host in chunks as they come off the flash, so
         // the PCIe transfer pipelines with the channel-bus reads (the
@@ -246,12 +350,15 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
                 state->transferred += n;
                 const bool final_chunk =
                     state->transferred == state->total_pages;
+                if (final_chunk && state->span != nullptr) {
+                    state->span->Enter(obs::Stage::kLinkTransfer, sim_.Now());
+                }
                 link_->TransferToHost(
                     sim_.Now(), uint64_t{n} * page,
                     final_chunk
                         ? sim::Callback([this, channel, state]() {
                               Complete(channel, std::move(state->done),
-                                       state->status);
+                                       state->status, state->span);
                           })
                         : nullptr);
             }
@@ -284,14 +391,14 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
                     }
                     page_complete();
                 },
-                buf.get());
+                buf.get(), fine_cuts ? state->span : nullptr);
         }
     });
 }
 
 void
 SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
-                     const uint8_t *data)
+                     const uint8_t *data, obs::IoSpan *span)
 {
     if (!ValidUnit(channel, unit) ||
         channels_[channel].units[unit] != UnitState::kErased) {
@@ -307,12 +414,21 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
     ++stats_.unit_writes;
     stats_.written_bytes += unit_bytes_;
 
-    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit, data,
+    if (span != nullptr) span->Enter(obs::Stage::kQueue, sim_.Now());
+
+    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit, data, span,
                                                done = std::move(done)]() mutable {
         // Stage the whole unit into the on-board DRAM buffers, then program.
+        if (span != nullptr) {
+            span->Enter(obs::Stage::kLinkTransfer, sim_.Now());
+        }
         link_->TransferToDevice(
             sim_.Now(), unit_bytes_,
-            [this, channel, unit, data, done = std::move(done)]() mutable {
+            [this, channel, unit, data, span,
+             done = std::move(done)]() mutable {
+                if (span != nullptr) {
+                    span->Enter(obs::Stage::kFlashOp, sim_.Now());
+                }
                 const nand::Geometry &geo = flash_->geometry();
                 const uint32_t ppb = geo.pages_per_block;
                 const uint32_t planes = geo.PlanesPerChannel();
@@ -322,10 +438,10 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
 
                 auto remaining = std::make_shared<uint32_t>(planes * ppb);
                 auto write_st = std::make_shared<IoStatus>();
-                auto finish = [this, channel, remaining, write_st,
+                auto finish = [this, channel, remaining, write_st, span,
                                done = std::move(done)]() mutable {
                     if (--*remaining > 0) return;
-                    Complete(channel, std::move(done), *write_st);
+                    Complete(channel, std::move(done), *write_st, span);
                 };
 
                 // Interleave planes page-by-page so all four program
@@ -358,7 +474,8 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
 }
 
 void
-SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
+SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
+                     obs::IoSpan *span)
 {
     if (!ValidUnit(channel, unit)) {
         ++stats_.contract_violations;
@@ -380,22 +497,26 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done)
     ChannelEngine &ce = channels_[channel];
     ++stats_.unit_erases;
 
-    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit,
+    if (span != nullptr) span->Enter(obs::Stage::kQueue, sim_.Now());
+
+    ce.engine->Submit(config_.engine_op_cost, [this, channel, unit, span,
                                                done = std::move(done)]() mutable {
         const nand::Geometry &geo = flash_->geometry();
         const uint32_t planes = geo.PlanesPerChannel();
         ChannelEngine &ce2 = channels_[channel];
 
+        if (span != nullptr) span->Enter(obs::Stage::kEraseOp, sim_.Now());
+
         auto remaining = std::make_shared<uint32_t>(planes);
         auto st = std::make_shared<IoStatus>();
-        auto finish = [this, channel, unit, remaining, st,
+        auto finish = [this, channel, unit, remaining, st, span,
                        done = std::move(done)]() mutable {
             if (--*remaining > 0) return;
             ChannelEngine &ce3 = channels_[channel];
             if (st->ok() && ce3.units[unit] != UnitState::kDead) {
                 ce3.units[unit] = UnitState::kErased;
             }
-            Complete(channel, std::move(done), *st);
+            Complete(channel, std::move(done), *st, span);
         };
 
         for (uint32_t plane = 0; plane < planes; ++plane) {

@@ -33,10 +33,15 @@
 #include "ftl/block_map.h"
 #include "ftl/wear_leveler.h"
 #include "nand/flash_array.h"
+#include "obs/span.h"
 #include "sdf/io_status.h"
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
 #include "util/latency_recorder.h"
+
+namespace sdf::obs {
+class Hub;
+}  // namespace sdf::obs
 
 namespace sdf::core {
 
@@ -121,26 +126,37 @@ class SdfDevice
      * Read @p length bytes at @p offset within (@p channel, @p unit).
      * Offset and length must be multiples of the read unit (8 KB).
      * Reading an unwritten unit succeeds and returns 0xFF bytes.
+     *
+     * @p span, when non-null, receives latency-stage milestones. A
+     * single-page read gets the channel's fine-grained breakdown (queue /
+     * flash_op / channel_bus / bch_decode / retry); a multi-page read is
+     * attributed by critical path: flash_op until the last page leaves
+     * the flash, then link_transfer for the DMA tail.
      */
     void Read(uint32_t channel, uint32_t unit, uint64_t offset,
               uint64_t length, IoCallback done,
-              std::vector<uint8_t> *out = nullptr);
+              std::vector<uint8_t> *out = nullptr,
+              obs::IoSpan *span = nullptr);
 
     /**
      * Write one full unit (8 MB). The unit must be in the erased state
      * (software contract: erase-before-write); otherwise completes false
-     * and counts a contract violation.
+     * and counts a contract violation. @p span, when non-null, splits the
+     * latency into queue / link_transfer / flash_op / interrupt.
      */
     void WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
-                   const uint8_t *data = nullptr);
+                   const uint8_t *data = nullptr,
+                   obs::IoSpan *span = nullptr);
 
     /**
      * Erase a unit: the explicit erase command SDF adds to the device
      * interface. Erases the unit's mapped physical blocks (if any) and
      * remaps the unit to the least-worn free blocks (dynamic wear
-     * leveling through the free pool).
+     * leveling through the free pool). @p span attribution: queue /
+     * erase_op / interrupt.
      */
-    void EraseUnit(uint32_t channel, uint32_t unit, IoCallback done);
+    void EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
+                   obs::IoSpan *span = nullptr);
 
     /** Current state of a unit. */
     UnitState unit_state(uint32_t channel, uint32_t unit) const;
@@ -236,7 +252,11 @@ class SdfDevice
     };
 
     bool ValidUnit(uint32_t channel, uint32_t unit) const;
-    void Complete(uint32_t channel, IoCallback done, IoStatus status);
+    void Complete(uint32_t channel, IoCallback done, IoStatus status,
+                  obs::IoSpan *span = nullptr);
+
+    /** Register pull-metrics with the simulator's hub, if one is set. */
+    void RegisterMetrics();
 
     /**
      * One rung of the read-retry ladder: read the page at @p level; on
@@ -247,7 +267,8 @@ class SdfDevice
     void ReadPageLadder(uint32_t channel, uint32_t unit, uint32_t plane,
                         uint32_t block, uint32_t page_in_block, uint32_t level,
                         TimeNs first_fail, std::function<void(IoStatus)> done,
-                        std::vector<uint8_t> *buf);
+                        std::vector<uint8_t> *buf,
+                        obs::IoSpan *span = nullptr);
 
     /**
      * Retire @p block (grown bad) in (@p channel, @p plane): mark it bad,
@@ -268,6 +289,10 @@ class SdfDevice
     uint64_t unit_bytes_ = 0;
     SdfStats stats_;
     util::LatencyRecorder recovery_latencies_;
+
+    /** Hub (from the simulator) this device registered metrics with. */
+    obs::Hub *hub_ = nullptr;
+    std::vector<std::string> metric_prefixes_;  ///< For dtor unregistration.
 };
 
 /**

@@ -19,13 +19,17 @@ Simulator::ScheduleAt(TimeNs when, Callback cb)
     SDF_CHECK_MSG(when >= now_, "scheduling into the past");
     const EventId id = next_id_++;
     queue_.push(Entry{when, id, std::move(cb)});
+    live_.insert(id);
     return id;
 }
 
 void
 Simulator::Cancel(EventId id)
 {
-    if (id != kInvalidEvent) cancelled_.insert(id);
+    // Erasing from the live set is naturally idempotent: cancelling an id
+    // that already fired (or a garbage id) is a no-op rather than a
+    // permanent bookkeeping leak.
+    live_.erase(id);
 }
 
 void
@@ -33,10 +37,7 @@ Simulator::Step()
 {
     Entry e = queue_.top();
     queue_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        return;
-    }
+    if (live_.erase(e.id) == 0) return;  // cancelled
     now_ = e.when;
     ++events_processed_;
     e.cb();
@@ -53,9 +54,8 @@ Simulator::RunUntil(TimeNs deadline)
 {
     while (!queue_.empty() && queue_.top().when <= deadline) Step();
     if (deadline > now_) now_ = deadline;
-    // Drop any cancelled entries at the head so PendingEvents() is accurate.
-    while (!queue_.empty() && cancelled_.count(queue_.top().id)) {
-        cancelled_.erase(queue_.top().id);
+    // Drop cancelled entries at the head so "events remain" is accurate.
+    while (!queue_.empty() && live_.count(queue_.top().id) == 0) {
         queue_.pop();
     }
     return !queue_.empty();

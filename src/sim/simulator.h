@@ -19,6 +19,10 @@
 
 #include "util/units.h"
 
+namespace sdf::obs {
+class Hub;
+}  // namespace sdf::obs
+
 namespace sdf::sim {
 
 using util::TimeNs;
@@ -79,7 +83,16 @@ class Simulator
     uint64_t events_processed() const { return events_processed_; }
 
     /** Number of pending (uncancelled) events. */
-    size_t PendingEvents() const { return queue_.size() - cancelled_.size(); }
+    size_t PendingEvents() const { return live_.size(); }
+
+    /**
+     * Observability hub for this run, or null (the default). Components
+     * hold a `Simulator &` already, so the hub rides on it: install it
+     * *before* constructing the stack and every layer self-registers its
+     * metrics. The simulator never reads the hub itself.
+     */
+    obs::Hub *hub() const { return hub_; }
+    void set_hub(obs::Hub *hub) { hub_ = hub; }
 
   private:
     struct Entry
@@ -105,8 +118,15 @@ class Simulator
     TimeNs now_ = 0;
     EventId next_id_ = 1;
     uint64_t events_processed_ = 0;
+    obs::Hub *hub_ = nullptr;
     std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-    std::unordered_set<EventId> cancelled_;
+    /**
+     * Ids of scheduled-but-not-yet-fired events. Tracking the *live* set
+     * (rather than a cancelled set) makes Cancel() a no-op for ids that
+     * already fired or were never issued — a stale id can no longer leave
+     * permanent residue that skews PendingEvents().
+     */
+    std::unordered_set<EventId> live_;
 };
 
 }  // namespace sdf::sim

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nand/timing.h"
+#include "obs/hub.h"
 #include "util/assert.h"
 
 namespace sdf::ssd {
@@ -93,9 +94,38 @@ ConventionalSsd::ConventionalSsd(sim::Simulator &sim,
             cf.planes[addr.plane].free_pool.Release(f, 0);
         }
     }
+
+    if (obs::Hub *hub = sim.hub()) {
+        hub_ = hub;
+        obs::MetricsRegistry &m = hub->metrics();
+        metric_prefix_ = m.UniquePrefix("ssd");
+        m.RegisterCounter(metric_prefix_ + ".host_reads", &stats_.host_reads);
+        m.RegisterCounter(metric_prefix_ + ".host_writes",
+                          &stats_.host_writes);
+        m.RegisterCounter(metric_prefix_ + ".host_read_bytes",
+                          &stats_.host_read_bytes);
+        m.RegisterCounter(metric_prefix_ + ".host_written_bytes",
+                          &stats_.host_written_bytes);
+        m.RegisterCounter(metric_prefix_ + ".gc_pages_moved",
+                          &stats_.gc_pages_moved);
+        m.RegisterCounter(metric_prefix_ + ".parity_pages_written",
+                          &stats_.parity_pages_written);
+        m.RegisterCounter(metric_prefix_ + ".gc_erases", &stats_.gc_erases);
+        m.RegisterCounter(metric_prefix_ + ".swl_migrations",
+                          &stats_.swl_migrations);
+        m.RegisterCounter(metric_prefix_ + ".cache_hit_pages",
+                          &stats_.cache_hit_pages);
+        m.RegisterCounter(metric_prefix_ + ".read_errors",
+                          &stats_.read_errors);
+        m.RegisterGauge(metric_prefix_ + ".write_amplification",
+                        [this]() { return stats_.WriteAmplification(); });
+    }
 }
 
-ConventionalSsd::~ConventionalSsd() = default;
+ConventionalSsd::~ConventionalSsd()
+{
+    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
+}
 
 uint32_t
 ConventionalSsd::FreeBlocks(uint32_t channel) const

@@ -37,6 +37,10 @@
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
 
+namespace sdf::obs {
+class Hub;
+}  // namespace sdf::obs
+
 namespace sdf::ssd {
 
 using util::TimeNs;
@@ -298,6 +302,9 @@ class ConventionalSsd
     uint64_t parity_row_counter_ = 0;
 
     SsdStats stats_;
+
+    obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
+    std::string metric_prefix_;
 };
 
 /**

@@ -1,9 +1,11 @@
 #include "workload/raw_device.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
+#include "obs/hub.h"
 #include "util/assert.h"
 
 namespace sdf::workload {
@@ -17,6 +19,48 @@ struct Meter
     uint64_t bytes = 0;
     uint64_t ops = 0;
     bool measuring = false;
+};
+
+/**
+ * Per-actor observability context. A closed-loop actor has exactly one
+ * request in flight, so a single reusable IoSpan per actor suffices; when
+ * tracing is on each actor also owns a request track ("host"/"req.chNN")
+ * showing its requests end to end.
+ */
+struct ActorObs
+{
+    obs::Hub *hub = nullptr;
+    obs::IoSpan span;
+    int32_t track = -1;
+
+    static std::shared_ptr<ActorObs>
+    Make(sim::Simulator &sim, const char *kind, uint32_t idx)
+    {
+        auto a = std::make_shared<ActorObs>();
+        a->hub = sim.hub();
+        if (a->hub != nullptr && a->hub->trace() != nullptr) {
+            char name[24];
+            std::snprintf(name, sizeof name, "req.%s%02u", kind, idx);
+            a->track = a->hub->trace()->RegisterTrack("host", name);
+        }
+        return a;
+    }
+
+    /** Span pointer to thread through the stack (null when no hub). */
+    obs::IoSpan *span_ptr() { return hub != nullptr ? &span : nullptr; }
+
+    /** Close the span and fold it into the per-op aggregates. */
+    void
+    FinishRequest(sim::Simulator &sim, const char *op, bool measuring)
+    {
+        if (hub == nullptr) return;
+        span.Finish(sim.Now());
+        if (measuring) hub->stages().Record(op, span);
+        if (track >= 0) {
+            hub->trace()->Complete(track, op, span.start_ns(),
+                                   span.total_ns());
+        }
+    }
 };
 
 /**
@@ -77,32 +121,34 @@ RunSdfRandomReads(sim::Simulator &sim, core::SdfDevice &device,
     const uint64_t slots = device.unit_bytes() / request_bytes;
 
     std::vector<std::unique_ptr<host::ClosedLoopActor>> actors;
-    util::LatencyRecorder latencies(false);
     for (uint32_t ch = 0; ch < channels_used; ++ch) {
+        auto aobs = ActorObs::Make(sim, "ch", ch);
         actors.push_back(std::make_unique<host::ClosedLoopActor>(
-            sim, [&sim, &device, &stack, meter, rng, ch, request_bytes,
+            sim, [&sim, &device, &stack, meter, rng, aobs, ch, request_bytes,
                   slots](sim::Callback done) {
                 const auto unit = static_cast<uint32_t>(
                     rng->NextBelow(device.units_per_channel()));
                 const uint64_t offset =
                     rng->NextBelow(slots) * request_bytes;
-                const TimeNs start = sim.Now();
+                obs::IoSpan *span = aobs->span_ptr();
+                if (span != nullptr) span->Start(sim.Now());
                 stack.Issue(
-                    [&device, ch, unit, offset, request_bytes](
-                        sim::Callback d) {
+                    [&device, ch, unit, offset, request_bytes,
+                     span](sim::Callback d) {
                         device.Read(ch, unit, offset, request_bytes,
-                                    [d = std::move(d)](bool) { d(); });
+                                    [d = std::move(d)](bool) { d(); },
+                                    nullptr, span);
                     },
-                    [&sim, meter, request_bytes, start,
+                    [&sim, meter, aobs, request_bytes,
                      done = std::move(done)]() {
-                        (void)start;
+                        aobs->FinishRequest(sim, "read", meter->measuring);
                         if (meter->measuring) {
                             meter->bytes += request_bytes;
                             ++meter->ops;
                         }
-                        (void)sim;
                         done();
-                    });
+                    },
+                    span);
             }));
     }
     return Measure(sim, actors, *meter, run);
@@ -123,26 +169,33 @@ RunSdfSequentialReads(sim::Simulator &sim, core::SdfDevice &device,
     std::vector<std::unique_ptr<host::ClosedLoopActor>> actors;
     for (uint32_t ch = 0; ch < channels_used; ++ch) {
         auto cursor = std::make_shared<uint64_t>(0);
+        auto aobs = ActorObs::Make(sim, "ch", ch);
         actors.push_back(std::make_unique<host::ClosedLoopActor>(
-            sim, [&device, &stack, meter, cursor, ch, request_bytes,
-                  slots](sim::Callback done) {
+            sim, [&sim, &device, &stack, meter, cursor, aobs, ch,
+                  request_bytes, slots](sim::Callback done) {
                 const uint64_t pos = (*cursor)++;
                 const auto unit = static_cast<uint32_t>(
                     (pos / slots) % device.units_per_channel());
                 const uint64_t offset = pos % slots * request_bytes;
+                obs::IoSpan *span = aobs->span_ptr();
+                if (span != nullptr) span->Start(sim.Now());
                 stack.Issue(
-                    [&device, ch, unit, offset,
-                     request_bytes](sim::Callback d) {
+                    [&device, ch, unit, offset, request_bytes,
+                     span](sim::Callback d) {
                         device.Read(ch, unit, offset, request_bytes,
-                                    [d = std::move(d)](bool) { d(); });
+                                    [d = std::move(d)](bool) { d(); },
+                                    nullptr, span);
                     },
-                    [meter, request_bytes, done = std::move(done)]() {
+                    [&sim, meter, aobs, request_bytes,
+                     done = std::move(done)]() {
+                        aobs->FinishRequest(sim, "read", meter->measuring);
                         if (meter->measuring) {
                             meter->bytes += request_bytes;
                             ++meter->ops;
                         }
                         done();
-                    });
+                    },
+                    span);
             }));
     }
     return Measure(sim, actors, *meter, run);
@@ -161,34 +214,44 @@ RunSdfWrites(sim::Simulator &sim, core::SdfDevice &device,
     std::vector<std::unique_ptr<host::ClosedLoopActor>> actors;
     for (uint32_t ch = 0; ch < channels_used; ++ch) {
         auto cursor = std::make_shared<uint32_t>(0);
+        auto aobs = ActorObs::Make(sim, "ch", ch);
         actors.push_back(std::make_unique<host::ClosedLoopActor>(
-            sim, [&sim, &device, &stack, meter, result, cursor, ch,
+            sim, [&sim, &device, &stack, meter, result, cursor, aobs, ch,
                   unit_bytes](sim::Callback done) {
                 const uint32_t unit = *cursor;
                 *cursor = (*cursor + 1) % device.units_per_channel();
                 const TimeNs start = sim.Now();
+                // One span covers the whole erase+write cycle: the explicit
+                // erase is on the write's critical path (Figure 8).
+                obs::IoSpan *span = aobs->span_ptr();
+                if (span != nullptr) span->Start(start);
                 stack.Issue(
-                    [&device, ch, unit](sim::Callback d) {
+                    [&device, ch, unit, span](sim::Callback d) {
                         // Explicit erase immediately before the write.
-                        device.EraseUnit(ch, unit, [&device, ch, unit,
-                                                    d = std::move(d)](bool ok) {
-                            if (!ok) {
-                                d();
-                                return;
-                            }
-                            device.WriteUnit(ch, unit,
-                                             [d](bool) { d(); });
-                        });
+                        device.EraseUnit(
+                            ch, unit,
+                            [&device, ch, unit, span,
+                             d = std::move(d)](bool ok) {
+                                if (!ok) {
+                                    d();
+                                    return;
+                                }
+                                device.WriteUnit(ch, unit, [d](bool) { d(); },
+                                                 nullptr, span);
+                            },
+                            span);
                     },
-                    [&sim, meter, result, unit_bytes, start,
+                    [&sim, meter, result, aobs, unit_bytes, start,
                      done = std::move(done)]() {
+                        aobs->FinishRequest(sim, "write", meter->measuring);
                         if (meter->measuring) {
                             meter->bytes += unit_bytes;
                             ++meter->ops;
                             result->latencies.Record(sim.Now() - start);
                         }
                         done();
-                    });
+                    },
+                    span);
             }));
     }
     RawResult measured = Measure(sim, actors, *meter, run);
@@ -217,9 +280,11 @@ RunConv(sim::Simulator &sim, ssd::ConventionalSsd &device,
     // independent closed loops sharing one offset stream.
     std::vector<std::unique_ptr<host::ClosedLoopActor>> actors;
     for (uint32_t q = 0; q < queue_depth; ++q) {
+        auto aobs = ActorObs::Make(sim, "q", q);
         actors.push_back(std::make_unique<host::ClosedLoopActor>(
-            sim, [&sim, &device, &stack, meter, result, rng, cursor, slots,
-                  request_bytes, pattern, is_write](sim::Callback done) {
+            sim, [&sim, &device, &stack, meter, result, rng, cursor, aobs,
+                  slots, request_bytes, pattern,
+                  is_write](sim::Callback done) {
                 uint64_t slot;
                 if (pattern == Pattern::kSequential) {
                     slot = (*cursor)++ % slots;
@@ -228,6 +293,10 @@ RunConv(sim::Simulator &sim, ssd::ConventionalSsd &device,
                 }
                 const uint64_t offset = slot * request_bytes;
                 const TimeNs start = sim.Now();
+                // The conventional SSD is a black box: its whole interior
+                // lands in the `device` stage (host costs still split out).
+                obs::IoSpan *span = aobs->span_ptr();
+                if (span != nullptr) span->Start(start);
                 stack.Issue(
                     [&device, offset, request_bytes, is_write](
                         sim::Callback d) {
@@ -239,15 +308,18 @@ RunConv(sim::Simulator &sim, ssd::ConventionalSsd &device,
                                         [d = std::move(d)](bool) { d(); });
                         }
                     },
-                    [&sim, meter, result, request_bytes, start,
-                     done = std::move(done)]() {
+                    [&sim, meter, result, aobs, request_bytes, start,
+                     is_write, done = std::move(done)]() {
+                        aobs->FinishRequest(sim, is_write ? "write" : "read",
+                                            meter->measuring);
                         if (meter->measuring) {
                             meter->bytes += request_bytes;
                             ++meter->ops;
                             result->latencies.Record(sim.Now() - start);
                         }
                         done();
-                    });
+                    },
+                    span);
             }));
     }
     RawResult measured = Measure(sim, actors, *meter, run);

@@ -76,6 +76,69 @@ TEST(Simulator, CancelInvalidIsNoOp)
     sim.Run();
 }
 
+TEST(Simulator, PendingEventsTracksScheduleFireAndCancel)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+    const EventId a = sim.Schedule(10, []() {});
+    sim.Schedule(20, []() {});
+    EXPECT_EQ(sim.PendingEvents(), 2u);
+    sim.Cancel(a);
+    EXPECT_EQ(sim.PendingEvents(), 1u);
+    sim.Run();
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+// Regression: cancelling an id that has already fired (or one that was
+// never issued) must leave no permanent residue in the simulator's
+// bookkeeping — PendingEvents() used to drift when stale ids accumulated.
+TEST(Simulator, CancelAfterFireLeavesNoResidue)
+{
+    Simulator sim;
+    const EventId a = sim.Schedule(1, []() {});
+    sim.Run();
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+    sim.Cancel(a);          // Already fired: must be a no-op.
+    sim.Cancel(a + 1000);   // Never issued: must be a no-op.
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+    bool ran = false;
+    sim.Schedule(1, [&]() { ran = true; });
+    EXPECT_EQ(sim.PendingEvents(), 1u);
+    sim.Run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(Simulator, RepeatedScheduleFireCancelCyclesStayConsistent)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        const EventId keep = sim.Schedule(1, [&]() { ++fired; });
+        const EventId drop = sim.Schedule(2, [&]() { ++fired; });
+        sim.Cancel(drop);
+        sim.Cancel(keep - 1);  // Stale id from the previous cycle.
+        EXPECT_EQ(sim.PendingEvents(), 1u);
+        sim.Run();
+        EXPECT_EQ(sim.PendingEvents(), 0u);
+    }
+    EXPECT_EQ(fired, 100);
+}
+
+TEST(Simulator, CancelledEventsDoNotStallRunUntil)
+{
+    Simulator sim;
+    // A far-future event that gets cancelled must not make RunUntil
+    // report pending work or hold the queue.
+    const EventId far = sim.Schedule(1000000, []() {});
+    int fired = 0;
+    sim.Schedule(10, [&]() { ++fired; });
+    sim.Cancel(far);
+    EXPECT_FALSE(sim.RunUntil(100));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline)
 {
     Simulator sim;

@@ -59,6 +59,9 @@ struct Options
     uint32_t replicas = 3;
     uint32_t keys = 300;
     uint32_t reads = 1500;
+
+    // Observability exports (--stats-json/--stats-csv/--trace).
+    bench::ObsCli obs;
 };
 
 void
@@ -95,7 +98,15 @@ PrintHelp()
         "  --faults=<n>         random faults to inject (default 120)\n"
         "  --replicas=<n>       replicated stacks (default 3)\n"
         "  --keys=<n>           keys preloaded per replica (default 300)\n"
-        "  --reads=<n>          reads during the fault window (default 1500)\n");
+        "  --reads=<n>          reads during the fault window (default 1500)\n"
+        "\n");
+    std::puts(bench::ObsCli::HelpText());
+    std::puts(
+        "example:\n"
+        "  sdfsim --device=sdf --workload=write \\\n"
+        "      --stats-json=out.json --trace=out.trace.json\n"
+        "  # out.json: counters, per-stage latency means, p99s\n"
+        "  # out.trace.json: open in https://ui.perfetto.dev\n");
 }
 
 uint64_t
@@ -174,7 +185,7 @@ ParseArgs(int argc, char **argv, Options &opt)
             opt.keys = static_cast<uint32_t>(std::stoul(val));
         } else if (key == "--reads") {
             opt.reads = static_cast<uint32_t>(std::stoul(val));
-        } else {
+        } else if (!opt.obs.TryFlag(key, val)) {
             std::fprintf(stderr, "unknown flag: %s (try --help)\n",
                          key.c_str());
             return false;
@@ -200,10 +211,34 @@ ApplyErrorOverrides(core::SdfConfig &cfg, const Options &opt)
         cfg.read_retry_levels = static_cast<uint32_t>(opt.retry_levels);
 }
 
+/** Meta keys every workload shares. */
+void
+AddCommonMeta(Options &opt)
+{
+    opt.obs.AddMeta("device", opt.device);
+    opt.obs.AddMeta("workload", opt.workload);
+    opt.obs.AddMeta("seed", std::to_string(opt.seed));
+    opt.obs.AddMeta("duration_sec", std::to_string(opt.duration));
+    opt.obs.AddMeta("scale", std::to_string(opt.scale));
+}
+
+/** Install the (optional) hub and its simulator-core counter. */
+void
+InstallHub(Options &opt, sim::Simulator &sim)
+{
+    obs::Hub *hub = opt.obs.hub();
+    if (hub == nullptr) return;
+    sim.set_hub(hub);
+    hub->metrics().RegisterCounter("sim.events_processed", [&sim]() {
+        return sim.events_processed();
+    });
+}
+
 int
-RunRawSdf(const Options &opt)
+RunRawSdf(Options &opt)
 {
     sim::Simulator sim;
+    InstallHub(opt, sim);
     core::SdfConfig cfg = core::BaiduSdfConfig(opt.scale);
     ApplyErrorOverrides(cfg, opt);
     core::SdfDevice device(sim, cfg);
@@ -254,13 +289,25 @@ RunRawSdf(const Options &opt)
                     static_cast<unsigned long long>(s.read_failures),
                     static_cast<unsigned long long>(s.blocks_retired));
     }
-    return 0;
+    AddCommonMeta(opt);
+    opt.obs.AddMeta("channels", std::to_string(opt.channels));
+    opt.obs.AddMeta("request_bytes", std::to_string(opt.request));
+    opt.obs.AddDerived("result.mbps", r.mbps);
+    opt.obs.AddDerived("result.operations",
+                       static_cast<double>(r.operations));
+    if (r.latencies.count() > 0) {
+        opt.obs.AddDerived("result.latency_mean_ms", r.latencies.MeanMs());
+        opt.obs.AddDerived("result.latency_p99_ms",
+                           r.latencies.PercentileMs(99));
+    }
+    return opt.obs.Export();
 }
 
 int
-RunFaults(const Options &opt)
+RunFaults(Options &opt)
 {
     bench::FaultCampaignConfig cfg;
+    cfg.hub = opt.obs.hub();
     cfg.replicas = opt.replicas;
     cfg.fault_count = opt.faults;
     cfg.keys = opt.keys;
@@ -308,13 +355,20 @@ RunFaults(const Options &opt)
     const bench::FaultCampaignResult r = bench::RunFaultCampaign(cfg);
     if (!r.plan_error.empty()) return 2;  // Parse error already printed.
     bench::PrintFaultCampaignResult(cfg, r);
+    AddCommonMeta(opt);
+    opt.obs.AddMeta("replicas", std::to_string(cfg.replicas));
+    opt.obs.AddDerived("result.availability", r.availability);
+    opt.obs.AddDerived("result.keys_lost", static_cast<double>(r.keys_lost));
+    opt.obs.AddDerived("result.failovers",
+                       static_cast<double>(r.failovers));
+    if (const int rc = opt.obs.Export(); rc != 0) return rc;
     return r.keys_lost == 0 && r.requests_completed == r.requests_issued
                ? 0
                : 1;
 }
 
 int
-RunRawConventional(const Options &opt)
+RunRawConventional(Options &opt)
 {
     ssd::ConventionalSsdConfig cfg =
         opt.device == "huawei"     ? ssd::HuaweiGen3Config(opt.scale)
@@ -323,6 +377,7 @@ RunRawConventional(const Options &opt)
     if (opt.op_ratio >= 0.0) cfg.op_ratio = opt.op_ratio;
 
     sim::Simulator sim;
+    InstallHub(opt, sim);
     ssd::ConventionalSsd device(sim, cfg);
     host::IoStack stack(sim, host::KernelIoStackSpec());
 
@@ -355,17 +410,26 @@ RunRawConventional(const Options &opt)
                 cfg.name.c_str(), opt.workload.c_str(), opt.qd, r.mbps,
                 static_cast<unsigned long long>(r.operations),
                 device.stats().WriteAmplification());
-    return 0;
+    AddCommonMeta(opt);
+    opt.obs.AddMeta("qd", std::to_string(opt.qd));
+    opt.obs.AddMeta("request_bytes", std::to_string(opt.request));
+    opt.obs.AddDerived("result.mbps", r.mbps);
+    opt.obs.AddDerived("result.operations",
+                       static_cast<double>(r.operations));
+    opt.obs.AddDerived("result.write_amplification",
+                       device.stats().WriteAmplification());
+    return opt.obs.Export();
 }
 
 int
-RunKv(const Options &opt)
+RunKv(Options &opt)
 {
     using bench::DeviceKind;
     const DeviceKind kind = opt.device == "huawei" ? DeviceKind::kHuaweiGen3
                             : opt.device == "intel" ? DeviceKind::kIntel320
                                                     : DeviceKind::kBaiduSdf;
-    bench::KvTestbed bed(kind, opt.slices, opt.slices, opt.scale);
+    bench::KvTestbed bed(kind, opt.slices, opt.slices, opt.scale, {},
+                         opt.obs.hub());
     workload::KvRunConfig run;
     run.warmup = util::SecToNs(opt.warmup);
     run.duration = util::SecToNs(opt.duration);
@@ -401,7 +465,10 @@ RunKv(const Options &opt)
                      opt.workload.c_str());
         return 1;
     }
-    return 0;
+    AddCommonMeta(opt);
+    opt.obs.AddMeta("slices", std::to_string(opt.slices));
+    opt.obs.AddMeta("value_kib", std::to_string(opt.value_kib));
+    return opt.obs.Export();
 }
 
 }  // namespace

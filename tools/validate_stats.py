@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate sdfsim/bench observability exports.
+
+Checks that a --stats-json document is well-formed and that its core
+invariant holds: for every operation class, the per-stage latency means
+sum to the end-to-end mean (within a tolerance; the cut-point span
+construction makes it exact up to float rounding). Optionally validates a
+--trace export: parses as JSON, has traceEvents, and carries at least the
+expected number of per-channel tracks.
+
+Usage:
+    validate_stats.py STATS.json [--trace=TRACE.json] [--channels=N]
+                      [--tolerance=0.01]
+
+Exit status 0 when every check passes; 1 with a message per failure.
+"""
+
+import json
+import re
+import sys
+
+REQUIRED_TOP_KEYS = ("meta", "derived", "counters", "gauges", "histograms",
+                     "stages")
+REQUIRED_STAGE_KEYS = ("count", "end_to_end_ns_mean", "end_to_end_ns_p50",
+                       "end_to_end_ns_p99", "end_to_end_ns_max",
+                       "stage_ns_mean")
+
+
+def fail(msg):
+    print("validate_stats: FAIL: %s" % msg)
+    return 1
+
+
+def check_stats(path, tolerance):
+    rc = 0
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail("%s: %s" % (path, e))
+
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            rc |= fail("%s: missing top-level key %r" % (path, key))
+    if rc:
+        return rc
+
+    if not doc["stages"]:
+        print("validate_stats: note: %s has no stage records" % path)
+    for op, s in sorted(doc["stages"].items()):
+        for key in REQUIRED_STAGE_KEYS:
+            if key not in s:
+                rc |= fail("%s: stages.%s missing %r" % (path, op, key))
+        if rc:
+            continue
+        if s["count"] <= 0:
+            rc |= fail("%s: stages.%s has count %s" % (path, op, s["count"]))
+            continue
+        stage_sum = sum(s["stage_ns_mean"].values())
+        e2e = s["end_to_end_ns_mean"]
+        if e2e <= 0:
+            rc |= fail("%s: stages.%s end_to_end_ns_mean is %s"
+                       % (path, op, e2e))
+            continue
+        rel = abs(stage_sum - e2e) / e2e
+        if rel > tolerance:
+            rc |= fail("%s: stages.%s stage means sum to %.1f but "
+                       "end-to-end mean is %.1f (rel err %.3g > %.3g)"
+                       % (path, op, stage_sum, e2e, rel, tolerance))
+        else:
+            print("validate_stats: %s: stages.%s ok (count %d, "
+                  "sum/e2e rel err %.3g)" % (path, op, s["count"], rel))
+
+    for name, h in sorted(doc["histograms"].items()):
+        for key in ("count", "min", "max", "mean", "p50", "p99", "p999"):
+            if key not in h:
+                rc |= fail("%s: histograms.%s missing %r" % (path, name, key))
+    return rc
+
+
+def check_trace(path, channels):
+    rc = 0
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail("%s: %s" % (path, e))
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("%s: no traceEvents" % path)
+
+    thread_names = set()
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            thread_names.add(ev["args"]["name"])
+        elif ev.get("ph") == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in ev:
+                    return fail("%s: X event missing %r: %r"
+                                % (path, key, ev))
+    bus_tracks = [n for n in thread_names
+                  if re.fullmatch(r"ch\d+\.bus", n)]
+    if channels > 0 and len(bus_tracks) < channels:
+        rc |= fail("%s: expected >= %d per-channel bus tracks, found %d"
+                   % (path, channels, len(bus_tracks)))
+    else:
+        print("validate_stats: %s: ok (%d events, %d tracks, %d channel "
+              "bus tracks)" % (path, len(events), len(thread_names),
+                               len(bus_tracks)))
+    return rc
+
+
+def main(argv):
+    stats_path = None
+    trace_path = None
+    channels = 0
+    tolerance = 0.01
+    for arg in argv[1:]:
+        if arg.startswith("--trace="):
+            trace_path = arg.split("=", 1)[1]
+        elif arg.startswith("--channels="):
+            channels = int(arg.split("=", 1)[1])
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(__doc__)
+            return 2
+        else:
+            stats_path = arg
+    if stats_path is None:
+        print(__doc__)
+        return 2
+
+    rc = check_stats(stats_path, tolerance)
+    if trace_path is not None:
+        rc |= check_trace(trace_path, channels)
+    if rc == 0:
+        print("validate_stats: PASS")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
