@@ -1,9 +1,9 @@
 /**
  * @file
- * Shared setup for the benchmark binaries: assembles the full CCDB stack
- * (device + block layer / extent store + slices + network) on either the
- * SDF or a conventional SSD, with the capacity scaling and preloading the
- * experiments need.
+ * Shared setup for the benchmark binaries, now thin aliases over the
+ * repo-wide building blocks: the testbed library assembles the CCDB stack
+ * (device + block layer / extent store + slices + network) on any backend,
+ * and obs::ObsCli provides the --stats-json/--stats-csv/--trace flags.
  *
  * Every experiment uses capacity-scaled devices (structure and all ratios
  * preserved) so a full table regenerates in seconds; EXPERIMENTS.md
@@ -13,273 +13,41 @@
 #define SDF_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
-#include <memory>
-#include <string>
-#include <vector>
 
-#include "blocklayer/block_layer.h"
-#include "host/io_stack.h"
-#include "kv/patch_storage.h"
-#include "kv/slice.h"
-#include "net/network.h"
-#include "obs/hub.h"
-#include "sdf/sdf_device.h"
-#include "sim/simulator.h"
-#include "ssd/conventional_ssd.h"
+#include "obs/obs_cli.h"
+#include "testbed/testbed.h"
 #include "workload/kv_driver.h"
 #include "workload/raw_device.h"
 
 namespace sdf::bench {
 
 /** Which storage device backs the KV stack. */
-enum class DeviceKind
-{
-    kBaiduSdf,
-    kHuaweiGen3,
-    kIntel320,
-};
+using DeviceKind = testbed::Backend;
 
 inline const char *
 DeviceName(DeviceKind kind)
 {
-    switch (kind) {
-      case DeviceKind::kBaiduSdf: return "Baidu SDF";
-      case DeviceKind::kHuaweiGen3: return "Huawei Gen3";
-      case DeviceKind::kIntel320: return "Intel 320";
-    }
-    return "?";
+    return testbed::BackendName(kind);
 }
 
-/**
- * Observability flags shared by the benchmark binaries and sdfsim:
- * --stats-json=<path>, --stats-csv=<path>, --trace=<path> and
- * --trace-limit=<n>. When any export is requested the helper owns an
- * obs::Hub ready to install on a Simulator (before device construction);
- * otherwise hub() stays null and the run is unchanged.
- */
-class ObsCli
-{
-  public:
-    /** One --key=value pair; @return true when it was an obs flag. */
-    bool
-    TryFlag(const std::string &key, const std::string &val)
-    {
-        if (key == "--stats-json") stats_json_ = val;
-        else if (key == "--stats-csv") stats_csv_ = val;
-        else if (key == "--trace") trace_path_ = val;
-        else if (key == "--trace-limit") trace_limit_ = std::stoull(val);
-        else return false;
-        return true;
-    }
+using ObsCli = obs::ObsCli;
 
-    /** Consume recognised "--key=value" args, compacting argv in place. */
-    void
-    ParseAndStrip(int &argc, char **argv)
-    {
-        int out = 1;
-        for (int i = 1; i < argc; ++i) {
-            const std::string arg = argv[i];
-            const auto eq = arg.find('=');
-            const std::string key = arg.substr(0, eq);
-            const std::string val =
-                eq == std::string::npos ? "" : arg.substr(eq + 1);
-            if (!TryFlag(key, val)) argv[out++] = argv[i];
-        }
-        argc = out;
-    }
-
-    bool
-    enabled() const
-    {
-        return !stats_json_.empty() || !stats_csv_.empty() ||
-               !trace_path_.empty();
-    }
-
-    /** The hub to install with sim.set_hub(), or null when disabled. */
-    obs::Hub *
-    hub()
-    {
-        if (!enabled()) return nullptr;
-        if (!hub_) {
-            hub_ = std::make_unique<obs::Hub>();
-            if (!trace_path_.empty()) hub_->EnableTrace(trace_limit_);
-        }
-        return hub_.get();
-    }
-
-    void AddMeta(const std::string &k, const std::string &v) { meta_[k] = v; }
-    void AddDerived(const std::string &k, double v) { derived_[k] = v; }
-
-    /** Write the requested files. @return 0 on success. */
-    int
-    Export()
-    {
-        if (!enabled()) return 0;
-        int rc = 0;
-        obs::Hub &h = *hub();
-        if (!stats_json_.empty() &&
-            !obs::WriteFile(stats_json_, obs::StatsJson(h, meta_, derived_))) {
-            std::fprintf(stderr, "cannot write %s\n", stats_json_.c_str());
-            rc = 1;
-        }
-        if (!stats_csv_.empty() &&
-            !obs::WriteFile(stats_csv_, obs::StatsCsv(h, meta_, derived_))) {
-            std::fprintf(stderr, "cannot write %s\n", stats_csv_.c_str());
-            rc = 1;
-        }
-        if (!trace_path_.empty()) {
-            if (!h.trace()->WriteJson(trace_path_)) {
-                std::fprintf(stderr, "cannot write %s\n", trace_path_.c_str());
-                rc = 1;
-            } else if (h.trace()->dropped() > 0) {
-                std::fprintf(stderr,
-                             "trace: dropped %llu events past the "
-                             "--trace-limit cap\n",
-                             static_cast<unsigned long long>(
-                                 h.trace()->dropped()));
-            }
-        }
-        return rc;
-    }
-
-    static const char *
-    HelpText()
-    {
-        return "observability:\n"
-               "  --stats-json=<file>  export metrics+stage stats as JSON\n"
-               "  --stats-csv=<file>   same document as key,value CSV\n"
-               "  --trace=<file>       Perfetto/chrome://tracing JSON trace\n"
-               "  --trace-limit=<n>    trace event cap (default 1048576)\n";
-    }
-
-  private:
-    std::string stats_json_;
-    std::string stats_csv_;
-    std::string trace_path_;
-    size_t trace_limit_ = obs::TraceSink::kDefaultMaxEvents;
-    std::unique_ptr<obs::Hub> hub_;
-    obs::MetaMap meta_;
-    obs::DerivedMap derived_;
-};
-
-/**
- * Process-wide ObsCli for the benchmark binaries. main() calls
- * ParseAndStrip(argc, argv) on it, every Simulator creation site calls
- * BindObs(sim), and main() ends with GlobalObs().Export(). With no obs
- * flags on the command line all of it is inert.
- */
+/** Process-wide ObsCli shared with the other binaries (see obs/obs_cli.h). */
 inline ObsCli &
 GlobalObs()
 {
-    static ObsCli cli;
-    return cli;
+    return obs::GlobalObs();
 }
 
 /** Install the global hub (when exports were requested) on @p sim. */
 inline void
 BindObs(sim::Simulator &sim)
 {
-    if (obs::Hub *hub = GlobalObs().hub()) sim.set_hub(hub);
+    obs::BindObs(sim);
 }
 
 /** A complete single-node CCDB deployment for one experiment run. */
-class KvTestbed
-{
-  public:
-    /**
-     * @param kind Backing device.
-     * @param slice_count Slices hosted on the node.
-     * @param clients Network clients (usually == slice_count).
-     * @param capacity_scale Device scale factor.
-     * @param hub Optional observability hub, installed on the testbed's
-     *     simulator before any component is built so that every layer
-     *     self-registers its metrics.
-     */
-    KvTestbed(DeviceKind kind, uint32_t slice_count, uint32_t clients,
-              double capacity_scale, kv::SliceConfig slice_cfg = {},
-              obs::Hub *hub = nullptr)
-        : hub_bind_(sim_, hub != nullptr ? hub : GlobalObs().hub()),
-          net_(sim_, net::NetworkSpec{}, clients)
-    {
-        if (kind == DeviceKind::kBaiduSdf) {
-            sdf_device_ = std::make_unique<core::SdfDevice>(
-                sim_, core::BaiduSdfConfig(capacity_scale));
-            layer_ = std::make_unique<blocklayer::BlockLayer>(
-                sim_, *sdf_device_, blocklayer::BlockLayerConfig{});
-            stack_ = std::make_unique<host::IoStack>(
-                sim_, host::SdfUserStackSpec());
-            storage_ = std::make_unique<kv::SdfPatchStorage>(*layer_,
-                                                             stack_.get());
-        } else {
-            auto cfg = kind == DeviceKind::kHuaweiGen3
-                           ? ssd::HuaweiGen3Config(capacity_scale)
-                           : ssd::Intel320Config(capacity_scale);
-            ssd_device_ = std::make_unique<ssd::ConventionalSsd>(sim_, cfg);
-            stack_ = std::make_unique<host::IoStack>(
-                sim_, host::KernelIoStackSpec());
-            storage_ = std::make_unique<kv::SsdPatchStorage>(
-                *ssd_device_, 8 * util::kMiB, stack_.get());
-        }
-        for (uint32_t s = 0; s < slice_count; ++s) {
-            slices_.push_back(std::make_unique<kv::Slice>(sim_, *storage_,
-                                                          ids_, slice_cfg));
-        }
-    }
-
-    /**
-     * Preload each slice with @p bytes_per_slice of @p value_size values;
-     * conventional devices are also brought to a matching fill level.
-     * @return per-slice key lists.
-     */
-    std::vector<std::vector<uint64_t>>
-    Preload(uint64_t bytes_per_slice, uint32_t value_size)
-    {
-        auto keys =
-            workload::PreloadSlices(SlicePtrs(), bytes_per_slice, value_size);
-        if (ssd_device_) {
-            const double fill =
-                static_cast<double>(bytes_per_slice) * slices_.size() /
-                static_cast<double>(ssd_device_->user_capacity());
-            ssd_device_->PreconditionFill(std::min(fill * 1.02, 1.0));
-        }
-        return keys;
-    }
-
-    std::vector<kv::Slice *>
-    SlicePtrs()
-    {
-        std::vector<kv::Slice *> out;
-        out.reserve(slices_.size());
-        for (auto &s : slices_) out.push_back(s.get());
-        return out;
-    }
-
-    sim::Simulator &sim() { return sim_; }
-    net::Network &net() { return net_; }
-    core::SdfDevice *sdf_device() { return sdf_device_.get(); }
-    ssd::ConventionalSsd *ssd_device() { return ssd_device_.get(); }
-
-  private:
-    /** Installs the hub on the simulator before later members construct. */
-    struct HubBind
-    {
-        HubBind(sim::Simulator &sim, obs::Hub *hub)
-        {
-            if (hub != nullptr) sim.set_hub(hub);
-        }
-    };
-
-    sim::Simulator sim_;
-    HubBind hub_bind_;
-    std::unique_ptr<core::SdfDevice> sdf_device_;
-    std::unique_ptr<ssd::ConventionalSsd> ssd_device_;
-    std::unique_ptr<blocklayer::BlockLayer> layer_;
-    std::unique_ptr<host::IoStack> stack_;
-    std::unique_ptr<kv::PatchStorage> storage_;
-    kv::IdAllocator ids_;
-    std::vector<std::unique_ptr<kv::Slice>> slices_;
-    net::Network net_;
-};
+using KvTestbed = testbed::KvTestbed;
 
 /** Print the standard bench preamble. */
 inline void

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Cluster scaling and degraded-mode operation (§2.4, §5 deployment model).
+ *
+ * Phase A — scaling: the same read-heavy mixed workload runs against
+ * clusters of 2, 4 and 8 storage nodes (R=2). Aggregate throughput should
+ * grow with the node count: each node brings its own device channels,
+ * slices and network endpoint, and the consistent-hash router spreads
+ * keys across all of them.
+ *
+ * Phase B — degraded mode: a 3-node R=2 cluster loses one node's entire
+ * device (all 44 channels die) in the middle of a mixed read/write
+ * window. Replication must absorb it: reads fail over to surviving
+ * replicas (and read-repair restores redundancy), and *every acknowledged
+ * write must still be readable* — the process exits nonzero if any acked
+ * key is lost.
+ */
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "fault/fault.h"
+#include "util/assert.h"
+#include "util/table_printer.h"
+
+namespace sdf {
+namespace {
+
+constexpr double kScale = 0.02;
+constexpr uint32_t kSlicesPerNode = 4;
+constexpr uint32_t kPreloadKeys = 120;
+constexpr uint32_t kValueBytes = 64 * util::kKiB;
+
+cluster::ClusterConfig
+MakeConfig(uint32_t nodes, uint32_t replication)
+{
+    cluster::ClusterConfig cc;
+    cc.nodes = nodes;
+    cc.replication = replication;
+    cc.node.kv.stack.backend = testbed::Backend::kBaiduSdf;
+    cc.node.kv.stack.capacity_scale = kScale;
+    cc.node.kv.store.slice_count = kSlicesPerNode;
+    return cc;
+}
+
+/** Preload via the router; @return the keys (aborts on a failed put). */
+std::vector<uint64_t>
+Preload(sim::Simulator &sim, cluster::Cluster &cl, uint32_t count)
+{
+    std::vector<uint64_t> keys;
+    uint64_t acked = 0;
+    for (uint32_t k = 0; k < count; ++k) {
+        keys.push_back(k + 1);
+        cl.router().Put(k + 1, kValueBytes,
+                        [&acked](bool ok) { acked += ok ? 1 : 0; });
+    }
+    sim.Run();
+    cl.FlushAll();
+    sim.Run();
+    SDF_CHECK_MSG(acked == count, "cluster preload failed");
+    return keys;
+}
+
+int
+RunScaling(bench::ObsCli &obs)
+{
+    std::printf("-- phase A: throughput vs node count (R=2) --\n");
+    util::TablePrinter table("cluster scaling, 90%% reads, 64 KiB values");
+    table.SetHeader({"nodes", "ops/s", "read MB/s", "write MB/s",
+                     "read p99 ms"});
+    double prev_ops = 0;
+    bool monotonic = true;
+    for (uint32_t nodes : {2u, 4u, 8u}) {
+        sim::Simulator sim;
+        bench::BindObs(sim);
+        cluster::Cluster cl(sim, MakeConfig(nodes, 2));
+        const auto keys = Preload(sim, cl, kPreloadKeys);
+
+        workload::MixedRunConfig mc;
+        mc.read_fraction = 0.9;
+        mc.value_bytes = kValueBytes;
+        mc.duration = util::SecToNs(0.4);
+        const workload::KvService svc = cl.Service();
+        const auto r = workload::RunMixedLoad(sim, svc, keys, mc);
+
+        table.AddRow({std::to_string(nodes),
+                      util::TablePrinter::Num(r.ops_per_sec, 0),
+                      util::TablePrinter::Num(r.read_mbps),
+                      util::TablePrinter::Num(r.write_mbps),
+                      util::TablePrinter::Num(r.read_p99_ms, 2)});
+        obs.AddDerived("scaling.nodes" + std::to_string(nodes) + ".ops_per_sec",
+                       r.ops_per_sec);
+        if (r.ops_per_sec < prev_ops) monotonic = false;
+        prev_ops = r.ops_per_sec;
+    }
+    table.Print();
+    std::printf("throughput %s with node count\n\n",
+                monotonic ? "scales monotonically" : "did NOT scale");
+    return monotonic ? 0 : 1;
+}
+
+int
+RunDegraded(bench::ObsCli &obs)
+{
+    std::printf("-- phase B: node death under load (3 nodes, R=2) --\n");
+    sim::Simulator sim;
+    bench::BindObs(sim);
+    cluster::Cluster cl(sim, MakeConfig(3, 2));
+    const auto keys = Preload(sim, cl, kPreloadKeys);
+
+    // Kill every channel of node 0's device mid-window.
+    const util::TimeNs t_kill = sim.Now() + util::MsToNs(200);
+    std::vector<fault::FaultEvent> events;
+    for (uint32_t ch = 0; ch < cl.node(0).sdf_device()->channel_count();
+         ++ch) {
+        fault::FaultEvent e;
+        e.when = t_kill;
+        e.kind = fault::FaultKind::kChannelDeath;
+        e.device = 0;
+        e.channel = ch;
+        events.push_back(e);
+    }
+    fault::FaultInjector injector(sim, cl.SdfDevices(),
+                                  fault::FaultPlan(std::move(events)));
+
+    workload::MixedRunConfig mc;
+    mc.read_fraction = 0.7;  // Write-heavier: exercises acked-write safety.
+    mc.value_bytes = kValueBytes;
+    mc.duration = util::SecToNs(0.4);
+    const workload::KvService svc = cl.Service();
+    const auto r = workload::RunMixedLoad(sim, svc, keys, mc);
+
+    // Audit: every acknowledged write must still be readable. Closed-loop
+    // with a few streams — flooding every key at once would overflow the
+    // RPC timeout and report congestion as data loss.
+    uint64_t lost = 0, audited = 0;
+    size_t next = 0;
+    std::function<void()> audit_step = [&]() {
+        if (next >= r.acked_writes.size()) return;
+        const uint64_t key = r.acked_writes[next++];
+        cl.router().Get(key, [&](const kv::GetResult &res) {
+            ++audited;
+            if (!res.ok || !res.found) ++lost;
+            audit_step();
+        });
+    };
+    for (uint32_t s = 0; s < 8; ++s) audit_step();
+    sim.Run();
+
+    const kv::ReplicatedKvStats &rs = cl.router().stats();
+    std::printf("node 0 died at t=%.0f ms (%llu channel deaths applied)\n",
+                util::NsToMs(t_kill),
+                static_cast<unsigned long long>(injector.stats().deaths));
+    std::printf("load: %llu reads (%llu degraded, %llu failed), "
+                "%llu writes (%llu acked, %llu failed)\n",
+                static_cast<unsigned long long>(r.reads),
+                static_cast<unsigned long long>(rs.degraded_reads),
+                static_cast<unsigned long long>(rs.failed_reads),
+                static_cast<unsigned long long>(r.writes),
+                static_cast<unsigned long long>(r.acked_writes.size()),
+                static_cast<unsigned long long>(r.write_errors));
+    std::printf("read-repair: %llu re-replications, recovery p99 %.2f ms\n",
+                static_cast<unsigned long long>(rs.re_replications),
+                cl.router().recovery_latencies().count() > 0
+                    ? cl.router().recovery_latencies().PercentileMs(99)
+                    : 0.0);
+    std::printf("audit: %llu acked writes, %llu lost\n\n",
+                static_cast<unsigned long long>(audited),
+                static_cast<unsigned long long>(lost));
+    obs.AddDerived("degraded.acked_writes", static_cast<double>(audited));
+    obs.AddDerived("degraded.lost", static_cast<double>(lost));
+    obs.AddDerived("degraded.degraded_reads",
+                   static_cast<double>(rs.degraded_reads));
+    if (lost != 0) {
+        std::printf("FAIL: %llu acknowledged writes lost\n",
+                    static_cast<unsigned long long>(lost));
+        return 1;
+    }
+    std::printf("PASS: zero acknowledged writes lost in degraded mode\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace sdf
+
+int
+main(int argc, char **argv)
+{
+    sdf::bench::ObsCli &obs = sdf::bench::GlobalObs();
+    obs.ParseAndStrip(argc, argv);
+    sdf::bench::PrintPreamble("cluster scaling + degraded mode",
+                              "deployment model of §2.4/§5");
+    int rc = sdf::RunScaling(obs);
+    rc |= sdf::RunDegraded(obs);
+    obs.AddMeta("experiment", "cluster_scaling");
+    if (const int orc = obs.Export(); orc != 0) return orc;
+    return rc;
+}

@@ -27,14 +27,12 @@
 #include <string>
 #include <vector>
 
-#include "blocklayer/block_layer.h"
 #include "fault/fault.h"
-#include "kv/patch_storage.h"
 #include "kv/replicated_store.h"
 #include "kv/store.h"
 #include "net/network.h"
-#include "sdf/sdf_device.h"
 #include "sim/simulator.h"
+#include "testbed/testbed.h"
 #include "util/fingerprint.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -147,15 +145,6 @@ CampaignPlanSeed(const FaultCampaignConfig &cfg)
     return cfg.seed ^ 0xfa011700ULL;
 }
 
-/** One replica's full storage stack. */
-struct ReplicaStack
-{
-    std::unique_ptr<core::SdfDevice> device;
-    std::unique_ptr<blocklayer::BlockLayer> layer;
-    std::unique_ptr<kv::SdfPatchStorage> storage;
-    std::unique_ptr<kv::Store> store;
-};
-
 inline FaultCampaignResult
 RunFaultCampaign(const FaultCampaignConfig &cfg)
 {
@@ -163,29 +152,30 @@ RunFaultCampaign(const FaultCampaignConfig &cfg)
     if (cfg.hub != nullptr) sim.set_hub(cfg.hub);
 
     // --- replica stacks: independent devices = independent failure domains.
-    std::vector<ReplicaStack> stacks(cfg.replicas);
+    // Wiring is the shared testbed builder's; only the error-model tuning
+    // is campaign-specific.
+    std::vector<testbed::KvStack> stacks;
     std::vector<kv::Store *> stores;
     std::vector<core::SdfDevice *> devices;
     for (uint32_t r = 0; r < cfg.replicas; ++r) {
-        core::SdfConfig dc = core::BaiduSdfConfig(cfg.capacity_scale);
-        dc.flash.errors.enabled = cfg.errors_enabled;
-        dc.flash.errors.base_rber = cfg.base_rber;
-        dc.flash.errors.wear_rber_factor = cfg.wear_rber_factor;
-        dc.flash.errors.endurance_cycles = cfg.endurance_cycles;
-        dc.flash.ecc_correctable_bits = cfg.ecc_bits;
-        dc.flash.retry_extra_correctable_bits = cfg.retry_extra_bits;
-        dc.flash.seed = cfg.seed + 0x9e3779b9ULL * (r + 1);
-        dc.read_retry_levels = cfg.read_retry_levels;
-        ReplicaStack &s = stacks[r];
-        s.device = std::make_unique<core::SdfDevice>(sim, dc);
-        s.layer = std::make_unique<blocklayer::BlockLayer>(
-            sim, *s.device, blocklayer::BlockLayerConfig{});
-        s.storage = std::make_unique<kv::SdfPatchStorage>(*s.layer);
-        kv::StoreConfig sc;
-        sc.slice_count = cfg.slices_per_replica;
-        s.store = std::make_unique<kv::Store>(sim, *s.storage, sc);
-        stores.push_back(s.store.get());
-        devices.push_back(s.device.get());
+        testbed::KvStackConfig kc;
+        kc.stack.backend = testbed::Backend::kBaiduSdf;
+        kc.stack.capacity_scale = cfg.capacity_scale;
+        kc.stack.with_io_stack = false;
+        kc.stack.tune_sdf = [&cfg, r](core::SdfConfig &dc) {
+            dc.flash.errors.enabled = cfg.errors_enabled;
+            dc.flash.errors.base_rber = cfg.base_rber;
+            dc.flash.errors.wear_rber_factor = cfg.wear_rber_factor;
+            dc.flash.errors.endurance_cycles = cfg.endurance_cycles;
+            dc.flash.ecc_correctable_bits = cfg.ecc_bits;
+            dc.flash.retry_extra_correctable_bits = cfg.retry_extra_bits;
+            dc.flash.seed = cfg.seed + 0x9e3779b9ULL * (r + 1);
+            dc.read_retry_levels = cfg.read_retry_levels;
+        };
+        kc.store.slice_count = cfg.slices_per_replica;
+        stacks.push_back(testbed::BuildKvStack(sim, kc));
+        stores.push_back(stacks.back().store.get());
+        devices.push_back(stacks.back().storage.sdf.get());
     }
     kv::ReplicatedKv replicated(sim, stores);
     net::Network net(sim, cfg.net, /*clients=*/1);
@@ -304,7 +294,7 @@ RunFaultCampaign(const FaultCampaignConfig &cfg)
     // --- aggregate metrics.
     result.faults = injector.stats();
     for (auto &s : stacks) {
-        const core::SdfStats &d = s.device->stats();
+        const core::SdfStats &d = s.storage.sdf->stats();
         result.device.unit_writes += d.unit_writes;
         result.device.unit_erases += d.unit_erases;
         result.device.page_reads += d.page_reads;
@@ -315,10 +305,10 @@ RunFaultCampaign(const FaultCampaignConfig &cfg)
         result.device.blocks_retired += d.blocks_retired;
         result.device.units_lost += d.units_lost;
         result.device.contract_violations += d.contract_violations;
-        result.ladder_recoveries += s.device->recovery_latencies().count();
+        result.ladder_recoveries += s.storage.sdf->recovery_latencies().count();
         result.ladder_recovery_mean_ms +=
-            s.device->recovery_latencies().count() > 0
-                ? s.device->recovery_latencies().MeanMs()
+            s.storage.sdf->recovery_latencies().count() > 0
+                ? s.storage.sdf->recovery_latencies().MeanMs()
                 : 0;
     }
     if (cfg.replicas > 0) {

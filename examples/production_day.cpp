@@ -5,47 +5,38 @@
  * Replays a synthetic diurnal trace — overnight crawl ingestion, a mixed
  * morning, daytime query serving, an evening hot-spot — against a
  * preloaded CCDB node and prints per-phase throughput, latency, and the
- * device's wear report at the end of the "day".
+ * device's wear report at the end of the "day". The node is assembled by
+ * the shared testbed builder.
  *
  * Build & run:  ./build/examples/production_day
+ * Optional:     --stats-json=out.json --trace=out.trace.json
  */
 #include <cstdio>
 
-#include "blocklayer/block_layer.h"
-#include "host/io_stack.h"
-#include "kv/patch_storage.h"
-#include "kv/slice.h"
-#include "sdf/sdf_device.h"
-#include "sim/simulator.h"
+#include "obs/obs_cli.h"
+#include "testbed/testbed.h"
 #include "util/table_printer.h"
 #include "workload/kv_driver.h"
 #include "workload/trace.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
 
-    sim::Simulator sim;
-    core::SdfDevice device(sim, core::BaiduSdfConfig(0.05));
-    blocklayer::BlockLayer layer(sim, device, blocklayer::BlockLayerConfig{});
-    host::IoStack stack(sim, host::SdfUserStackSpec());
-    kv::SdfPatchStorage storage(layer, &stack);
-    kv::IdAllocator ids;
+    obs::ObsCli &obs = obs::GlobalObs();
+    obs.ParseAndStrip(argc, argv);
 
     const uint32_t slice_count = 4;
-    std::vector<std::unique_ptr<kv::Slice>> slices;
-    std::vector<kv::Slice *> slice_ptrs;
     kv::SliceConfig scfg;
     scfg.compaction_trigger = 4;
-    for (uint32_t s = 0; s < slice_count; ++s) {
-        slices.push_back(std::make_unique<kv::Slice>(sim, storage, ids, scfg));
-        slice_ptrs.push_back(slices.back().get());
-    }
+    testbed::KvTestbed bed(testbed::Backend::kBaiduSdf, slice_count,
+                           slice_count, 0.05, scfg);
+    core::SdfDevice &device = *bed.sdf_device();
+    const auto slice_ptrs = bed.SlicePtrs();
 
     // Yesterday's data: 256 MiB of 64 KB pages per slice.
-    const auto keys =
-        workload::PreloadSlices(slice_ptrs, 256 * util::kMiB, 64 * util::kKiB);
+    const auto keys = bed.Preload(256 * util::kMiB, 64 * util::kKiB);
     const uint64_t keys_per_slice = keys[0].size();
     std::printf("Node up: %u slices, %llu keys/slice preloaded, "
                 "%s user capacity\n\n",
@@ -57,7 +48,8 @@ main()
                                                keys_per_slice, 2026);
     std::printf("Replaying %zu operations over %zu phases...\n\n",
                 trace.size(), phases.size());
-    const auto results = workload::ReplayTrace(sim, slice_ptrs, phases, trace);
+    const auto results =
+        workload::ReplayTrace(bed.sim(), slice_ptrs, phases, trace);
 
     util::TablePrinter table("A compressed production day");
     table.SetHeader({"Phase", "gets", "puts", "dels", "miss", "read MB/s",
@@ -75,11 +67,13 @@ main()
                                               1),
                       util::TablePrinter::Num(r.put_latency.PercentileMs(99),
                                               1)});
+        obs.AddDerived(r.name + ".read_mbps", r.read_mbps);
+        obs.AddDerived(r.name + ".write_mbps", r.write_mbps);
     }
     table.Print();
 
     kv::SliceStats totals;
-    for (const auto &s : slices) {
+    for (kv::Slice *s : slice_ptrs) {
         totals.flushes += s->stats().flushes;
         totals.compactions += s->stats().compactions;
         totals.put_stalls += s->stats().put_stalls;
@@ -94,5 +88,6 @@ main()
                 "%.4f %% of rated life used\n",
                 wear.min_erase_count, wear.max_erase_count,
                 wear.mean_erase_count, 100.0 * wear.life_used);
-    return 0;
+    obs.AddMeta("example", "production_day");
+    return obs.Export();
 }

@@ -4,42 +4,57 @@
  *
  * Creates a (scaled) Baidu SDF, walks the asymmetric interface — explicit
  * erase, whole-unit 8 MB write, 8 KB-granularity read — verifies the data
- * round-trips, and prints what the device did. Everything runs inside the
- * discrete-event simulator; simulated time is reported at the end.
+ * round-trips, and prints what the device did. The device is driven
+ * through the backend-neutral core::BlockDevice interface; everything
+ * runs inside the discrete-event simulator and simulated time is reported
+ * at the end.
  *
  * Build & run:  ./build/examples/quickstart
+ * Optional:     --stats-json=out.json --trace=out.trace.json
  */
 #include <cstdio>
 
+#include "obs/obs_cli.h"
 #include "sdf/sdf_device.h"
 #include "sim/simulator.h"
 #include "util/fingerprint.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
 
+    obs::ObsCli &obs = obs::GlobalObs();
+    obs.ParseAndStrip(argc, argv);
+
     // One simulator clocks everything.
     sim::Simulator sim;
+    obs::BindObs(sim);
 
     // A Baidu SDF at 5 % capacity scale (35 GB instead of 704 GB raw),
     // storing real payloads so we can verify what we read back.
     core::SdfConfig config = core::BaiduSdfConfig(0.05);
     config.flash.store_payloads = true;
-    core::SdfDevice device(sim, config);
+    core::SdfDevice sdf_device(sim, config);
 
-    std::printf("Device: %s\n", config.name.c_str());
+    // Everything below talks to the capability descriptor + async I/O
+    // interface only — a ConventionalSsd behind ssd::SsdBlockDevice would
+    // serve the same calls.
+    core::BlockDevice &device = sdf_device;
+    const core::DeviceCaps &caps = device.caps();
+
+    std::printf("Device: %s\n", caps.name.c_str());
     std::printf("  channels:        %u (each exposed to software)\n",
-                device.channel_count());
-    std::printf("  write/erase unit: %s\n",
-                util::FormatBytes(device.unit_bytes()).c_str());
+                caps.channels);
+    std::printf("  write/erase unit: %s (explicit erase: %s)\n",
+                util::FormatBytes(caps.unit_bytes).c_str(),
+                caps.explicit_erase ? "yes" : "no");
     std::printf("  read unit:        %s\n",
-                util::FormatBytes(device.read_unit_bytes()).c_str());
+                util::FormatBytes(caps.read_unit_bytes).c_str());
     std::printf("  user capacity:    %s of %s raw (%.1f %%)\n\n",
-                util::FormatBytes(device.user_capacity()).c_str(),
-                util::FormatBytes(device.raw_capacity()).c_str(),
-                100.0 * device.user_capacity() / device.raw_capacity());
+                util::FormatBytes(caps.user_capacity).c_str(),
+                util::FormatBytes(caps.raw_capacity).c_str(),
+                100.0 * caps.user_capacity / caps.raw_capacity);
 
     const uint32_t channel = 7;
     const uint32_t unit = 3;
@@ -88,7 +103,7 @@ main()
     // Run the simulation to completion.
     sim.Run();
 
-    const core::SdfStats &stats = device.stats();
+    const core::SdfStats &stats = sdf_device.stats();
     std::printf("\nDevice counters: %llu unit writes, %llu unit erases, "
                 "%llu page reads, %llu contract violations\n",
                 static_cast<unsigned long long>(stats.unit_writes),
@@ -96,5 +111,6 @@ main()
                 static_cast<unsigned long long>(stats.page_reads),
                 static_cast<unsigned long long>(stats.contract_violations));
     std::printf("Total simulated time: %.1f ms\n", util::NsToMs(sim.Now()));
-    return 0;
+    obs.AddMeta("example", "quickstart");
+    return obs.Export();
 }

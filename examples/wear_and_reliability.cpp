@@ -12,24 +12,30 @@
  * raw bit error rates and reports corrected vs uncorrectable pages.
  *
  * Build & run:  ./build/examples/wear_and_reliability
+ * Optional:     --stats-json=out.json --trace=out.trace.json
  */
 #include <algorithm>
 #include <cstdio>
 
 #include "controller/bch.h"
 #include "nand/error_model.h"
+#include "obs/obs_cli.h"
 #include "sdf/sdf_device.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
+
+    obs::ObsCli &obs = obs::GlobalObs();
+    obs.ParseAndStrip(argc, argv);
 
     // ---- Part 1: wear-out on a fragile flash ---------------------------
     std::printf("Part 1 — dynamic wear leveling and wear-out\n");
     sim::Simulator sim;
+    obs::BindObs(sim);
     core::SdfConfig cfg;
     cfg.flash.geometry = nand::TinyTestGeometry();
     cfg.flash.geometry.channels = 1;
@@ -115,5 +121,7 @@ main()
                 "t-bit budget pages fail — which is when SDF falls back on\n"
                 "system-level replication (one uncorrectable error in six\n"
                 "months across 2000+ devices, per §2.2).\n");
-    return 0;
+    obs.AddMeta("example", "wear_and_reliability");
+    obs.AddDerived("wear.cycles_survived", cycles);
+    return obs.Export();
 }

@@ -6,35 +6,37 @@
  * A crawler writes pages into a Table; when enough pages accumulate, an
  * index-building pass scans the repository's patches sequentially — the
  * workload of the paper's Figure 13 — while fresh crawls keep arriving.
+ * The storage node (SDF + user-space block layer + CCDB store) comes from
+ * the shared testbed builder.
  *
  * Build & run:  ./build/examples/webpage_repository
+ * Optional:     --stats-json=out.json --trace=out.trace.json
  */
 #include <cstdio>
 
-#include "blocklayer/block_layer.h"
-#include "host/io_stack.h"
-#include "kv/patch_storage.h"
-#include "kv/store.h"
-#include "sdf/sdf_device.h"
-#include "sim/simulator.h"
+#include "obs/obs_cli.h"
+#include "testbed/testbed.h"
 #include "util/rng.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sdf;
 
+    obs::ObsCli &obs = obs::GlobalObs();
+    obs.ParseAndStrip(argc, argv);
+
     sim::Simulator sim;
+    obs::BindObs(sim);
 
     // The storage node: SDF + user-space block layer + CCDB store.
-    core::SdfDevice device(sim, core::BaiduSdfConfig(0.05));
-    blocklayer::BlockLayer layer(sim, device, blocklayer::BlockLayerConfig{});
-    host::IoStack stack(sim, host::SdfUserStackSpec());
-    kv::SdfPatchStorage storage(layer, &stack);
-    kv::StoreConfig store_cfg;
-    store_cfg.slice_count = 4;
-    store_cfg.slice.compaction_trigger = 4;
-    kv::Store store(sim, storage, store_cfg);
+    testbed::KvStackConfig kc;
+    kc.stack.backend = testbed::Backend::kBaiduSdf;
+    kc.stack.capacity_scale = 0.05;
+    kc.store.slice_count = 4;
+    kc.store.slice.compaction_trigger = 4;
+    testbed::KvStack node = testbed::BuildKvStack(sim, kc);
+    kv::Store &store = *node.store;
     kv::TableView webpages(store, "central-webpage-repository");
 
     // --- Phase 1: the crawler stores pages (10-200 KB each). -----------
@@ -94,12 +96,16 @@ main()
                 patches, util::FormatBytes(scanned).c_str(), scan_secs,
                 util::BandwidthMBps(scanned, sim.Now() - t_scan_start));
 
+    const core::SdfStats &dstats = node.storage.sdf->stats();
     std::printf("\nSDF stats: %llu unit writes, %llu erases, %llu page "
                 "reads; block layer: %llu puts, %llu gets\n",
-                static_cast<unsigned long long>(device.stats().unit_writes),
-                static_cast<unsigned long long>(device.stats().unit_erases),
-                static_cast<unsigned long long>(device.stats().page_reads),
-                static_cast<unsigned long long>(layer.stats().puts),
-                static_cast<unsigned long long>(layer.stats().gets));
-    return 0;
+                static_cast<unsigned long long>(dstats.unit_writes),
+                static_cast<unsigned long long>(dstats.unit_erases),
+                static_cast<unsigned long long>(dstats.page_reads),
+                static_cast<unsigned long long>(node.storage.layer->stats().puts),
+                static_cast<unsigned long long>(node.storage.layer->stats().gets));
+    obs.AddMeta("example", "webpage_repository");
+    obs.AddDerived("scan_mbps",
+                   util::BandwidthMBps(scanned, sim.Now() - t_scan_start));
+    return obs.Export();
 }

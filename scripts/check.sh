@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Build and run the full test suite twice: a normal RelWithDebInfo build,
-# then an ASan+UBSan build (-DSDF_SANITIZE=ON) in a separate build tree.
-# Also smoke-tests the observability exports (stats JSON invariants,
-# trace well-formedness, same-seed byte identity) via tools/validate_stats.py.
+# Build and run the full test suite three times: a normal RelWithDebInfo
+# build, a warnings-as-errors build (-DSDF_WERROR=ON), and an ASan+UBSan
+# build (-DSDF_SANITIZE=ON), each in its own build tree. Also smoke-tests
+# the observability exports (stats JSON invariants, trace well-formedness,
+# same-seed byte identity) via tools/validate_stats.py, and the cluster
+# workload (same-seed determinism + degraded-mode zero-loss).
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -28,6 +30,22 @@ python3 tools/validate_stats.py "$obs_tmp/a.json" \
 ./build/tools/sdfsim --device=sdf --workload=randread --request=8k \
     --duration=0.3 --stats-json="$obs_tmp/r.json" > /dev/null
 python3 tools/validate_stats.py "$obs_tmp/r.json"
+
+echo "== cluster smoke =="
+./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+    --duration=0.3 --stats-json="$obs_tmp/c1.json" > /dev/null
+./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+    --duration=0.3 --stats-json="$obs_tmp/c2.json" > /dev/null
+cmp "$obs_tmp/c1.json" "$obs_tmp/c2.json"  # Same seed => byte-identical.
+python3 tools/validate_stats.py "$obs_tmp/c1.json"
+# Degraded mode: kill a node mid-run; exit is nonzero on any lost ack.
+./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+    --duration=0.3 --kill-node=0 > /dev/null
+
+echo "== warnings-as-errors build =="
+cmake -B build-werror -S . -DSDF_WERROR=ON > /dev/null
+cmake --build build-werror -j
+(cd build-werror && ctest --output-on-failure -j "$@")
 
 echo "== sanitizer build (ASan+UBSan) =="
 cmake -B build-asan -S . -DSDF_SANITIZE=ON > /dev/null

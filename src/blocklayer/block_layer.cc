@@ -7,7 +7,7 @@
 
 namespace sdf::blocklayer {
 
-BlockLayer::BlockLayer(sim::Simulator &sim, core::SdfDevice &device,
+BlockLayer::BlockLayer(sim::Simulator &sim, core::BlockDevice &device,
                        const BlockLayerConfig &config)
     : sim_(sim), device_(device), config_(config)
 {

@@ -21,7 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sdf/sdf_device.h"
+#include "sdf/block_device.h"
 #include "sim/simulator.h"
 
 namespace sdf::obs {
@@ -93,7 +93,7 @@ struct BlockLayerStats
 class BlockLayer
 {
   public:
-    BlockLayer(sim::Simulator &sim, core::SdfDevice &device,
+    BlockLayer(sim::Simulator &sim, core::BlockDevice &device,
                const BlockLayerConfig &config);
     ~BlockLayer();
 
@@ -128,7 +128,7 @@ class BlockLayer
     bool DebugInstall(uint64_t id);
 
     const BlockLayerStats &stats() const { return stats_; }
-    core::SdfDevice &device() { return device_; }
+    core::BlockDevice &device() { return device_; }
 
     /** Round-robin hash channel for @p id (kIdHash placement). */
     uint32_t ChannelOf(uint64_t id) const
@@ -182,7 +182,7 @@ class BlockLayer
                        uint32_t redirects, uint32_t from, IoCallback &done);
 
     sim::Simulator &sim_;
-    core::SdfDevice &device_;
+    core::BlockDevice &device_;
     BlockLayerConfig config_;
     std::vector<ChannelState> channels_;
     std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> id_map_;

@@ -1,0 +1,208 @@
+#include "cluster/cluster.h"
+
+#include <utility>
+
+#include "obs/hub.h"
+#include "obs/metrics.h"
+#include "util/assert.h"
+
+namespace sdf::cluster {
+
+namespace {
+
+/** Request-framing overhead charged on top of the payload. */
+constexpr uint64_t kRpcHeaderBytes = 64;
+/** Small fixed responses: a put ack, or a get miss/failure notice. */
+constexpr uint64_t kAckBytes = 64;
+constexpr uint64_t kNackBytes = 16;
+
+}  // namespace
+
+StorageNode::StorageNode(sim::Simulator &sim, uint32_t id,
+                         const NodeConfig &cfg)
+    : sim_(sim), id_(id), clients_(cfg.clients)
+{
+    SDF_CHECK(clients_ > 0);
+    // Everything built inside this scope — the network endpoint, the
+    // device, the block layer, every slice — self-registers its metrics
+    // under "node<id>.*".
+    obs::Hub *hub = sim.hub();
+    obs::MetricsScope scope(hub != nullptr ? &hub->metrics() : nullptr,
+                            "node" + std::to_string(id));
+    net_ = std::make_unique<net::Network>(sim, cfg.net, clients_);
+    stack_ = testbed::BuildKvStack(sim, cfg.kv);
+}
+
+kv::ReplicaEndpoint
+StorageNode::Endpoint()
+{
+    kv::ReplicaEndpoint ep;
+    ep.put = [this](uint64_t key, uint32_t value_size, kv::PutCallback done,
+                    std::shared_ptr<std::vector<uint8_t>> payload) {
+        const uint32_t client = next_client_++ % clients_;
+        net_->RpcWithRetry(
+            client, uint64_t{value_size} + kRpcHeaderBytes,
+            [this, key, value_size, payload](
+                std::function<void(uint64_t)> reply) {
+                // Re-puts from RPC retries are idempotent: the LSM just
+                // writes the same (key, size) again.
+                store().Put(
+                    key, value_size,
+                    [reply = std::move(reply)](bool ok) {
+                        // Only a durable put acks; a storage failure stays
+                        // silent so the client times out and retries
+                        // (and the engine eventually fails over).
+                        if (ok) reply(kAckBytes);
+                    },
+                    std::move(payload));
+            },
+            std::move(done));
+    };
+    ep.get = [this](uint64_t key, kv::GetCallback done) {
+        const uint32_t client = next_client_++ % clients_;
+        auto res = std::make_shared<kv::GetResult>();
+        net_->RpcWithRetry(
+            client, kRpcHeaderBytes,
+            [this, key, res](std::function<void(uint64_t)> reply) {
+                store().Get(key, [res, reply = std::move(reply)](
+                                     const kv::GetResult &r) {
+                    *res = r;
+                    // Failures/misses reply fast (small nack) so the
+                    // router fails over to the next replica immediately
+                    // instead of waiting out the retry ladder.
+                    reply(r.ok && r.found
+                              ? uint64_t{r.value_size} + kRpcHeaderBytes
+                              : kNackBytes);
+                });
+            },
+            [res, done = std::move(done)](bool ok) {
+                if (!ok) {
+                    kv::GetResult dead;
+                    dead.ok = false;
+                    done(dead);
+                } else {
+                    done(*res);
+                }
+            });
+    };
+    return ep;
+}
+
+void
+StorageNode::FlushAll()
+{
+    kv::Store &s = store();
+    for (uint32_t i = 0; i < s.slice_count(); ++i) s.slice(i).Flush();
+}
+
+ClusterRouter::ClusterRouter(sim::Simulator &sim,
+                             const std::vector<StorageNode *> &nodes,
+                             uint32_t replication, uint32_t vnodes_per_node)
+    : ring_(static_cast<uint32_t>(nodes.size()), vnodes_per_node),
+      replication_(replication),
+      node_puts_(nodes.size(), 0),
+      node_gets_(nodes.size(), 0),
+      engine_(sim, BuildEndpoints(nodes),
+              [this](uint64_t key) {
+                  return ring_.ReplicasFor(key, replication_);
+              })
+{
+    SDF_CHECK_MSG(replication >= 1 && replication <= nodes.size(),
+                  "replication must be in [1, nodes]");
+    hub_ = sim.hub();
+    if (hub_ != nullptr) {
+        obs::MetricsRegistry &m = hub_->metrics();
+        metric_prefix_ = m.UniquePrefix("cluster");
+        const kv::ReplicatedKvStats &st = engine_.stats();
+        m.RegisterCounter(metric_prefix_ + ".puts", &st.puts);
+        m.RegisterCounter(metric_prefix_ + ".gets", &st.gets);
+        m.RegisterCounter(metric_prefix_ + ".put_failures",
+                          &st.put_failures);
+        m.RegisterCounter(metric_prefix_ + ".put_replica_failures",
+                          &st.put_replica_failures);
+        m.RegisterCounter(metric_prefix_ + ".degraded_reads",
+                          &st.degraded_reads);
+        m.RegisterCounter(metric_prefix_ + ".failed_reads",
+                          &st.failed_reads);
+        m.RegisterCounter(metric_prefix_ + ".re_replications",
+                          &st.re_replications);
+        m.RegisterHistogram(metric_prefix_ + ".recovery_latency_ns",
+                            [this]() {
+                                return &recovery_latencies().histogram();
+                            });
+    }
+}
+
+ClusterRouter::~ClusterRouter()
+{
+    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
+}
+
+std::vector<kv::ReplicaEndpoint>
+ClusterRouter::BuildEndpoints(const std::vector<StorageNode *> &nodes)
+{
+    std::vector<kv::ReplicaEndpoint> eps;
+    eps.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        kv::ReplicaEndpoint ep = nodes[i]->Endpoint();
+        eps.push_back(kv::ReplicaEndpoint{
+            [this, i, put = std::move(ep.put)](
+                uint64_t key, uint32_t value_size, kv::PutCallback done,
+                std::shared_ptr<std::vector<uint8_t>> payload) {
+                ++node_puts_[i];
+                put(key, value_size, std::move(done), std::move(payload));
+            },
+            [this, i, get = std::move(ep.get)](uint64_t key,
+                                               kv::GetCallback done) {
+                ++node_gets_[i];
+                get(key, std::move(done));
+            }});
+    }
+    return eps;
+}
+
+workload::KvService
+ClusterRouter::Service()
+{
+    workload::KvService svc;
+    svc.put = [this](uint64_t key, uint32_t value_size,
+                     kv::PutCallback done) {
+        Put(key, value_size, std::move(done));
+    };
+    svc.get = [this](uint64_t key, kv::GetCallback done) {
+        Get(key, std::move(done));
+    };
+    return svc;
+}
+
+Cluster::Cluster(sim::Simulator &sim, const ClusterConfig &cfg)
+{
+    SDF_CHECK(cfg.nodes > 0);
+    nodes_.reserve(cfg.nodes);
+    for (uint32_t i = 0; i < cfg.nodes; ++i) {
+        nodes_.push_back(std::make_unique<StorageNode>(sim, i, cfg.node));
+    }
+    std::vector<StorageNode *> ptrs;
+    ptrs.reserve(nodes_.size());
+    for (auto &n : nodes_) ptrs.push_back(n.get());
+    router_ = std::make_unique<ClusterRouter>(sim, ptrs, cfg.replication,
+                                              cfg.vnodes_per_node);
+}
+
+void
+Cluster::FlushAll()
+{
+    for (auto &n : nodes_) n->FlushAll();
+}
+
+std::vector<core::SdfDevice *>
+Cluster::SdfDevices()
+{
+    std::vector<core::SdfDevice *> out;
+    for (auto &n : nodes_) {
+        if (n->sdf_device() != nullptr) out.push_back(n->sdf_device());
+    }
+    return out;
+}
+
+}  // namespace sdf::cluster

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Sharded multi-node KV cluster over the pluggable device interface.
+ *
+ * The paper's deployment model (§2.4, §5): a web-scale store is many
+ * storage servers, each running the CCDB slice stack on one SDF, with
+ * durability provided by cross-node replication rather than drive-internal
+ * redundancy. This module reproduces that shape inside one simulator:
+ *
+ *  - StorageNode: one storage server — its own network endpoint, storage
+ *    stack (any testbed::Backend) and multi-slice kv::Store. All its
+ *    metrics self-register under "node<N>.*".
+ *  - ClusterRouter: the client-side library that consistent-hash-shards
+ *    keys over the nodes with R-way replication, reusing
+ *    kv::ReplicationEngine for fan-out, failover and read-repair; RPCs go
+ *    through net::Network's timeout/backoff path, so a dead node degrades
+ *    into retries + failover instead of a hang.
+ *  - Cluster: convenience bundle (N nodes + router) for benches/tools.
+ */
+#ifndef SDF_CLUSTER_CLUSTER_H
+#define SDF_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "kv/replicated_store.h"
+#include "kv/store.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "testbed/testbed.h"
+#include "workload/kv_driver.h"
+
+namespace sdf::cluster {
+
+/** How to build one storage node. */
+struct NodeConfig
+{
+    /** Per-node storage stack + store (device, slices, ...). */
+    testbed::KvStackConfig kv;
+    /** Link/RPC parameters for the node's network endpoint. */
+    net::NetworkSpec net;
+    /** Router connections into this node (round-robined per request). */
+    uint32_t clients = 4;
+};
+
+/**
+ * One storage server: a network endpoint in front of a full KV stack.
+ * Requests enter as RPCs and are served by the node's Store; the node
+ * never sees other nodes — placement is entirely the router's job.
+ */
+class StorageNode
+{
+  public:
+    StorageNode(sim::Simulator &sim, uint32_t id, const NodeConfig &cfg);
+
+    StorageNode(const StorageNode &) = delete;
+    StorageNode &operator=(const StorageNode &) = delete;
+
+    uint32_t id() const { return id_; }
+    kv::Store &store() { return *stack_.store; }
+    testbed::KvStack &stack() { return stack_; }
+    net::Network &net() { return *net_; }
+    /** The node's device behind the pluggable interface (never null). */
+    core::BlockDevice *device() { return stack_.storage.device(); }
+    core::SdfDevice *sdf_device() { return stack_.storage.sdf.get(); }
+
+    /**
+     * How the replication engine reaches this node: put/get as RPCs with
+     * client-side timeout + retry. A put acks only once the store made the
+     * value durable (a storage failure is surfaced as a timeout, so the
+     * router retries and eventually fails over); a get that fails at
+     * storage level replies quickly with res.ok == false so the router can
+     * fail over without burning the retry budget.
+     */
+    kv::ReplicaEndpoint Endpoint();
+
+    /** Flush every slice's memtable (for preloading/fault audits). */
+    void FlushAll();
+
+  private:
+    sim::Simulator &sim_;
+    uint32_t id_;
+    uint32_t clients_;
+    uint32_t next_client_ = 0;
+    std::unique_ptr<net::Network> net_;
+    testbed::KvStack stack_;
+};
+
+/**
+ * Client-side shard router: key -> R distinct nodes via the consistent-
+ * hash ring, fan-out/failover/read-repair via kv::ReplicationEngine. The
+ * nodes must outlive the router.
+ */
+class ClusterRouter
+{
+  public:
+    ClusterRouter(sim::Simulator &sim,
+                  const std::vector<StorageNode *> &nodes,
+                  uint32_t replication, uint32_t vnodes_per_node = 64);
+    ~ClusterRouter();
+
+    ClusterRouter(const ClusterRouter &) = delete;
+    ClusterRouter &operator=(const ClusterRouter &) = delete;
+
+    uint32_t node_count() const { return ring_.node_count(); }
+    uint32_t replication() const { return replication_; }
+    const HashRing &ring() const { return ring_; }
+
+    /** See ReplicationEngine::Put (ack == at least one durable copy). */
+    void
+    Put(uint64_t key, uint32_t value_size, kv::PutCallback done,
+        std::shared_ptr<std::vector<uint8_t>> payload = nullptr)
+    {
+        engine_.Put(key, value_size, std::move(done), std::move(payload));
+    }
+
+    /** See ReplicationEngine::Get (transparent failover + read-repair). */
+    void Get(uint64_t key, kv::GetCallback done)
+    {
+        engine_.Get(key, std::move(done));
+    }
+
+    /** The router as a generic workload target. */
+    workload::KvService Service();
+
+    const kv::ReplicatedKvStats &stats() const { return engine_.stats(); }
+    const util::LatencyRecorder &recovery_latencies() const
+    {
+        return engine_.recovery_latencies();
+    }
+
+    /** Requests this router sent to node @p i (placement balance). */
+    uint64_t node_puts(uint32_t i) const { return node_puts_[i]; }
+    uint64_t node_gets(uint32_t i) const { return node_gets_[i]; }
+
+  private:
+    std::vector<kv::ReplicaEndpoint>
+    BuildEndpoints(const std::vector<StorageNode *> &nodes);
+
+    HashRing ring_;
+    uint32_t replication_;
+    std::vector<uint64_t> node_puts_;
+    std::vector<uint64_t> node_gets_;
+    kv::ReplicationEngine engine_;
+    obs::Hub *hub_ = nullptr;
+    std::string metric_prefix_;
+};
+
+/** Whole-cluster construction parameters. */
+struct ClusterConfig
+{
+    uint32_t nodes = 4;
+    uint32_t replication = 2;
+    uint32_t vnodes_per_node = 64;
+    /** Template for every node (same hardware per Table 2). */
+    NodeConfig node;
+};
+
+/** N storage nodes plus the router, built on one simulator. */
+class Cluster
+{
+  public:
+    Cluster(sim::Simulator &sim, const ClusterConfig &cfg);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    uint32_t node_count() const
+    {
+        return static_cast<uint32_t>(nodes_.size());
+    }
+    StorageNode &node(uint32_t i) { return *nodes_[i]; }
+    ClusterRouter &router() { return *router_; }
+    workload::KvService Service() { return router_->Service(); }
+
+    void FlushAll();
+
+    /** The nodes' SDF devices (for fault::FaultInjector); skips nodes on
+     *  conventional-SSD backends. */
+    std::vector<core::SdfDevice *> SdfDevices();
+
+  private:
+    std::vector<std::unique_ptr<StorageNode>> nodes_;
+    std::unique_ptr<ClusterRouter> router_;
+};
+
+}  // namespace sdf::cluster
+
+#endif  // SDF_CLUSTER_CLUSTER_H

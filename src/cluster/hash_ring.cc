@@ -1,0 +1,49 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace sdf::cluster {
+
+HashRing::HashRing(uint32_t nodes, uint32_t vnodes_per_node) : nodes_(nodes)
+{
+    SDF_CHECK_MSG(nodes > 0, "ring needs at least one node");
+    SDF_CHECK_MSG(vnodes_per_node > 0, "ring needs at least one vnode");
+    points_.reserve(uint64_t{nodes} * vnodes_per_node);
+    for (uint32_t n = 0; n < nodes; ++n) {
+        for (uint32_t v = 0; v < vnodes_per_node; ++v) {
+            uint64_t state =
+                uint64_t{n} * 0x9e3779b97f4a7c15ULL + v + 1;
+            points_.emplace_back(util::SplitMix64(state), n);
+        }
+    }
+    std::sort(points_.begin(), points_.end());
+}
+
+std::vector<uint32_t>
+HashRing::ReplicasFor(uint64_t key, uint32_t replication) const
+{
+    SDF_CHECK_MSG(replication >= 1 && replication <= nodes_,
+                  "replication must be in [1, nodes]");
+    uint64_t state = key;
+    const uint64_t h = util::SplitMix64(state);
+    std::vector<uint32_t> out;
+    out.reserve(replication);
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               std::make_pair(h, uint32_t{0}));
+    for (size_t scanned = 0;
+         scanned < points_.size() && out.size() < replication; ++scanned) {
+        if (it == points_.end()) it = points_.begin();
+        const uint32_t node = it->second;
+        if (std::find(out.begin(), out.end(), node) == out.end()) {
+            out.push_back(node);
+        }
+        ++it;
+    }
+    SDF_CHECK(out.size() == replication);
+    return out;
+}
+
+}  // namespace sdf::cluster

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Consistent-hash ring with virtual nodes for key -> node placement.
+ *
+ * Each physical node contributes `vnodes_per_node` points on a 64-bit
+ * ring; a key's replicas are the first R *distinct* nodes clockwise from
+ * the key's hash. Virtual nodes smooth the load split (the classic
+ * consistent-hashing construction), and the ring property keeps data
+ * movement ~1/(N+1) when a node is added — the reason web-scale stores
+ * shard this way rather than by `key % N`.
+ *
+ * Deterministic by construction: ring points come from SplitMix64 over
+ * (node, vnode), so every process builds the identical ring.
+ */
+#ifndef SDF_CLUSTER_HASH_RING_H
+#define SDF_CLUSTER_HASH_RING_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sdf::cluster {
+
+/** Key placement over N nodes. */
+class HashRing
+{
+  public:
+    explicit HashRing(uint32_t nodes, uint32_t vnodes_per_node = 64);
+
+    uint32_t node_count() const { return nodes_; }
+
+    /**
+     * The ordered distinct nodes holding @p key: first is the primary,
+     * the next @p replication - 1 are the clockwise successors.
+     */
+    std::vector<uint32_t> ReplicasFor(uint64_t key,
+                                      uint32_t replication) const;
+
+    /** Primary node for @p key. */
+    uint32_t PrimaryOf(uint64_t key) const { return ReplicasFor(key, 1)[0]; }
+
+  private:
+    uint32_t nodes_;
+    /** Sorted (hash point, node) pairs. */
+    std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+}  // namespace sdf::cluster
+
+#endif  // SDF_CLUSTER_HASH_RING_H

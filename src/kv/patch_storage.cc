@@ -37,8 +37,8 @@ ThroughStack(host::IoStack *stack,
 }  // namespace
 
 void
-SdfPatchStorage::PutPatch(uint64_t id, PatchCallback done,
-                          const uint8_t *data, int priority)
+BlockPatchStorage::PutPatch(uint64_t id, PatchCallback done,
+                            const uint8_t *data, int priority)
 {
     ThroughStack(stack_,
                  [this, id, data, priority](PatchCallback d) {
@@ -48,9 +48,9 @@ SdfPatchStorage::PutPatch(uint64_t id, PatchCallback done,
 }
 
 void
-SdfPatchStorage::GetRange(uint64_t id, uint64_t offset, uint64_t length,
-                          PatchCallback done, std::vector<uint8_t> *out,
-                          int priority)
+BlockPatchStorage::GetRange(uint64_t id, uint64_t offset, uint64_t length,
+                            PatchCallback done, std::vector<uint8_t> *out,
+                            int priority)
 {
     ThroughStack(stack_,
                  [this, id, offset, length, out, priority](PatchCallback d) {

@@ -69,15 +69,16 @@ class PatchStorage
 };
 
 /**
- * Patches on SDF through the user-space block layer. Per-request costs of
- * the thin user-space I/O stack (2-4 us, §2.4) are charged when an IoStack
- * is supplied.
+ * Patches through the user-space block layer, over any core::BlockDevice
+ * backend (the SDF device or the conventional-SSD adapter). Per-request
+ * costs of the thin user-space I/O stack (2-4 us, §2.4) are charged when
+ * an IoStack is supplied.
  */
-class SdfPatchStorage : public PatchStorage
+class BlockPatchStorage : public PatchStorage
 {
   public:
-    explicit SdfPatchStorage(blocklayer::BlockLayer &layer,
-                             host::IoStack *stack = nullptr)
+    explicit BlockPatchStorage(blocklayer::BlockLayer &layer,
+                               host::IoStack *stack = nullptr)
         : layer_(layer), stack_(stack) {}
 
     uint64_t patch_bytes() const override { return layer_.block_bytes(); }
@@ -107,6 +108,9 @@ class SdfPatchStorage : public PatchStorage
     blocklayer::BlockLayer &layer_;
     host::IoStack *stack_;
 };
+
+/** Historical name from when the block layer only ran on SDF. */
+using SdfPatchStorage = BlockPatchStorage;
 
 /**
  * Patches on a conventional SSD: a trivial extent allocator over the

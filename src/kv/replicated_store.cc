@@ -7,23 +7,32 @@
 
 namespace sdf::kv {
 
-ReplicatedKv::ReplicatedKv(sim::Simulator &sim, std::vector<Store *> replicas)
-    : sim_(sim), replicas_(std::move(replicas))
+ReplicationEngine::ReplicationEngine(sim::Simulator &sim,
+                                     std::vector<ReplicaEndpoint> endpoints,
+                                     Selector selector)
+    : sim_(sim), endpoints_(std::move(endpoints)), selector_(std::move(selector))
 {
-    SDF_CHECK_MSG(!replicas_.empty(), "need at least one replica");
-    for (Store *s : replicas_) SDF_CHECK(s != nullptr);
+    SDF_CHECK_MSG(!endpoints_.empty(), "need at least one replica endpoint");
+    SDF_CHECK(selector_ != nullptr);
+    for (const ReplicaEndpoint &e : endpoints_) {
+        SDF_CHECK(e.put != nullptr && e.get != nullptr);
+    }
 }
 
 void
-ReplicatedKv::Put(uint64_t key, uint32_t value_size, PutCallback done,
-                  std::shared_ptr<std::vector<uint8_t>> payload)
+ReplicationEngine::Put(uint64_t key, uint32_t value_size, PutCallback done,
+                       std::shared_ptr<std::vector<uint8_t>> payload)
 {
     ++stats_.puts;
-    const auto r = static_cast<uint32_t>(replicas_.size());
+    const std::vector<uint32_t> order = selector_(key);
+    SDF_CHECK_MSG(!order.empty(), "selector returned no replicas");
+    const auto r = static_cast<uint32_t>(order.size());
     auto remaining = std::make_shared<uint32_t>(r);
     auto successes = std::make_shared<uint32_t>(0);
     for (uint32_t i = 0; i < r; ++i) {
-        replicas_[i]->Put(
+        const uint32_t replica = order[i];
+        SDF_CHECK(replica < endpoints_.size());
+        endpoints_[replica].put(
             key, value_size,
             [this, remaining, successes,
              done = i + 1 == r ? std::move(done) : done](bool ok) mutable {
@@ -41,62 +50,110 @@ ReplicatedKv::Put(uint64_t key, uint32_t value_size, PutCallback done,
 }
 
 void
-ReplicatedKv::Get(uint64_t key, GetCallback done)
+ReplicationEngine::Get(uint64_t key, GetCallback done)
 {
     ++stats_.gets;
-    DoGet(key, std::move(done), 0, 0);
+    auto order =
+        std::make_shared<const std::vector<uint32_t>>(selector_(key));
+    SDF_CHECK_MSG(!order->empty(), "selector returned no replicas");
+    DoGet(key, std::move(done), std::move(order), 0, 0, false);
 }
 
 void
-ReplicatedKv::DoGet(uint64_t key, GetCallback done, uint32_t attempt,
-                    util::TimeNs first_fail)
+ReplicationEngine::DoGet(uint64_t key, GetCallback done,
+                         std::shared_ptr<const std::vector<uint32_t>> order,
+                         uint32_t attempt, util::TimeNs first_fail,
+                         bool saw_failure)
 {
-    const auto r = static_cast<uint32_t>(replicas_.size());
-    if (attempt == r) {
-        ++stats_.failed_reads;
+    if (attempt == order->size()) {
+        // Exhausted. All clean misses -> an authoritative miss; any
+        // storage failure along the way -> a failed read.
         GetResult res;
         res.found = false;
-        res.ok = false;
+        res.ok = !saw_failure;
+        if (saw_failure) ++stats_.failed_reads;
         if (done) done(res);
         return;
     }
-    const uint32_t replica = (PrimaryOf(key) + attempt) % r;
-    replicas_[replica]->Get(
-        key, [this, key, done = std::move(done), attempt,
-              first_fail](const GetResult &res) mutable {
-            if (!res.ok) {
-                // Storage-level failure on this replica: fail over.
+    const uint32_t replica = (*order)[attempt];
+    SDF_CHECK(replica < endpoints_.size());
+    endpoints_[replica].get(
+        key, [this, key, done = std::move(done), order, attempt, first_fail,
+              saw_failure](const GetResult &res) mutable {
+            if (!res.ok || !res.found) {
+                // Storage failure — or a miss on this replica, which may
+                // just have lost the put that a later replica acked
+                // (degraded-mode write). Either way, ask the next one.
                 const util::TimeNs t0 =
                     attempt == 0 ? sim_.Now() : first_fail;
-                DoGet(key, std::move(done), attempt + 1, t0);
+                DoGet(key, std::move(done), std::move(order), attempt + 1,
+                      t0, saw_failure || !res.ok);
                 return;
             }
             if (attempt > 0) {
                 ++stats_.degraded_reads;
                 recovery_latencies_.Record(sim_.Now() - first_fail);
                 // Read-repair: restore redundancy on the replicas that
-                // failed ahead of this one.
-                if (res.found) Repair(key, res, attempt);
+                // failed or missed ahead of this one.
+                Repair(key, res, *order, attempt);
             }
             if (done) done(res);
         });
 }
 
 void
-ReplicatedKv::Repair(uint64_t key, const GetResult &good,
-                     uint32_t failed_count)
+ReplicationEngine::Repair(uint64_t key, const GetResult &good,
+                          const std::vector<uint32_t> &order,
+                          uint32_t failed_count)
 {
-    const auto r = static_cast<uint32_t>(replicas_.size());
     for (uint32_t i = 0; i < failed_count; ++i) {
-        const uint32_t replica = (PrimaryOf(key) + i) % r;
         ++stats_.re_replications;
-        replicas_[replica]->Put(
+        endpoints_[order[i]].put(
             key, good.value_size,
             [this](bool ok) {
                 if (!ok) ++stats_.re_replication_failures;
             },
             good.payload);
     }
+}
+
+namespace {
+
+/** Every store holds every key; primary rotates by key hash. */
+std::vector<ReplicaEndpoint>
+StoreEndpoints(const std::vector<Store *> &replicas)
+{
+    SDF_CHECK_MSG(!replicas.empty(), "need at least one replica");
+    std::vector<ReplicaEndpoint> endpoints;
+    endpoints.reserve(replicas.size());
+    for (Store *s : replicas) {
+        SDF_CHECK(s != nullptr);
+        ReplicaEndpoint e;
+        e.put = [s](uint64_t key, uint32_t value_size, PutCallback done,
+                    std::shared_ptr<std::vector<uint8_t>> payload) {
+            s->Put(key, value_size, std::move(done), std::move(payload));
+        };
+        e.get = [s](uint64_t key, GetCallback done) {
+            s->Get(key, std::move(done));
+        };
+        endpoints.push_back(std::move(e));
+    }
+    return endpoints;
+}
+
+}  // namespace
+
+ReplicatedKv::ReplicatedKv(sim::Simulator &sim, std::vector<Store *> replicas)
+    : replica_count_(static_cast<uint32_t>(replicas.size())),
+      engine_(sim, StoreEndpoints(replicas),
+              [n = replicas.size()](uint64_t key) {
+                  std::vector<uint32_t> order(n);
+                  for (size_t i = 0; i < n; ++i) {
+                      order[i] = static_cast<uint32_t>((key + i) % n);
+                  }
+                  return order;
+              })
+{
 }
 
 }  // namespace sdf::kv

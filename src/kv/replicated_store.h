@@ -1,16 +1,28 @@
 /**
  * @file
- * R-way replicated KV frontend for degraded-mode operation.
+ * R-way replication for degraded-mode operation.
  *
  * The paper's web-scale setting (§2.4, §5) keeps replicas of every object
  * on independent devices precisely because SDF drops the drive-internal
  * safety nets (no parity across channels, no super-capacitors): durability
- * is the distributed system's job. This frontend models that contract over
- * R independent Store stacks (each typically backed by its own SdfDevice):
+ * is the distributed system's job.
  *
- *  - Put fans out to every replica; the ack carries overall success
- *    (at least one durable copy) and per-replica failures are counted.
- *  - Get reads the primary replica (key-hash order) and transparently
+ * The mechanism lives in ReplicationEngine and is deliberately abstract
+ * over *where* replicas are: an endpoint is just a put/get function pair,
+ * and a selector maps a key to the ordered endpoints holding it. The same
+ * engine therefore serves two deployments:
+ *
+ *  - ReplicatedKv: every key on every one of R local Store stacks (the
+ *    single-box fault-tolerance model used by the fault campaign);
+ *  - cluster::ClusterRouter: keys consistent-hash-sharded over N storage
+ *    nodes with R-way replication, endpoints reached over the network.
+ *
+ * Semantics, in both cases:
+ *
+ *  - Put fans out to every selected replica; the ack carries overall
+ *    success (at least one durable copy) and per-replica failures are
+ *    counted.
+ *  - Get reads the primary replica (selector order) and transparently
  *    fails over to the next replica when storage reports a typed error
  *    (uncorrectable data, dead channel, lost block).
  *  - A degraded read triggers read-repair: the value recovered from a
@@ -21,6 +33,8 @@
 #define SDF_KV_REPLICATED_STORE_H
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "kv/store.h"
@@ -42,39 +56,58 @@ struct ReplicatedKvStats
     uint64_t re_replication_failures = 0;
 };
 
-/** R-way replication over independent Store instances. */
-class ReplicatedKv
+/**
+ * How the engine reaches one replica: a direct Store call, an RPC into a
+ * cluster node, or anything else with put/get semantics. `put` must ack
+ * true only once the value is durable on that replica; `get` must report
+ * res.ok == false on storage-level failure so the engine can fail over.
+ */
+struct ReplicaEndpoint
+{
+    std::function<void(uint64_t key, uint32_t value_size, PutCallback done,
+                       std::shared_ptr<std::vector<uint8_t>> payload)>
+        put;
+    std::function<void(uint64_t key, GetCallback done)> get;
+};
+
+/** Replica placement/failover mechanics over abstract endpoints. */
+class ReplicationEngine
 {
   public:
-    /** @param replicas One Store per failure domain; all must outlive us. */
-    ReplicatedKv(sim::Simulator &sim, std::vector<Store *> replicas);
+    /**
+     * Ordered endpoint indices holding @p key: first is the primary, the
+     * rest are failover targets; Put fans out to all of them. Must be
+     * deterministic, non-empty, and in range.
+     */
+    using Selector = std::function<std::vector<uint32_t>(uint64_t key)>;
 
-    ReplicatedKv(const ReplicatedKv &) = delete;
-    ReplicatedKv &operator=(const ReplicatedKv &) = delete;
+    ReplicationEngine(sim::Simulator &sim,
+                      std::vector<ReplicaEndpoint> endpoints,
+                      Selector selector);
 
-    uint32_t replica_count() const
+    ReplicationEngine(const ReplicationEngine &) = delete;
+    ReplicationEngine &operator=(const ReplicationEngine &) = delete;
+
+    uint32_t endpoint_count() const
     {
-        return static_cast<uint32_t>(replicas_.size());
-    }
-
-    /** Primary replica index for @p key. */
-    uint32_t PrimaryOf(uint64_t key) const
-    {
-        return static_cast<uint32_t>(key % replicas_.size());
+        return static_cast<uint32_t>(endpoints_.size());
     }
 
     /**
-     * Store @p key on every replica. @p done receives true when at least
-     * one replica persisted the value (the others are repaired by later
-     * degraded reads).
+     * Store @p key on every selected replica. @p done receives true when
+     * at least one replica persisted the value (the others are repaired
+     * by later degraded reads).
      */
     void Put(uint64_t key, uint32_t value_size, PutCallback done,
              std::shared_ptr<std::vector<uint8_t>> payload = nullptr);
 
     /**
-     * Read @p key with transparent failover: replicas are tried in
-     * primary order until one completes without a storage error. The
-     * result's ok flag is false only when every replica failed.
+     * Read @p key with transparent failover: selected replicas are tried
+     * in order until one serves the value. A miss on one replica also
+     * fails over (a degraded-mode put may have landed on only some
+     * replicas); the read is a miss only when every replica agrees. The
+     * result's ok flag is false only when a replica failed at storage
+     * level and none served the value.
      */
     void Get(uint64_t key, GetCallback done);
 
@@ -90,14 +123,65 @@ class ReplicatedKv
     }
 
   private:
-    void DoGet(uint64_t key, GetCallback done, uint32_t attempt,
-               util::TimeNs first_fail);
-    void Repair(uint64_t key, const GetResult &good, uint32_t failed_count);
+    void DoGet(uint64_t key, GetCallback done,
+               std::shared_ptr<const std::vector<uint32_t>> order,
+               uint32_t attempt, util::TimeNs first_fail, bool saw_failure);
+    void Repair(uint64_t key, const GetResult &good,
+                const std::vector<uint32_t> &order, uint32_t failed_count);
 
     sim::Simulator &sim_;
-    std::vector<Store *> replicas_;
+    std::vector<ReplicaEndpoint> endpoints_;
+    Selector selector_;
     ReplicatedKvStats stats_;
     util::LatencyRecorder recovery_latencies_;
+};
+
+/**
+ * R-way replication over independent local Store instances: every key on
+ * every store, primary chosen by key hash. Thin policy wrapper over
+ * ReplicationEngine.
+ */
+class ReplicatedKv
+{
+  public:
+    /** @param replicas One Store per failure domain; all must outlive us. */
+    ReplicatedKv(sim::Simulator &sim, std::vector<Store *> replicas);
+
+    ReplicatedKv(const ReplicatedKv &) = delete;
+    ReplicatedKv &operator=(const ReplicatedKv &) = delete;
+
+    uint32_t replica_count() const { return replica_count_; }
+
+    /** Primary replica index for @p key. */
+    uint32_t PrimaryOf(uint64_t key) const
+    {
+        return static_cast<uint32_t>(key % replica_count_);
+    }
+
+    /** See ReplicationEngine::Put. */
+    void
+    Put(uint64_t key, uint32_t value_size, PutCallback done,
+        std::shared_ptr<std::vector<uint8_t>> payload = nullptr)
+    {
+        engine_.Put(key, value_size, std::move(done), std::move(payload));
+    }
+
+    /** See ReplicationEngine::Get. */
+    void Get(uint64_t key, GetCallback done)
+    {
+        engine_.Get(key, std::move(done));
+    }
+
+    const ReplicatedKvStats &stats() const { return engine_.stats(); }
+
+    const util::LatencyRecorder &recovery_latencies() const
+    {
+        return engine_.recovery_latencies();
+    }
+
+  private:
+    uint32_t replica_count_;
+    ReplicationEngine engine_;
 };
 
 }  // namespace sdf::kv

@@ -79,9 +79,34 @@ MetricsRegistry::UnregisterPrefix(const std::string &prefix)
 std::string
 MetricsRegistry::UniquePrefix(const std::string &base)
 {
-    const uint32_t n = ++instance_counts_[base];
-    if (n == 1) return base;
-    return base + "." + std::to_string(n);
+    const std::string scoped = Scoped(base);
+    const uint32_t n = ++instance_counts_[scoped];
+    if (n == 1) return scoped;
+    return scoped + "." + std::to_string(n);
+}
+
+void
+MetricsRegistry::PushScope(const std::string &scope)
+{
+    scopes_.push_back(scope);
+}
+
+void
+MetricsRegistry::PopScope()
+{
+    scopes_.pop_back();
+}
+
+std::string
+MetricsRegistry::Scoped(const std::string &path) const
+{
+    std::string full;
+    for (const std::string &s : scopes_) {
+        full += s;
+        full += '.';
+    }
+    full += path;
+    return full;
 }
 
 MetricsRegistry::Snapshot

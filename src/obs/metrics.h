@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "util/histogram.h"
 
@@ -76,9 +77,26 @@ class MetricsRegistry
      * Deterministically disambiguate component instances: the first caller
      * for @p base gets "base", the next "base.2", then "base.3", ...
      * Construction order is deterministic, so names are stable across
-     * same-seed runs.
+     * same-seed runs. The active scope (PushScope) is prepended first, so
+     * a device built inside scope "node3" lands at "node3.sdf".
      */
     std::string UniquePrefix(const std::string &base);
+
+    /**
+     * Nest subsequent UniquePrefix names under "<scope>." — the mechanism
+     * by which a cluster node namespaces every component it builds
+     * (device, block layer, slices, network) as `node<N>.*` without those
+     * components knowing they live in a node. Scopes stack; instance
+     * disambiguation is per scoped name, so "node0.sdf" and "node1.sdf"
+     * both get the unsuffixed form.
+     */
+    void PushScope(const std::string &scope);
+
+    /** Leave the innermost scope. */
+    void PopScope();
+
+    /** @p path with the active scope stack prepended. */
+    std::string Scoped(const std::string &path) const;
 
     /** Registered source count (all kinds). */
     size_t size() const
@@ -101,8 +119,28 @@ class MetricsRegistry
     std::map<std::string, GaugeFn> gauges_;
     std::map<std::string, HistogramFn> histograms_;
     std::map<std::string, uint32_t> instance_counts_;
+    std::vector<std::string> scopes_;  ///< Active PushScope stack.
     /** Final values of unregistered sources; live sources shadow them. */
     Snapshot retired_;
+};
+
+/** RAII metric scope: pushes on a (possibly null) registry, pops on exit. */
+class MetricsScope
+{
+  public:
+    MetricsScope(MetricsRegistry *m, const std::string &scope) : m_(m)
+    {
+        if (m_ != nullptr) m_->PushScope(scope);
+    }
+    ~MetricsScope()
+    {
+        if (m_ != nullptr) m_->PopScope();
+    }
+    MetricsScope(const MetricsScope &) = delete;
+    MetricsScope &operator=(const MetricsScope &) = delete;
+
+  private:
+    MetricsRegistry *m_;
 };
 
 }  // namespace sdf::obs

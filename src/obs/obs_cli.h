@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Observability CLI flags shared by every binary that runs a simulation:
+ * the bench suite, sdfsim, and the examples. Header-only so a binary only
+ * pays for it when it links nothing else from obs.
+ *
+ * Flags: --stats-json=<path>, --stats-csv=<path>, --trace=<path> and
+ * --trace-limit=<n>. When any export is requested the helper owns an
+ * obs::Hub ready to install on a Simulator (before device construction);
+ * otherwise hub() stays null and the run is unchanged.
+ */
+#ifndef SDF_OBS_OBS_CLI_H
+#define SDF_OBS_OBS_CLI_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "obs/hub.h"
+#include "sim/simulator.h"
+
+namespace sdf::obs {
+
+/** Parses the obs flags and performs the end-of-run exports. */
+class ObsCli
+{
+  public:
+    /** One --key=value pair; @return true when it was an obs flag. */
+    bool
+    TryFlag(const std::string &key, const std::string &val)
+    {
+        if (key == "--stats-json") stats_json_ = val;
+        else if (key == "--stats-csv") stats_csv_ = val;
+        else if (key == "--trace") trace_path_ = val;
+        else if (key == "--trace-limit") trace_limit_ = std::stoull(val);
+        else return false;
+        return true;
+    }
+
+    /** Consume recognised "--key=value" args, compacting argv in place. */
+    void
+    ParseAndStrip(int &argc, char **argv)
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto eq = arg.find('=');
+            const std::string key = arg.substr(0, eq);
+            const std::string val =
+                eq == std::string::npos ? "" : arg.substr(eq + 1);
+            if (!TryFlag(key, val)) argv[out++] = argv[i];
+        }
+        argc = out;
+    }
+
+    bool
+    enabled() const
+    {
+        return !stats_json_.empty() || !stats_csv_.empty() ||
+               !trace_path_.empty();
+    }
+
+    /** The hub to install with sim.set_hub(), or null when disabled. */
+    obs::Hub *
+    hub()
+    {
+        if (!enabled()) return nullptr;
+        if (!hub_) {
+            hub_ = std::make_unique<obs::Hub>();
+            if (!trace_path_.empty()) hub_->EnableTrace(trace_limit_);
+        }
+        return hub_.get();
+    }
+
+    void AddMeta(const std::string &k, const std::string &v) { meta_[k] = v; }
+    void AddDerived(const std::string &k, double v) { derived_[k] = v; }
+
+    /** Write the requested files. @return 0 on success. */
+    int
+    Export()
+    {
+        if (!enabled()) return 0;
+        int rc = 0;
+        obs::Hub &h = *hub();
+        if (!stats_json_.empty() &&
+            !obs::WriteFile(stats_json_, obs::StatsJson(h, meta_, derived_))) {
+            std::fprintf(stderr, "cannot write %s\n", stats_json_.c_str());
+            rc = 1;
+        }
+        if (!stats_csv_.empty() &&
+            !obs::WriteFile(stats_csv_, obs::StatsCsv(h, meta_, derived_))) {
+            std::fprintf(stderr, "cannot write %s\n", stats_csv_.c_str());
+            rc = 1;
+        }
+        if (!trace_path_.empty()) {
+            if (!h.trace()->WriteJson(trace_path_)) {
+                std::fprintf(stderr, "cannot write %s\n", trace_path_.c_str());
+                rc = 1;
+            } else if (h.trace()->dropped() > 0) {
+                std::fprintf(stderr,
+                             "trace: dropped %llu events past the "
+                             "--trace-limit cap\n",
+                             static_cast<unsigned long long>(
+                                 h.trace()->dropped()));
+            }
+        }
+        return rc;
+    }
+
+    static const char *
+    HelpText()
+    {
+        return "observability:\n"
+               "  --stats-json=<file>  export metrics+stage stats as JSON\n"
+               "  --stats-csv=<file>   same document as key,value CSV\n"
+               "  --trace=<file>       Perfetto/chrome://tracing JSON trace\n"
+               "  --trace-limit=<n>    trace event cap (default 1048576)\n";
+    }
+
+  private:
+    std::string stats_json_;
+    std::string stats_csv_;
+    std::string trace_path_;
+    size_t trace_limit_ = obs::TraceSink::kDefaultMaxEvents;
+    std::unique_ptr<obs::Hub> hub_;
+    obs::MetaMap meta_;
+    obs::DerivedMap derived_;
+};
+
+/**
+ * Process-wide ObsCli. main() calls ParseAndStrip(argc, argv) on it, every
+ * Simulator creation site calls BindObs(sim), and main() ends with
+ * GlobalObs().Export(). With no obs flags on the command line all of it
+ * is inert.
+ */
+inline ObsCli &
+GlobalObs()
+{
+    static ObsCli cli;
+    return cli;
+}
+
+/** Install the global hub (when exports were requested) on @p sim. */
+inline void
+BindObs(sim::Simulator &sim)
+{
+    if (obs::Hub *hub = GlobalObs().hub()) sim.set_hub(hub);
+}
+
+}  // namespace sdf::obs
+
+#endif  // SDF_OBS_OBS_CLI_H

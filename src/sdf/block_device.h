@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The pluggable device seam: everything above the device (block layer,
+ * patch storage, benches, the cluster) talks to this interface, never to a
+ * concrete device class.
+ *
+ * The interface is deliberately shaped like the SDF contract — (channel,
+ * unit) addressing, asymmetric read/write units, explicit erase — because
+ * that is the narrowest interface the paper's stack needs. A conventional
+ * SSD adapts *into* this shape (see ssd::SsdBlockDevice): it carves its
+ * flat logical space into synthetic channels and units and reports
+ * `explicit_erase = false`, since its erase is a trim hint rather than a
+ * physical erasure the host controls.
+ */
+#ifndef SDF_SDF_BLOCK_DEVICE_H
+#define SDF_SDF_BLOCK_DEVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdf/io_status.h"
+
+namespace sdf::obs {
+class IoSpan;
+}  // namespace sdf::obs
+
+namespace sdf::core {
+
+/** Lifecycle of one logical write unit within a channel. */
+enum class UnitState : uint8_t
+{
+    kUnwritten,  ///< Never erased or written; no physical mapping yet.
+    kErased,     ///< Erased and ready for a full-unit write.
+    kWritten,    ///< Holds data; must be erased before rewriting.
+    kDead,       ///< Lost to wear-out with no spare left.
+};
+
+/**
+ * Capability descriptor: the static geometry and contract of one device.
+ * Filled once at construction; everything here is invariant for the
+ * device's lifetime (channel death is dynamic state, see ChannelDead()).
+ */
+struct DeviceCaps
+{
+    std::string name;                ///< Human-readable model name.
+    uint32_t channels = 0;           ///< Independently schedulable channels.
+    uint32_t units_per_channel = 0;  ///< Logical write/erase units per channel.
+    uint64_t unit_bytes = 0;         ///< Bytes in one write/erase unit.
+    uint32_t read_unit_bytes = 0;    ///< Bytes in one read unit (one page).
+    /**
+     * True when the device exposes a real erase command the host must
+     * issue before rewriting a unit (the SDF contract). False for
+     * conventional SSDs, where EraseUnit is a trim-backed emulation and
+     * the erase-before-write discipline is enforced only by the adapter.
+     */
+    bool explicit_erase = true;
+    uint64_t user_capacity = 0;  ///< Host-visible bytes.
+    uint64_t raw_capacity = 0;   ///< Raw flash bytes underneath.
+};
+
+/**
+ * Abstract asynchronous block device addressed as (channel, unit).
+ *
+ * All operations complete through an IoCallback on the simulator's event
+ * loop; none complete inline. Implementations: core::SdfDevice (the
+ * paper's device) and ssd::SsdBlockDevice (adapter over ConventionalSsd).
+ */
+class BlockDevice
+{
+  public:
+    virtual ~BlockDevice() = default;
+
+    /** Static geometry/contract descriptor (stable for the lifetime). */
+    virtual const DeviceCaps &caps() const = 0;
+
+    /**
+     * Read @p length bytes at @p offset within (@p channel, @p unit).
+     * Offset and length must be multiples of caps().read_unit_bytes.
+     * @p span, when non-null, receives latency-stage milestones.
+     */
+    virtual void Read(uint32_t channel, uint32_t unit, uint64_t offset,
+                      uint64_t length, IoCallback done,
+                      std::vector<uint8_t> *out = nullptr,
+                      obs::IoSpan *span = nullptr) = 0;
+
+    /**
+     * Write one full unit. The unit must be in the erased state
+     * (erase-before-write contract); otherwise completes with
+     * IoError::kContractViolation.
+     */
+    virtual void WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
+                           const uint8_t *data = nullptr,
+                           obs::IoSpan *span = nullptr) = 0;
+
+    /** Erase (or, for adapters, trim and logically reset) one unit. */
+    virtual void EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
+                           obs::IoSpan *span = nullptr) = 0;
+
+    /** Current state of a unit. */
+    virtual UnitState unit_state(uint32_t channel, uint32_t unit) const = 0;
+
+    /**
+     * True once a channel's hardware has failed (fault injection): every
+     * operation on it completes with IoError::kChannelDead. Hosts poll
+     * this to steer writes and reads to surviving channels.
+     */
+    virtual bool ChannelDead(uint32_t channel) const = 0;
+
+    /**
+     * Instantly (zero simulated time, no payload) bring a unit to the
+     * written state. Simulation backdoor for preconditioning only.
+     */
+    virtual void DebugForceWritten(uint32_t channel, uint32_t unit) = 0;
+
+    // ---- Convenience accessors over caps() -------------------------------
+
+    uint32_t channel_count() const { return caps().channels; }
+    uint32_t units_per_channel() const { return caps().units_per_channel; }
+    uint64_t unit_bytes() const { return caps().unit_bytes; }
+    uint32_t read_unit_bytes() const { return caps().read_unit_bytes; }
+    uint64_t user_capacity() const { return caps().user_capacity; }
+    uint64_t raw_capacity() const { return caps().raw_capacity; }
+};
+
+}  // namespace sdf::core
+
+#endif  // SDF_SDF_BLOCK_DEVICE_H

@@ -67,6 +67,16 @@ SdfDevice::SdfDevice(sim::Simulator &sim, const SdfConfig &config)
         }
     }
 
+    caps_.name = config_.name;
+    caps_.channels = geo.channels;
+    caps_.units_per_channel = units_per_channel_;
+    caps_.unit_bytes = unit_bytes_;
+    caps_.read_unit_bytes = geo.page_size;
+    caps_.explicit_erase = true;
+    caps_.user_capacity =
+        uint64_t{geo.channels} * units_per_channel_ * unit_bytes_;
+    caps_.raw_capacity = geo.TotalBytes();
+
     RegisterMetrics();
 }
 
@@ -153,18 +163,6 @@ SdfDevice::RegisterMetrics()
             flash_->channel(c).EnableTrace(hub_->trace(), c);
         }
     }
-}
-
-uint32_t
-SdfDevice::channel_count() const
-{
-    return flash_->geometry().channels;
-}
-
-uint64_t
-SdfDevice::user_capacity() const
-{
-    return uint64_t{channel_count()} * units_per_channel_ * unit_bytes_;
 }
 
 bool

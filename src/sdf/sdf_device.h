@@ -34,6 +34,7 @@
 #include "ftl/wear_leveler.h"
 #include "nand/flash_array.h"
 #include "obs/span.h"
+#include "sdf/block_device.h"
 #include "sdf/io_status.h"
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
@@ -46,15 +47,6 @@ class Hub;
 namespace sdf::core {
 
 using util::TimeNs;
-
-/** Lifecycle of one 8 MB logical unit within a channel. */
-enum class UnitState : uint8_t
-{
-    kUnwritten,  ///< Never erased or written; no physical mapping yet.
-    kErased,     ///< Erased and ready for a full-unit write.
-    kWritten,    ///< Holds data; must be erased before rewriting.
-    kDead,       ///< Lost to wear-out with no spare left.
-};
 
 /** Construction parameters for an SDF device. */
 struct SdfConfig
@@ -101,26 +93,17 @@ struct SdfStats
  * cross-channel logical space — exploiting channel parallelism is the
  * host software's job (that is the point of the design).
  */
-class SdfDevice
+class SdfDevice : public BlockDevice
 {
   public:
     SdfDevice(sim::Simulator &sim, const SdfConfig &config);
-    ~SdfDevice();
+    ~SdfDevice() override;
 
     SdfDevice(const SdfDevice &) = delete;
     SdfDevice &operator=(const SdfDevice &) = delete;
 
-    uint32_t channel_count() const;
-    /** Logical 8 MB units per channel. */
-    uint32_t units_per_channel() const { return units_per_channel_; }
-    /** Bytes in one write/erase unit (planes x block size; 8 MB). */
-    uint64_t unit_bytes() const { return unit_bytes_; }
-    /** Bytes in one read unit (one flash page; 8 KB). */
-    uint32_t read_unit_bytes() const { return flash_->geometry().page_size; }
-    /** User-visible capacity (the paper's "99 % of raw"). */
-    uint64_t user_capacity() const;
-    /** Raw flash capacity underneath. */
-    uint64_t raw_capacity() const { return flash_->geometry().TotalBytes(); }
+    /** Geometry descriptor: 44 channels x 8 MB units, explicit erase. */
+    const DeviceCaps &caps() const override { return caps_; }
 
     /**
      * Read @p length bytes at @p offset within (@p channel, @p unit).
@@ -136,7 +119,7 @@ class SdfDevice
     void Read(uint32_t channel, uint32_t unit, uint64_t offset,
               uint64_t length, IoCallback done,
               std::vector<uint8_t> *out = nullptr,
-              obs::IoSpan *span = nullptr);
+              obs::IoSpan *span = nullptr) override;
 
     /**
      * Write one full unit (8 MB). The unit must be in the erased state
@@ -146,7 +129,7 @@ class SdfDevice
      */
     void WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
                    const uint8_t *data = nullptr,
-                   obs::IoSpan *span = nullptr);
+                   obs::IoSpan *span = nullptr) override;
 
     /**
      * Erase a unit: the explicit erase command SDF adds to the device
@@ -156,10 +139,10 @@ class SdfDevice
      * erase_op / interrupt.
      */
     void EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
-                   obs::IoSpan *span = nullptr);
+                   obs::IoSpan *span = nullptr) override;
 
     /** Current state of a unit. */
-    UnitState unit_state(uint32_t channel, uint32_t unit) const;
+    UnitState unit_state(uint32_t channel, uint32_t unit) const override;
 
     /**
      * In-storage scan (§5 future work, "moving compute to the storage"):
@@ -198,7 +181,7 @@ class SdfDevice
      * every operation on it completes with IoError::kChannelDead. Hosts
      * poll this to steer writes and reads to surviving channels.
      */
-    bool ChannelDead(uint32_t channel) const
+    bool ChannelDead(uint32_t channel) const override
     {
         return flash_->channel(channel).dead();
     }
@@ -229,7 +212,7 @@ class SdfDevice
      * written state: maps physical blocks and marks them programmed.
      * Simulation backdoor for preconditioning experiments only.
      */
-    void DebugForceWritten(uint32_t channel, uint32_t unit);
+    void DebugForceWritten(uint32_t channel, uint32_t unit) override;
 
     const SdfStats &stats() const { return stats_; }
     const SdfConfig &config() const { return config_; }
@@ -285,6 +268,7 @@ class SdfDevice
     std::unique_ptr<controller::Link> link_;
     std::unique_ptr<controller::InterruptCoalescer> irq_;
     std::vector<ChannelEngine> channels_;
+    DeviceCaps caps_;
     uint32_t units_per_channel_ = 0;
     uint64_t unit_bytes_ = 0;
     SdfStats stats_;

@@ -5,6 +5,7 @@
 
 #include "host/io_stack.h"
 #include "util/assert.h"
+#include "util/latency_recorder.h"
 
 namespace sdf::workload {
 
@@ -228,6 +229,101 @@ RunKvWrites(sim::Simulator &sim, net::Network &net,
     result.client_mbps = result.device_write_mbps -
         util::BandwidthMBps(w1 - w0, run.duration);  // flush share
     result.requests = *requests - req0;
+    return result;
+}
+
+KvService
+ServiceFor(kv::Store &store)
+{
+    KvService svc;
+    svc.put = [&store](uint64_t key, uint32_t value_size,
+                       kv::PutCallback done) {
+        store.Put(key, value_size, std::move(done));
+    };
+    svc.get = [&store](uint64_t key, kv::GetCallback done) {
+        store.Get(key, std::move(done));
+    };
+    return svc;
+}
+
+MixedRunResult
+RunMixedLoad(sim::Simulator &sim, const KvService &svc,
+             const std::vector<uint64_t> &keys, const MixedRunConfig &cfg)
+{
+    SDF_CHECK(svc.put != nullptr && svc.get != nullptr);
+    SDF_CHECK(cfg.actors > 0);
+
+    MixedRunResult result;
+    std::vector<uint64_t> population = keys;  // Grows as writes ack.
+    uint64_t next_key = cfg.first_write_key;
+    uint64_t acked_bytes = 0;
+    util::LatencyRecorder read_lat, write_lat;
+    std::vector<util::Rng> rngs;
+    rngs.reserve(cfg.actors);
+    for (uint32_t a = 0; a < cfg.actors; ++a) {
+        rngs.emplace_back(cfg.seed ^ (0xac700000ULL + a));
+    }
+
+    const TimeNs t_end = sim.Now() + cfg.duration;
+    // One closed loop per actor: issue, wait for the ack, repeat. All
+    // state lives on this frame; RunMixedLoad drains the simulator before
+    // returning, so the references the callbacks capture stay valid.
+    std::function<void(uint32_t)> step = [&](uint32_t a) {
+        if (sim.Now() >= t_end) return;
+        util::Rng &rng = rngs[a];
+        const bool do_read =
+            !population.empty() && rng.NextDouble() < cfg.read_fraction;
+        const TimeNs t0 = sim.Now();
+        if (do_read) {
+            const uint64_t key = population[rng.NextBelow(population.size())];
+            svc.get(key, [&, a, t0](const kv::GetResult &res) {
+                ++result.reads;
+                if (!res.ok) {
+                    ++result.read_errors;
+                } else if (!res.found) {
+                    ++result.read_misses;
+                } else {
+                    result.read_bytes += res.value_size;
+                }
+                read_lat.Record(sim.Now() - t0);
+                step(a);
+            });
+        } else {
+            const uint64_t key = next_key++;
+            svc.put(key, cfg.value_bytes, [&, a, key, t0](bool ok) {
+                ++result.writes;
+                if (ok) {
+                    result.acked_writes.push_back(key);
+                    population.push_back(key);
+                    acked_bytes += cfg.value_bytes;
+                } else {
+                    ++result.write_errors;
+                }
+                write_lat.Record(sim.Now() - t0);
+                step(a);
+            });
+        }
+    };
+    for (uint32_t a = 0; a < cfg.actors; ++a) {
+        sim.Schedule(0, [&step, a]() { step(a); });
+    }
+    sim.RunUntil(t_end);
+    sim.Run();  // Drain the last in-flight op of every actor.
+
+    const double secs = util::NsToSec(cfg.duration);
+    result.ops_per_sec =
+        secs > 0 ? static_cast<double>(result.reads + result.writes) / secs
+                 : 0;
+    result.read_mbps = util::BandwidthMBps(result.read_bytes, cfg.duration);
+    result.write_mbps = util::BandwidthMBps(acked_bytes, cfg.duration);
+    if (read_lat.count() > 0) {
+        result.read_mean_ms = read_lat.MeanMs();
+        result.read_p99_ms = read_lat.PercentileMs(99);
+    }
+    if (write_lat.count() > 0) {
+        result.write_mean_ms = write_lat.MeanMs();
+        result.write_p99_ms = write_lat.PercentileMs(99);
+    }
     return result;
 }
 

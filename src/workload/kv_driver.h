@@ -8,13 +8,16 @@
 #define SDF_WORKLOAD_KV_DRIVER_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "kv/slice.h"
+#include "kv/store.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace sdf::workload {
 
@@ -76,6 +79,68 @@ KvRunResult RunKvWrites(sim::Simulator &sim, net::Network &net,
                         const std::vector<kv::Slice *> &slices,
                         uint32_t value_min, uint32_t value_max,
                         const KvRunConfig &run);
+
+/**
+ * A put/get frontend the generic drivers can target: a single Store, an
+ * R-way ReplicatedKv, or a whole cluster::ClusterRouter — the driver does
+ * not care where the keys live. `put` must ack durability; `get` must
+ * deliver the stored value size (res.found) or a typed failure (res.ok).
+ */
+struct KvService
+{
+    std::function<void(uint64_t key, uint32_t value_size,
+                       kv::PutCallback done)>
+        put;
+    std::function<void(uint64_t key, kv::GetCallback done)> get;
+};
+
+/** KvService over a local Store (no network). */
+KvService ServiceFor(kv::Store &store);
+
+/** Parameters for the closed-loop mixed read/write driver. */
+struct MixedRunConfig
+{
+    double read_fraction = 0.9;   ///< Probability an op is a read.
+    uint32_t actors = 8;          ///< Concurrent closed-loop clients.
+    uint32_t value_bytes = 64 * util::kKiB;
+    TimeNs duration = util::SecToNs(0.5);
+    uint64_t seed = 7;
+    /** Fresh-write keys are allocated upward from here (must not collide
+     *  with the preloaded population). */
+    uint64_t first_write_key = uint64_t{1} << 32;
+};
+
+/** Outcome of a mixed run. */
+struct MixedRunResult
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t read_errors = 0;   ///< res.ok == false (all replicas failed).
+    uint64_t read_misses = 0;   ///< res.ok but key not found.
+    uint64_t write_errors = 0;  ///< Put acked false (no durable copy).
+    uint64_t read_bytes = 0;
+    double ops_per_sec = 0;
+    double read_mbps = 0;   ///< Payload bytes delivered to clients.
+    double write_mbps = 0;  ///< Acked payload bytes written.
+    double read_mean_ms = 0;
+    double read_p99_ms = 0;
+    double write_mean_ms = 0;
+    double write_p99_ms = 0;
+    /** Keys whose Put was acknowledged — the audit set for fault runs. */
+    std::vector<uint64_t> acked_writes;
+};
+
+/**
+ * Closed-loop mixed read/write load against any KvService: @p actors
+ * clients each keep exactly one op in flight for cfg.duration. Reads pick
+ * uniformly from @p keys plus every key already written and acked by this
+ * run; writes allocate fresh keys upward from cfg.first_write_key.
+ * Deterministic for a given (service, keys, cfg). Drives the simulator
+ * internally and returns once all in-flight ops have drained.
+ */
+MixedRunResult RunMixedLoad(sim::Simulator &sim, const KvService &svc,
+                            const std::vector<uint64_t> &keys,
+                            const MixedRunConfig &cfg);
 
 }  // namespace sdf::workload
 

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the pluggable device interface and the sharded cluster:
+ * consistent-hash ring properties, the SSD block-device adapter behind
+ * the unified BlockLayer path, storage-node metric scoping, router
+ * sharding/replication, and degraded-mode durability of acked writes.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blocklayer/block_layer.h"
+#include "cluster/cluster.h"
+#include "cluster/hash_ring.h"
+#include "fault/fault.h"
+#include "obs/hub.h"
+#include "sdf/block_device.h"
+#include "sim/simulator.h"
+#include "ssd/conventional_ssd.h"
+#include "ssd/ssd_block_device.h"
+#include "testbed/testbed.h"
+#include "workload/kv_driver.h"
+
+namespace sdf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring
+// ---------------------------------------------------------------------------
+
+TEST(HashRing, DeterministicAcrossInstances)
+{
+    cluster::HashRing a(5, 64), b(5, 64);
+    for (uint64_t key = 0; key < 500; ++key) {
+        EXPECT_EQ(a.ReplicasFor(key, 3), b.ReplicasFor(key, 3)) << key;
+    }
+}
+
+TEST(HashRing, ReplicasAreDistinctAndInRange)
+{
+    cluster::HashRing ring(4, 64);
+    for (uint64_t key = 0; key < 1000; ++key) {
+        const auto reps = ring.ReplicasFor(key, 3);
+        ASSERT_EQ(reps.size(), 3u);
+        std::set<uint32_t> distinct(reps.begin(), reps.end());
+        EXPECT_EQ(distinct.size(), 3u) << "duplicate replica for " << key;
+        for (uint32_t n : reps) EXPECT_LT(n, 4u);
+    }
+}
+
+TEST(HashRing, PrimariesReasonablyBalanced)
+{
+    const uint32_t nodes = 4;
+    cluster::HashRing ring(nodes, 64);
+    std::vector<uint64_t> counts(nodes, 0);
+    const uint64_t keys = 8000;
+    for (uint64_t key = 0; key < keys; ++key) ++counts[ring.PrimaryOf(key)];
+    const double fair = static_cast<double>(keys) / nodes;
+    for (uint32_t n = 0; n < nodes; ++n) {
+        EXPECT_GT(counts[n], fair * 0.5) << "node " << n << " starved";
+        EXPECT_LT(counts[n], fair * 1.7) << "node " << n << " overloaded";
+    }
+}
+
+TEST(HashRing, AddingANodeMovesFewKeys)
+{
+    cluster::HashRing before(4, 64), after(5, 64);
+    uint64_t moved = 0;
+    const uint64_t keys = 4000;
+    for (uint64_t key = 0; key < keys; ++key) {
+        if (before.PrimaryOf(key) != after.PrimaryOf(key)) ++moved;
+    }
+    // The consistent-hashing property: ~1/(N+1) = 20 % expected; far
+    // below the ~80 % a mod-N scheme would reshuffle.
+    EXPECT_LT(static_cast<double>(moved) / keys, 0.4);
+    EXPECT_GT(moved, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The SSD block-device adapter
+// ---------------------------------------------------------------------------
+
+struct AdapterFixture
+{
+    sim::Simulator sim;
+    std::unique_ptr<ssd::ConventionalSsd> drive;
+    std::unique_ptr<ssd::SsdBlockDevice> dev;
+
+    AdapterFixture()
+    {
+        ssd::ConventionalSsdConfig cfg = ssd::HuaweiGen3Config(0.02);
+        cfg.flash.timing = nand::FastTestTiming();
+        drive = std::make_unique<ssd::ConventionalSsd>(sim, cfg);
+        dev = std::make_unique<ssd::SsdBlockDevice>(sim, *drive);
+    }
+};
+
+TEST(SsdBlockDevice, CapsDescribeTheAdaptedDevice)
+{
+    AdapterFixture f;
+    const core::DeviceCaps &caps = f.dev->caps();
+    EXPECT_FALSE(caps.explicit_erase);  // Erase is synthesized via Trim.
+    EXPECT_GT(caps.channels, 0u);
+    EXPECT_GT(caps.units_per_channel, 0u);
+    EXPECT_EQ(caps.unit_bytes, 8 * util::kMiB);
+    EXPECT_EQ(caps.user_capacity, uint64_t{caps.channels} *
+                                      caps.units_per_channel *
+                                      caps.unit_bytes);
+    EXPECT_LE(caps.user_capacity, f.drive->user_capacity());
+    // The interface accessors read the same descriptor.
+    EXPECT_EQ(f.dev->channel_count(), caps.channels);
+    EXPECT_EQ(f.dev->unit_bytes(), caps.unit_bytes);
+}
+
+TEST(SsdBlockDevice, EnforcesEraseBeforeWriteContract)
+{
+    AdapterFixture f;
+    core::IoStatus write_status;
+    f.dev->WriteUnit(0, 0, [&](core::IoStatus s) { write_status = s; });
+    f.sim.Run();
+    EXPECT_FALSE(write_status.ok());
+    EXPECT_EQ(write_status.error, core::IoError::kContractViolation);
+
+    // Erase -> write -> read round-trips through the flat SSD space.
+    bool erased = false, written = false, read_ok = false;
+    f.dev->EraseUnit(0, 0, [&](core::IoStatus s) { erased = s.ok(); });
+    f.sim.Run();
+    ASSERT_TRUE(erased);
+    EXPECT_EQ(f.dev->unit_state(0, 0), core::UnitState::kErased);
+    f.dev->WriteUnit(0, 0, [&](core::IoStatus s) { written = s.ok(); });
+    f.sim.Run();
+    ASSERT_TRUE(written);
+    EXPECT_EQ(f.dev->unit_state(0, 0), core::UnitState::kWritten);
+    f.dev->Read(0, 0, 64 * util::kKiB, f.dev->read_unit_bytes(),
+                [&](core::IoStatus s) { read_ok = s.ok(); });
+    f.sim.Run();
+    EXPECT_TRUE(read_ok);
+    EXPECT_GT(f.dev->synthetic_erases(), 0u);
+}
+
+TEST(SsdBlockDevice, RejectsMisalignedReads)
+{
+    AdapterFixture f;
+    core::IoStatus status;
+    f.dev->Read(0, 0, 1234 /* misaligned */, f.dev->read_unit_bytes(),
+                [&](core::IoStatus s) { status = s; });
+    f.sim.Run();
+    EXPECT_EQ(status.error, core::IoError::kContractViolation);
+}
+
+TEST(BlockLayer, RunsUnchangedOnTheAdapter)
+{
+    AdapterFixture f;
+    blocklayer::BlockLayer layer(f.sim, *f.dev,
+                                 blocklayer::BlockLayerConfig{});
+    // The block layer only sees core::BlockDevice; puts/gets/deletes must
+    // behave exactly as on SDF.
+    std::set<uint64_t> stored;
+    for (uint64_t id = 0; id < 12; ++id) {
+        layer.Put(id, [&stored, id](bool ok) {
+            if (ok) stored.insert(id);
+        });
+    }
+    f.sim.Run();
+    EXPECT_EQ(stored.size(), 12u);
+    int reads_ok = 0;
+    for (uint64_t id : stored) {
+        layer.Get(id, 0, f.dev->read_unit_bytes(),
+                  [&reads_ok](bool ok) { reads_ok += ok; });
+    }
+    f.sim.Run();
+    EXPECT_EQ(reads_ok, 12);
+    EXPECT_TRUE(layer.Delete(3));
+    EXPECT_FALSE(layer.Exists(3));
+}
+
+// ---------------------------------------------------------------------------
+// One code path over both backends
+// ---------------------------------------------------------------------------
+
+TEST(Testbed, SameKvWorkloadRunsOnEitherBackend)
+{
+    // The same closed-loop put/get sequence against the *same* stack
+    // shape (device -> BlockLayer -> BlockPatchStorage -> Store), only
+    // the backend differs.
+    for (const bool on_ssd : {false, true}) {
+        sim::Simulator sim;
+        testbed::KvStackConfig kc;
+        kc.stack.backend = on_ssd ? testbed::Backend::kHuaweiGen3
+                                  : testbed::Backend::kBaiduSdf;
+        kc.stack.ssd_through_block_layer = true;
+        kc.stack.capacity_scale = 0.02;
+        kc.stack.with_io_stack = false;
+        kc.store.slice_count = 2;
+        testbed::KvStack stack = testbed::BuildKvStack(sim, kc);
+        ASSERT_NE(stack.storage.device(), nullptr);
+        EXPECT_EQ(stack.storage.device()->caps().explicit_erase, !on_ssd);
+
+        const workload::KvService svc = workload::ServiceFor(*stack.store);
+        int acked = 0, found = 0;
+        for (uint64_t key = 1; key <= 40; ++key) {
+            svc.put(key, 32 * util::kKiB, [&](bool ok) { acked += ok; });
+        }
+        sim.Run();
+        for (uint32_t s = 0; s < stack.store->slice_count(); ++s) {
+            stack.store->slice(s).Flush();
+        }
+        sim.Run();
+        for (uint64_t key = 1; key <= 40; ++key) {
+            svc.get(key, [&](const kv::GetResult &r) {
+                found += r.ok && r.found;
+            });
+        }
+        sim.Run();
+        EXPECT_EQ(acked, 40) << (on_ssd ? "ssd" : "sdf");
+        EXPECT_EQ(found, 40) << (on_ssd ? "ssd" : "sdf");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+cluster::ClusterConfig
+SmallCluster(uint32_t nodes, uint32_t replication)
+{
+    cluster::ClusterConfig cc;
+    cc.nodes = nodes;
+    cc.replication = replication;
+    cc.node.kv.stack.capacity_scale = 0.02;
+    cc.node.kv.stack.with_io_stack = false;
+    cc.node.kv.store.slice_count = 2;
+    cc.node.kv.stack.tune_sdf = [](core::SdfConfig &dc) {
+        dc.flash.timing = nand::FastTestTiming();
+    };
+    return cc;
+}
+
+TEST(Cluster, PutGetSpreadsAcrossNodes)
+{
+    sim::Simulator sim;
+    cluster::Cluster cl(sim, SmallCluster(3, 2));
+    int acked = 0;
+    const uint64_t keys = 60;
+    for (uint64_t key = 1; key <= keys; ++key) {
+        cl.router().Put(key, 16 * util::kKiB, [&](bool ok) { acked += ok; });
+    }
+    sim.Run();
+    EXPECT_EQ(acked, static_cast<int>(keys));
+    int found = 0;
+    for (uint64_t key = 1; key <= keys; ++key) {
+        cl.router().Get(key, [&](const kv::GetResult &r) {
+            found += r.ok && r.found;
+        });
+    }
+    sim.Run();
+    EXPECT_EQ(found, static_cast<int>(keys));
+    // Sharding actually used every node, over the real RPC path.
+    for (uint32_t n = 0; n < cl.node_count(); ++n) {
+        EXPECT_GT(cl.router().node_puts(n), 0u) << "node " << n;
+        EXPECT_GT(cl.node(n).net().messages(), 0u) << "node " << n;
+    }
+    EXPECT_EQ(cl.router().stats().put_failures, 0u);
+}
+
+TEST(Cluster, MissesAreAuthoritativeOnlyWhenAllReplicasAgree)
+{
+    sim::Simulator sim;
+    cluster::Cluster cl(sim, SmallCluster(3, 2));
+    kv::GetResult res;
+    cl.router().Get(0xdeadbeef, [&](const kv::GetResult &r) { res = r; });
+    sim.Run();
+    EXPECT_TRUE(res.ok);
+    EXPECT_FALSE(res.found);
+    EXPECT_EQ(cl.router().stats().failed_reads, 0u);
+}
+
+TEST(Cluster, NodeMetricsAreScopedPerNode)
+{
+    obs::Hub hub;
+    sim::Simulator sim;
+    sim.set_hub(&hub);
+    cluster::Cluster cl(sim, SmallCluster(2, 2));
+    const auto snap = hub.metrics().Take();
+    bool node0 = false, node1 = false, clusterwide = false;
+    for (const auto &[name, value] : snap.counters) {
+        node0 |= name.rfind("node0.", 0) == 0;
+        node1 |= name.rfind("node1.", 0) == 0;
+        clusterwide |= name.rfind("cluster.", 0) == 0;
+    }
+    EXPECT_TRUE(node0);
+    EXPECT_TRUE(node1);
+    EXPECT_TRUE(clusterwide);
+    // Nothing from one node leaked into the other's namespace: both
+    // nodes registered the same component set.
+    size_t n0 = 0, n1 = 0;
+    for (const auto &[name, value] : snap.counters) {
+        n0 += name.rfind("node0.", 0) == 0;
+        n1 += name.rfind("node1.", 0) == 0;
+    }
+    EXPECT_EQ(n0, n1);
+}
+
+TEST(Cluster, SameSeedRunsExportByteIdenticalStats)
+{
+    auto run_once = []() {
+        obs::Hub hub;
+        sim::Simulator sim;
+        sim.set_hub(&hub);
+        cluster::Cluster cl(sim, SmallCluster(3, 2));
+        std::vector<uint64_t> keys;
+        for (uint64_t k = 1; k <= 30; ++k) {
+            keys.push_back(k);
+            cl.router().Put(k, 16 * util::kKiB, [](bool) {});
+        }
+        sim.Run();
+        cl.FlushAll();
+        sim.Run();
+        workload::MixedRunConfig mc;
+        mc.actors = 4;
+        mc.value_bytes = 16 * util::kKiB;
+        mc.duration = util::MsToNs(120);
+        mc.seed = 99;
+        const workload::KvService svc = cl.Service();
+        workload::RunMixedLoad(sim, svc, keys, mc);
+        return obs::StatsJson(hub, {{"run", "cluster"}}, {});
+    };
+    const std::string a = run_once();
+    const std::string b = run_once();
+    EXPECT_GT(a.size(), 100u);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Cluster, NodeDeathLosesNoAcknowledgedWrites)
+{
+    sim::Simulator sim;
+    cluster::Cluster cl(sim, SmallCluster(3, 2));
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 1; k <= 30; ++k) {
+        keys.push_back(k);
+        cl.router().Put(k, 16 * util::kKiB, [](bool) {});
+    }
+    sim.Run();
+    cl.FlushAll();
+    sim.Run();
+
+    // Kill every channel of node 0's device shortly into the window.
+    std::vector<fault::FaultEvent> events;
+    for (uint32_t ch = 0; ch < cl.node(0).sdf_device()->channel_count();
+         ++ch) {
+        fault::FaultEvent e;
+        e.when = sim.Now() + util::MsToNs(40);
+        e.kind = fault::FaultKind::kChannelDeath;
+        e.device = 0;
+        e.channel = ch;
+        events.push_back(e);
+    }
+    fault::FaultInjector injector(sim, cl.SdfDevices(),
+                                  fault::FaultPlan(std::move(events)));
+
+    workload::MixedRunConfig mc;
+    mc.read_fraction = 0.5;
+    mc.actors = 4;
+    mc.value_bytes = 16 * util::kKiB;
+    mc.duration = util::MsToNs(150);
+    const workload::KvService svc = cl.Service();
+    const auto r = workload::RunMixedLoad(sim, svc, keys, mc);
+    ASSERT_EQ(injector.stats().deaths,
+              cl.node(0).sdf_device()->channel_count());
+    ASSERT_GT(r.acked_writes.size(), 0u);
+
+    // Every acknowledged write must still be readable (closed-loop audit
+    // so RPC queues don't overflow the timeout).
+    uint64_t lost = 0, audited = 0;
+    size_t next = 0;
+    std::function<void()> audit = [&]() {
+        if (next >= r.acked_writes.size()) return;
+        cl.router().Get(r.acked_writes[next++],
+                        [&](const kv::GetResult &res) {
+                            ++audited;
+                            if (!res.ok || !res.found) ++lost;
+                            audit();
+                        });
+    };
+    for (int s = 0; s < 4; ++s) audit();
+    sim.Run();
+    EXPECT_EQ(audited, r.acked_writes.size());
+    EXPECT_EQ(lost, 0u);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -18,12 +18,14 @@
 #include <set>
 
 #include "blocklayer/block_layer.h"
+#include "cluster/cluster.h"
 #include "ftl/striping.h"
 #include "kv/patch_storage.h"
 #include "kv/slice.h"
 #include "sdf/sdf_device.h"
 #include "sim/simulator.h"
 #include "ssd/conventional_ssd.h"
+#include "ssd/ssd_block_device.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 
@@ -34,36 +36,54 @@ namespace {
 // KV slice vs golden map
 // ---------------------------------------------------------------------------
 
+/** Which storage backend hosts the slice under test. */
+enum SliceBackend
+{
+    kOnSdf = 0,        ///< SdfDevice -> BlockLayer -> BlockPatchStorage.
+    kOnSsdExtents,     ///< ConventionalSsd -> legacy flat SsdPatchStorage.
+    kOnSsdAdapter,     ///< ConventionalSsd -> SsdBlockDevice -> BlockLayer
+                       ///< -> BlockPatchStorage (the unified path).
+};
+
 class SliceGoldenTest
     : public ::testing::TestWithParam<std::tuple<
           uint32_t /*trigger*/, uint32_t /*levels*/, uint64_t /*seed*/,
-          bool /*on_conventional_ssd*/>>
+          int /*SliceBackend*/>>
 {
 };
 
 TEST_P(SliceGoldenTest, RandomOpsMatchReferenceMap)
 {
-    const auto [trigger, levels, seed, on_ssd] = GetParam();
+    const auto [trigger, levels, seed, backend] = GetParam();
 
     sim::Simulator sim;
-    // The same LSM logic must hold over both storage backends.
+    // The same LSM logic must hold over every storage backend.
     std::unique_ptr<core::SdfDevice> sdf_device;
-    std::unique_ptr<blocklayer::BlockLayer> layer;
     std::unique_ptr<ssd::ConventionalSsd> ssd_device;
+    std::unique_ptr<ssd::SsdBlockDevice> adapter;
+    std::unique_ptr<blocklayer::BlockLayer> layer;
     std::unique_ptr<kv::PatchStorage> storage;
-    if (on_ssd) {
+    if (backend == kOnSsdExtents) {
         ssd::ConventionalSsdConfig scfg = ssd::HuaweiGen3Config(0.02);
         scfg.flash.timing = nand::FastTestTiming();
         ssd_device = std::make_unique<ssd::ConventionalSsd>(sim, scfg);
         storage = std::make_unique<kv::SsdPatchStorage>(*ssd_device,
                                                         8 * util::kMiB);
+    } else if (backend == kOnSsdAdapter) {
+        ssd::ConventionalSsdConfig scfg = ssd::HuaweiGen3Config(0.02);
+        scfg.flash.timing = nand::FastTestTiming();
+        ssd_device = std::make_unique<ssd::ConventionalSsd>(sim, scfg);
+        adapter = std::make_unique<ssd::SsdBlockDevice>(sim, *ssd_device);
+        layer = std::make_unique<blocklayer::BlockLayer>(
+            sim, *adapter, blocklayer::BlockLayerConfig{});
+        storage = std::make_unique<kv::BlockPatchStorage>(*layer);
     } else {
         core::SdfConfig dev_cfg = core::BaiduSdfConfig(0.02);
         dev_cfg.flash.timing = nand::FastTestTiming();
         sdf_device = std::make_unique<core::SdfDevice>(sim, dev_cfg);
         layer = std::make_unique<blocklayer::BlockLayer>(
             sim, *sdf_device, blocklayer::BlockLayerConfig{});
-        storage = std::make_unique<kv::SdfPatchStorage>(*layer);
+        storage = std::make_unique<kv::BlockPatchStorage>(*layer);
     }
     kv::IdAllocator ids;
     kv::SliceConfig cfg;
@@ -127,14 +147,17 @@ TEST_P(SliceGoldenTest, RandomOpsMatchReferenceMap)
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, SliceGoldenTest,
-    ::testing::Values(std::tuple{2u, 2u, 1ull, false},
-                      std::tuple{3u, 3u, 2ull, false},
-                      std::tuple{4u, 4u, 3ull, false},
-                      std::tuple{2u, 4u, 4ull, false},
-                      std::tuple{6u, 2u, 5ull, false},
-                      std::tuple{2u, 2u, 6ull, true},
-                      std::tuple{3u, 3u, 7ull, true},
-                      std::tuple{6u, 2u, 8ull, true}));
+    ::testing::Values(std::tuple{2u, 2u, 1ull, kOnSdf},
+                      std::tuple{3u, 3u, 2ull, kOnSdf},
+                      std::tuple{4u, 4u, 3ull, kOnSdf},
+                      std::tuple{2u, 4u, 4ull, kOnSdf},
+                      std::tuple{6u, 2u, 5ull, kOnSdf},
+                      std::tuple{2u, 2u, 6ull, kOnSsdExtents},
+                      std::tuple{3u, 3u, 7ull, kOnSsdExtents},
+                      std::tuple{6u, 2u, 8ull, kOnSsdExtents},
+                      std::tuple{2u, 2u, 6ull, kOnSsdAdapter},
+                      std::tuple{3u, 3u, 7ull, kOnSsdAdapter},
+                      std::tuple{6u, 2u, 8ull, kOnSsdAdapter}));
 
 // ---------------------------------------------------------------------------
 // Block layer vs golden id set
@@ -423,6 +446,75 @@ INSTANTIATE_TEST_SUITE_P(Grid, StripingBijectionTest,
                                            std::pair{10u, 4096u},
                                            std::pair{44u, 8192u},
                                            std::pair{44u, 2097152u}));
+
+// ---------------------------------------------------------------------------
+// Cluster router vs golden map: per-key ordering survives sharding
+// ---------------------------------------------------------------------------
+
+class ClusterOrderingTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ClusterOrderingTest, PerKeyPutGetOrderPreservedAcrossRouter)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig cc;
+    cc.nodes = 3;
+    cc.replication = 2;
+    cc.node.kv.stack.capacity_scale = 0.02;
+    cc.node.kv.stack.with_io_stack = false;
+    cc.node.kv.store.slice_count = 2;
+    cc.node.kv.stack.tune_sdf = [](core::SdfConfig &dc) {
+        dc.flash.timing = nand::FastTestTiming();
+    };
+    cluster::Cluster cl(sim, cc);
+
+    // Per-key chains of overwrites: chain step i+1 for a key issues only
+    // after step i acked, but chains for different keys run concurrently,
+    // landing on different nodes. The router must never let a key's later
+    // acked put be shadowed by an earlier one.
+    const uint64_t kKeys = 24;
+    const int kChain = 5;
+    util::Rng rng(GetParam());
+    std::vector<uint32_t> golden(kKeys, 0);  // last acked size per key
+    std::vector<std::vector<uint32_t>> sizes(kKeys);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+        for (int i = 0; i < kChain; ++i) {
+            sizes[k].push_back(static_cast<uint32_t>(
+                4 * util::kKiB + rng.NextBelow(60 * util::kKiB)));
+        }
+    }
+    std::function<void(uint64_t, int)> step = [&](uint64_t k, int i) {
+        if (i == kChain) return;
+        const uint32_t size = sizes[k][i];
+        cl.router().Put(100 + k, size, [&, k, i, size](bool ok) {
+            ASSERT_TRUE(ok) << "put failed for key " << k << " step " << i;
+            golden[k] = size;
+            step(k, i + 1);
+        });
+    };
+    for (uint64_t k = 0; k < kKeys; ++k) step(k, 0);
+    sim.Run();
+
+    uint64_t checked = 0;
+    for (uint64_t k = 0; k < kKeys; ++k) {
+        cl.router().Get(100 + k, [&, k](const kv::GetResult &r) {
+            ++checked;
+            ASSERT_TRUE(r.ok) << "read failed for key " << k;
+            ASSERT_TRUE(r.found) << "lost key " << k;
+            EXPECT_EQ(r.value_size, golden[k]) << "stale value for key " << k;
+        });
+    }
+    sim.Run();
+    EXPECT_EQ(checked, kKeys);
+    // The chains really did spread over every node.
+    for (uint32_t n = 0; n < cl.node_count(); ++n) {
+        EXPECT_GT(cl.router().node_puts(n), 0u) << "node " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterOrderingTest,
+                         ::testing::Values(51ull, 52ull, 53ull));
 
 }  // namespace
 }  // namespace sdf
