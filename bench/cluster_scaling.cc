@@ -14,6 +14,12 @@
  * replicas (and read-repair restores redundancy), and *every acknowledged
  * write must still be readable* — the process exits nonzero if any acked
  * key is lost.
+ *
+ * Phase C — recovery: a 4-node R=2 cluster rolls node 1 (process stop at
+ * 150 ms, restart + recovery scan + rebalance at 300 ms) under a mixed
+ * load, then loses node 3 for good and heals with one anti-entropy pass.
+ * The audit reads back every key the cluster ever acknowledged and the
+ * pass must leave zero keys under-replicated — nonzero exit otherwise.
  */
 #include <cstdio>
 #include <memory>
@@ -22,6 +28,7 @@
 
 #include "bench_common.h"
 #include "cluster/cluster.h"
+#include "cluster/rebalancer.h"
 #include "fault/fault.h"
 #include "util/assert.h"
 #include "util/table_printer.h"
@@ -183,6 +190,105 @@ RunDegraded(bench::ObsCli &obs)
     return 0;
 }
 
+int
+RunRecovery(bench::ObsCli &obs)
+{
+    std::printf("-- phase C: rolling restart + anti-entropy (4 nodes, "
+                "R=2) --\n");
+    sim::Simulator sim;
+    bench::BindObs(sim);
+    cluster::Cluster cl(sim, MakeConfig(4, 2));
+    const auto keys = Preload(sim, cl, kPreloadKeys);
+
+    // Roll node 1 in the middle of the load window: process stop at
+    // 150 ms, restart (recovery scan + rebalance pass) at 300 ms.
+    const util::TimeNs t0 = sim.Now();
+    sim.ScheduleAt(t0 + util::MsToNs(150), [&cl]() { cl.StopNode(1); });
+    bool rebalanced = false;
+    sim.ScheduleAt(t0 + util::MsToNs(300), [&cl, &rebalanced]() {
+        cl.RestartNode(1, [&rebalanced]() { rebalanced = true; });
+    });
+
+    workload::MixedRunConfig mc;
+    mc.read_fraction = 0.7;  // Write-heavier: exercises acked-write safety.
+    mc.value_bytes = kValueBytes;
+    mc.duration = util::SecToNs(0.5);
+    const workload::KvService svc = cl.Service();
+    const auto r = workload::RunMixedLoad(sim, svc, keys, mc);
+    sim.Run();
+    SDF_CHECK_MSG(rebalanced, "restart rebalance never completed");
+    const auto &rec = cl.node(1).recovery();
+
+    // Permanent loss: node 3's process dies for good. One anti-entropy
+    // pass must restore full R-way redundancy from the survivors.
+    cl.StopNode(3);
+    const uint64_t degraded = cl.rebalancer().CountUnderReplicated();
+    bool healed = false;
+    cl.anti_entropy().Run([&healed]() { healed = true; });
+    sim.Run();
+    SDF_CHECK_MSG(healed, "anti-entropy pass never completed");
+    const cluster::Rebalancer::Stats &rb = cl.rebalancer().stats();
+    const uint64_t under = cl.rebalancer().CountUnderReplicated();
+
+    // Audit everything the cluster ever acknowledged — the preload plus
+    // every acked mixed-load write — through the 3 surviving nodes.
+    std::vector<uint64_t> audit_keys = keys;
+    audit_keys.insert(audit_keys.end(), r.acked_writes.begin(),
+                      r.acked_writes.end());
+    uint64_t lost = 0, audited = 0;
+    size_t next = 0;
+    std::function<void()> audit_step = [&]() {
+        if (next >= audit_keys.size()) return;
+        const uint64_t key = audit_keys[next++];
+        cl.router().Get(key, [&](const kv::GetResult &res) {
+            ++audited;
+            if (!res.ok || !res.found) ++lost;
+            audit_step();
+        });
+    };
+    for (uint32_t s = 0; s < 8; ++s) audit_step();
+    sim.Run();
+
+    std::printf("during-restart load: %.0f ops/s, read %.1f MB/s, "
+                "write %.1f MB/s, read p99 %.2f ms\n",
+                r.ops_per_sec, r.read_mbps, r.write_mbps, r.read_p99_ms);
+    std::printf("node 1 recovery: %llu patches (%.1f MiB) scanned, %llu WAL "
+                "records, %.2f ms to serving\n",
+                static_cast<unsigned long long>(rec.patches_scanned),
+                static_cast<double>(rec.bytes_scanned) / (1 << 20),
+                static_cast<unsigned long long>(rec.wal_records_replayed),
+                static_cast<double>(rec.last_recovery_ns) / 1e6);
+    std::printf("anti-entropy after losing node 3: %llu keys degraded, "
+                "%llu moves (%.1f MiB) in %.2f ms, %llu still "
+                "under-replicated\n",
+                static_cast<unsigned long long>(degraded),
+                static_cast<unsigned long long>(rb.keys_moved),
+                static_cast<double>(rb.bytes_moved) / (1 << 20),
+                static_cast<double>(rb.last_pass_ns) / 1e6,
+                static_cast<unsigned long long>(under));
+    std::printf("audit: %llu acked keys, %llu lost\n\n",
+                static_cast<unsigned long long>(audited),
+                static_cast<unsigned long long>(lost));
+    obs.AddDerived("recovery.node1_recovery_ms",
+                   static_cast<double>(rec.last_recovery_ns) / 1e6);
+    obs.AddDerived("recovery.during_restart_ops_per_sec", r.ops_per_sec);
+    obs.AddDerived("recovery.anti_entropy_ms",
+                   static_cast<double>(rb.last_pass_ns) / 1e6);
+    obs.AddDerived("recovery.keys_moved",
+                   static_cast<double>(rb.keys_moved));
+    obs.AddDerived("recovery.under_replicated", static_cast<double>(under));
+    obs.AddDerived("recovery.lost", static_cast<double>(lost));
+    if (lost != 0 || under != 0) {
+        std::printf("FAIL: %llu keys lost, %llu under-replicated\n",
+                    static_cast<unsigned long long>(lost),
+                    static_cast<unsigned long long>(under));
+        return 1;
+    }
+    std::printf("PASS: restart + anti-entropy preserved every acked key at "
+                "full redundancy\n");
+    return 0;
+}
+
 }  // namespace
 }  // namespace sdf
 
@@ -195,6 +301,7 @@ main(int argc, char **argv)
                               "deployment model of §2.4/§5");
     int rc = sdf::RunScaling(obs);
     rc |= sdf::RunDegraded(obs);
+    rc |= sdf::RunRecovery(obs);
     obs.AddMeta("experiment", "cluster_scaling");
     if (const int orc = obs.Export(); orc != 0) return orc;
     return rc;

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate the machine-readable perf snapshot (BENCH_pr4.json by default)
+# Regenerate the machine-readable perf snapshot (BENCH_pr5.json by default)
 # from a fixed set of sdfsim runs with --stats-json. Every run is on the
 # simulated clock with a fixed seed, so the snapshot is deterministic and
 # diffs meaningfully across PRs: counters, per-stage latency means, and
@@ -9,7 +9,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 
 cmake -B build -S . > /dev/null
 cmake --build build -j --target sdfsim > /dev/null
@@ -31,6 +31,8 @@ run sdf_write_unit   --device=sdf --workload=write    --duration=0.5
 run conv_randread_8k --device=huawei --workload=randread --request=8k --duration=0.5
 run conv_write_8m    --device=huawei --workload=write --request=8m --duration=0.5
 run cluster_3n_r2    --workload=cluster --nodes=3 --replication=2 --duration=0.5
+run cluster_restart  --workload=cluster --nodes=4 --replication=2 --duration=0.5 --restart-node=1
+run cluster_rebal    --workload=cluster --nodes=4 --replication=2 --duration=0.5 --kill-node=0 --rebalance
 
 python3 - "$out" "$tmp" <<'EOF'
 import json

@@ -42,6 +42,15 @@ python3 tools/validate_stats.py "$obs_tmp/c1.json"
 ./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
     --duration=0.3 --kill-node=0 > /dev/null
 
+echo "== recovery smoke =="
+# Permanent node loss + anti-entropy: nonzero exit on lost acks or any
+# key left under-replicated after the pass.
+./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+    --duration=0.3 --kill-node=0 --rebalance > /dev/null
+# Rolling restart: stop at T/3, recover + rebalance at 2T/3.
+./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+    --duration=0.3 --restart-node=1 > /dev/null
+
 echo "== warnings-as-errors build =="
 cmake -B build-werror -S . -DSDF_WERROR=ON > /dev/null
 cmake --build build-werror -j
@@ -51,5 +60,11 @@ echo "== sanitizer build (ASan+UBSan) =="
 cmake -B build-asan -S . -DSDF_SANITIZE=ON > /dev/null
 cmake --build build-asan -j
 (cd build-asan && ctest --output-on-failure -j "$@")
+# The recovery paths (restart scan, rebalance streaming, zombie-store
+# detach) under the sanitizers as well.
+./build-asan/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+    --duration=0.3 --kill-node=0 --rebalance > /dev/null
+./build-asan/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+    --duration=0.3 --restart-node=1 > /dev/null
 
 echo "All checks passed."

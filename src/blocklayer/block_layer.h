@@ -14,6 +14,7 @@
 #ifndef SDF_BLOCKLAYER_BLOCK_LAYER_H
 #define SDF_BLOCKLAYER_BLOCK_LAYER_H
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -120,6 +121,17 @@ class BlockLayer
 
     /** True if @p id is stored. */
     bool Exists(uint64_t id) const { return id_map_.count(id) != 0; }
+
+    /** IDs of every stored block, ascending (recovery scans). */
+    std::vector<uint64_t>
+    StoredIds() const
+    {
+        std::vector<uint64_t> ids;
+        ids.reserve(id_map_.size());
+        for (const auto &[id, loc] : id_map_) ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
+        return ids;
+    }
 
     /**
      * Instantly install block @p id as already written (simulation

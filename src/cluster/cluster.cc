@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cluster/rebalancer.h"
 #include "obs/hub.h"
 #include "obs/metrics.h"
 #include "util/assert.h"
@@ -20,7 +21,7 @@ constexpr uint64_t kNackBytes = 16;
 
 StorageNode::StorageNode(sim::Simulator &sim, uint32_t id,
                          const NodeConfig &cfg)
-    : sim_(sim), id_(id), clients_(cfg.clients)
+    : sim_(sim), id_(id), clients_(cfg.clients), store_cfg_(cfg.kv.store)
 {
     SDF_CHECK(clients_ > 0);
     // Everything built inside this scope — the network endpoint, the
@@ -30,7 +31,141 @@ StorageNode::StorageNode(sim::Simulator &sim, uint32_t id,
     obs::MetricsScope scope(hub != nullptr ? &hub->metrics() : nullptr,
                             "node" + std::to_string(id));
     net_ = std::make_unique<net::Network>(sim, cfg.net, clients_);
-    stack_ = testbed::BuildKvStack(sim, cfg.kv);
+    stack_ = testbed::BuildKvStack(sim, cfg.kv, &journal_);
+
+    if (hub != nullptr) {
+        obs::MetricsRegistry &m = hub->metrics();
+        metric_prefix_ = m.UniquePrefix("recovery");
+        hub_ = hub;
+        m.RegisterCounter(metric_prefix_ + ".restarts", &recovery_.restarts);
+        m.RegisterCounter(metric_prefix_ + ".patches_scanned",
+                          &recovery_.patches_scanned);
+        m.RegisterCounter(metric_prefix_ + ".bytes_scanned",
+                          &recovery_.bytes_scanned);
+        m.RegisterCounter(metric_prefix_ + ".wal_records_replayed",
+                          &recovery_.wal_records_replayed);
+        m.RegisterGauge(metric_prefix_ + ".last_recovery_ms", [this]() {
+            return static_cast<double>(recovery_.last_recovery_ns) / 1e6;
+        });
+        m.RegisterGauge(metric_prefix_ + ".running", [this]() {
+            return running_ ? 1.0 : 0.0;
+        });
+    }
+}
+
+StorageNode::~StorageNode()
+{
+    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
+}
+
+void
+StorageNode::Stop()
+{
+    SDF_CHECK_MSG(running_, "node already stopped");
+    running_ = false;
+    stack_.store->Detach();
+    retired_.push_back(std::move(stack_.store));
+}
+
+void
+StorageNode::Restart(sim::Callback done)
+{
+    SDF_CHECK_MSG(!running_, "node is still running");
+    SDF_CHECK_MSG(stack_.store == nullptr, "restart already in progress");
+    ++recovery_.restarts;
+    const util::TimeNs t0 = sim_.Now();
+    recovery_.wal_records_replayed += journal_.TotalWalRecords();
+    // Patches to scan: snapshot before the store replays the WAL (replay
+    // can flush new patches, which need no scan — they were just written).
+    std::vector<uint64_t> scan;
+    for (const kv::SliceJournal &sj : journal_.slices) {
+        for (const auto &[pid, footer] : sj.patches) scan.push_back(pid);
+    }
+    {
+        obs::Hub *hub = sim_.hub();
+        obs::MetricsScope scope(hub != nullptr ? &hub->metrics() : nullptr,
+                                "node" + std::to_string(id_));
+        stack_.store = std::make_unique<kv::Store>(
+            sim_, *stack_.storage.storage, store_cfg_, &journal_);
+    }
+    // The recovery scan: one full read of every recovered patch (footer +
+    // entry table) at internal priority. Only after the last read lands
+    // does the node serve again.
+    auto finish = [this, t0, done = std::move(done)]() {
+        recovery_.last_recovery_ns = sim_.Now() - t0;
+        running_ = true;
+        if (done) done();
+    };
+    if (scan.empty()) {
+        sim_.Schedule(0, std::move(finish));
+        return;
+    }
+    auto remaining = std::make_shared<size_t>(scan.size());
+    auto shared_finish =
+        std::make_shared<sim::Callback>(std::move(finish));
+    for (uint64_t pid : scan) {
+        ++recovery_.patches_scanned;
+        recovery_.bytes_scanned += stack_.storage.storage->patch_bytes();
+        stack_.storage.storage->GetRange(
+            pid, 0, stack_.storage.storage->patch_bytes(),
+            [remaining, shared_finish](core::IoStatus) {
+                if (--*remaining == 0) (*shared_finish)();
+            },
+            nullptr, blocklayer::kInternalPriority);
+    }
+}
+
+void
+StorageNode::CollectLive(std::map<uint64_t, uint32_t> &out) const
+{
+    if (!running_ || stack_.store == nullptr) return;
+    stack_.store->CollectLive(out);
+}
+
+void
+StorageNode::StreamIn(uint64_t key, uint32_t value_size,
+                      kv::PutCallback done,
+                      std::shared_ptr<std::vector<uint8_t>> payload)
+{
+    if (!running_) {
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(false);
+        });
+        return;
+    }
+    const uint32_t client = next_client_++ % clients_;
+    net_->Bulk(client, uint64_t{value_size} + kRpcHeaderBytes,
+               [this, key, value_size, done = std::move(done),
+                payload = std::move(payload)]() mutable {
+                   if (!running_) {
+                       if (done) done(false);
+                       return;
+                   }
+                   store().Put(key, value_size, std::move(done),
+                               std::move(payload));
+               });
+}
+
+void
+StorageNode::StreamOut(uint64_t key, kv::GetCallback done)
+{
+    if (!running_) {
+        sim_.Schedule(0, [done = std::move(done)]() {
+            kv::GetResult dead;
+            dead.ok = false;
+            done(dead);
+        });
+        return;
+    }
+    store().Get(key, [this, done = std::move(done)](const kv::GetResult &r) {
+        if (!running_) {
+            kv::GetResult dead;
+            dead.ok = false;
+            done(dead);
+            return;
+        }
+        done(r);
+    });
 }
 
 kv::ReplicaEndpoint
@@ -44,15 +179,20 @@ StorageNode::Endpoint()
             client, uint64_t{value_size} + kRpcHeaderBytes,
             [this, key, value_size, payload](
                 std::function<void(uint64_t)> reply) {
+                // A stopped process doesn't answer: the request just dies
+                // and the client times out + fails over.
+                if (!running_) return;
                 // Re-puts from RPC retries are idempotent: the LSM just
                 // writes the same (key, size) again.
                 store().Put(
                     key, value_size,
-                    [reply = std::move(reply)](bool ok) {
+                    [this, reply = std::move(reply)](bool ok) {
                         // Only a durable put acks; a storage failure stays
                         // silent so the client times out and retries
-                        // (and the engine eventually fails over).
-                        if (ok) reply(kAckBytes);
+                        // (and the engine eventually fails over). The same
+                        // goes for an ack racing a Stop(): the process died
+                        // before replying.
+                        if (ok && running_) reply(kAckBytes);
                     },
                     std::move(payload));
             },
@@ -64,8 +204,10 @@ StorageNode::Endpoint()
         net_->RpcWithRetry(
             client, kRpcHeaderBytes,
             [this, key, res](std::function<void(uint64_t)> reply) {
-                store().Get(key, [res, reply = std::move(reply)](
+                if (!running_) return;
+                store().Get(key, [this, res, reply = std::move(reply)](
                                      const kv::GetResult &r) {
+                    if (!running_) return;
                     *res = r;
                     // Failures/misses reply fast (small nack) so the
                     // router fails over to the next replica immediately
@@ -91,6 +233,7 @@ StorageNode::Endpoint()
 void
 StorageNode::FlushAll()
 {
+    if (!running_) return;
     kv::Store &s = store();
     for (uint32_t i = 0; i < s.slice_count(); ++i) s.slice(i).Flush();
 }
@@ -109,6 +252,9 @@ ClusterRouter::ClusterRouter(sim::Simulator &sim,
 {
     SDF_CHECK_MSG(replication >= 1 && replication <= nodes.size(),
                   "replication must be in [1, nodes]");
+    // Placement moves whenever membership does; gets that straddle a
+    // membership change restart against the fresh replica set.
+    engine_.set_epoch_provider([this]() { return epoch_; });
     hub_ = sim.hub();
     if (hub_ != nullptr) {
         obs::MetricsRegistry &m = hub_->metrics();
@@ -126,11 +272,37 @@ ClusterRouter::ClusterRouter(sim::Simulator &sim,
                           &st.failed_reads);
         m.RegisterCounter(metric_prefix_ + ".re_replications",
                           &st.re_replications);
+        m.RegisterCounter(metric_prefix_ + ".epoch_restarts",
+                          &st.epoch_restarts);
+        m.RegisterCounter(metric_prefix_ + ".no_replica_rejects",
+                          &st.no_replica_rejects);
+        m.RegisterGauge(metric_prefix_ + ".epoch", [this]() {
+            return static_cast<double>(epoch_);
+        });
+        m.RegisterGauge(metric_prefix_ + ".live_nodes", [this]() {
+            return static_cast<double>(ring_.node_count());
+        });
         m.RegisterHistogram(metric_prefix_ + ".recovery_latency_ns",
                             [this]() {
                                 return &recovery_latencies().histogram();
                             });
     }
+}
+
+void
+ClusterRouter::MarkNodeDown(uint32_t id)
+{
+    SDF_CHECK_MSG(ring_.Contains(id), "node not in membership");
+    ring_.RemoveNode(id);
+    ++epoch_;
+}
+
+void
+ClusterRouter::MarkNodeUp(uint32_t id)
+{
+    SDF_CHECK_MSG(!ring_.Contains(id), "node already in membership");
+    ring_.AddNode(id);
+    ++epoch_;
 }
 
 ClusterRouter::~ClusterRouter()
@@ -187,6 +359,30 @@ Cluster::Cluster(sim::Simulator &sim, const ClusterConfig &cfg)
     for (auto &n : nodes_) ptrs.push_back(n.get());
     router_ = std::make_unique<ClusterRouter>(sim, ptrs, cfg.replication,
                                               cfg.vnodes_per_node);
+    RebalanceConfig rc;
+    rc.max_inflight = cfg.rebalance_max_inflight;
+    rebalancer_ = std::make_unique<Rebalancer>(sim, ptrs, *router_, rc);
+    anti_entropy_ = std::make_unique<AntiEntropy>(*rebalancer_);
+}
+
+Cluster::~Cluster() = default;
+
+void
+Cluster::StopNode(uint32_t id)
+{
+    SDF_CHECK(id < nodes_.size());
+    router_->MarkNodeDown(id);
+    nodes_[id]->Stop();
+}
+
+void
+Cluster::RestartNode(uint32_t id, sim::Callback done)
+{
+    SDF_CHECK(id < nodes_.size());
+    nodes_[id]->Restart([this, id, done = std::move(done)]() mutable {
+        router_->MarkNodeUp(id);
+        rebalancer_->RunPass(std::move(done));
+    });
 }
 
 void

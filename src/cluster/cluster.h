@@ -21,11 +21,13 @@
 #define SDF_CLUSTER_CLUSTER_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/hash_ring.h"
+#include "kv/recovery.h"
 #include "kv/replicated_store.h"
 #include "kv/store.h"
 #include "net/network.h"
@@ -34,6 +36,10 @@
 #include "workload/kv_driver.h"
 
 namespace sdf::cluster {
+
+class Rebalancer;
+class AntiEntropy;
+struct RebalanceConfig;
 
 /** How to build one storage node. */
 struct NodeConfig
@@ -50,11 +56,29 @@ struct NodeConfig
  * One storage server: a network endpoint in front of a full KV stack.
  * Requests enter as RPCs and are served by the node's Store; the node
  * never sees other nodes — placement is entirely the router's job.
+ *
+ * The node has a process lifecycle: Stop() models the serving process
+ * dying (in-flight work becomes zombie callbacks that can no longer
+ * touch durable state; clients time out and fail over), and Restart()
+ * rebuilds the store from the node's durable state — the WAL and the
+ * patch footers on its (simulated) device — via a recovery scan that
+ * charges real device reads before the node serves again.
  */
 class StorageNode
 {
   public:
+    /** Per-node restart/recovery statistics ("node<N>.recovery.*"). */
+    struct RecoveryStats
+    {
+        uint64_t restarts = 0;
+        uint64_t patches_scanned = 0;
+        uint64_t bytes_scanned = 0;
+        uint64_t wal_records_replayed = 0;
+        uint64_t last_recovery_ns = 0;
+    };
+
     StorageNode(sim::Simulator &sim, uint32_t id, const NodeConfig &cfg);
+    ~StorageNode();
 
     StorageNode(const StorageNode &) = delete;
     StorageNode &operator=(const StorageNode &) = delete;
@@ -66,6 +90,43 @@ class StorageNode
     /** The node's device behind the pluggable interface (never null). */
     core::BlockDevice *device() { return stack_.storage.device(); }
     core::SdfDevice *sdf_device() { return stack_.storage.sdf.get(); }
+
+    /** False between Stop() and the end of Restart()'s recovery scan. */
+    bool running() const { return running_; }
+
+    /**
+     * Kill the serving process. The store is detached (its in-flight
+     * flush/compaction callbacks become no-ops and may no longer delete
+     * patches or ack anything) and kept only as a zombie until the node
+     * is destroyed. RPC handlers stop replying, so clients see timeouts.
+     * The device, its contents, and the WAL mirror survive.
+     */
+    void Stop();
+
+    /**
+     * Bring the process back: rebuild the store from the journal (WAL +
+     * patch footers), reclaim orphan blocks, then run the recovery scan —
+     * one full read of every recovered patch at internal priority, the
+     * cost of rebuilding the DRAM index from the on-flash footers. @p done
+     * fires once the node is serving again (running() == true).
+     */
+    void Restart(sim::Callback done = nullptr);
+
+    const RecoveryStats &recovery() const { return recovery_; }
+
+    /** Live keys on this node (empty when stopped); see Store::CollectLive. */
+    void CollectLive(std::map<uint64_t, uint32_t> &out) const;
+
+    /**
+     * Rebalance/anti-entropy ingest path: ship one key into this node as
+     * a bulk transfer (NIC + dispatch cost, no per-item RPC round trip)
+     * and store it durably. @p done receives the put's durability ack.
+     */
+    void StreamIn(uint64_t key, uint32_t value_size, kv::PutCallback done,
+                  std::shared_ptr<std::vector<uint8_t>> payload = nullptr);
+
+    /** Rebalance egress: read one key from the local store. */
+    void StreamOut(uint64_t key, kv::GetCallback done);
 
     /**
      * How the replication engine reaches this node: put/get as RPCs with
@@ -85,8 +146,20 @@ class StorageNode
     uint32_t id_;
     uint32_t clients_;
     uint32_t next_client_ = 0;
+    bool running_ = true;
     std::unique_ptr<net::Network> net_;
     testbed::KvStack stack_;
+    /** Store construction recipe, reused by Restart(). */
+    kv::StoreConfig store_cfg_;
+    /** The node's durable mirror (WAL + patch footers); survives Stop(). */
+    kv::StoreJournal journal_;
+    /** Detached stores from previous incarnations (zombie callbacks may
+     *  still reference them until the simulation drains). */
+    std::vector<std::unique_ptr<kv::Store>> retired_;
+    RecoveryStats recovery_;
+
+    obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
+    std::string metric_prefix_;
 };
 
 /**
@@ -105,9 +178,32 @@ class ClusterRouter
     ClusterRouter(const ClusterRouter &) = delete;
     ClusterRouter &operator=(const ClusterRouter &) = delete;
 
+    /** Nodes currently in the membership (live nodes). */
     uint32_t node_count() const { return ring_.node_count(); }
+    /** All nodes this router can reach, live or not. */
+    uint32_t endpoint_count() const { return engine_.endpoint_count(); }
     uint32_t replication() const { return replication_; }
     const HashRing &ring() const { return ring_; }
+
+    /**
+     * Membership epoch: bumped on every MarkNodeDown/MarkNodeUp. The
+     * replication engine snapshots it per get and restarts against fresh
+     * placement when it moves mid-operation.
+     */
+    uint64_t epoch() const { return epoch_; }
+    bool node_live(uint32_t id) const { return ring_.Contains(id); }
+
+    /** Take @p id out of the membership (died or was stopped). */
+    void MarkNodeDown(uint32_t id);
+
+    /** Re-admit @p id (restarted and recovered). */
+    void MarkNodeUp(uint32_t id);
+
+    /** Current target replica set for @p key (clamped to live nodes). */
+    std::vector<uint32_t> ReplicaNodes(uint64_t key) const
+    {
+        return ring_.ReplicasFor(key, replication_);
+    }
 
     /** See ReplicationEngine::Put (ack == at least one durable copy). */
     void
@@ -142,6 +238,7 @@ class ClusterRouter
 
     HashRing ring_;
     uint32_t replication_;
+    uint64_t epoch_ = 0;
     std::vector<uint64_t> node_puts_;
     std::vector<uint64_t> node_gets_;
     kv::ReplicationEngine engine_;
@@ -155,15 +252,18 @@ struct ClusterConfig
     uint32_t nodes = 4;
     uint32_t replication = 2;
     uint32_t vnodes_per_node = 64;
+    /** Rebalance/anti-entropy streaming concurrency cap. */
+    uint32_t rebalance_max_inflight = 4;
     /** Template for every node (same hardware per Table 2). */
     NodeConfig node;
 };
 
-/** N storage nodes plus the router, built on one simulator. */
+/** N storage nodes plus router, rebalancer and anti-entropy pass. */
 class Cluster
 {
   public:
     Cluster(sim::Simulator &sim, const ClusterConfig &cfg);
+    ~Cluster();
 
     Cluster(const Cluster &) = delete;
     Cluster &operator=(const Cluster &) = delete;
@@ -174,7 +274,23 @@ class Cluster
     }
     StorageNode &node(uint32_t i) { return *nodes_[i]; }
     ClusterRouter &router() { return *router_; }
+    Rebalancer &rebalancer() { return *rebalancer_; }
+    AntiEntropy &anti_entropy() { return *anti_entropy_; }
     workload::KvService Service() { return router_->Service(); }
+
+    /**
+     * Stop node @p id's process and take it out of the membership. Keys
+     * it held stay under-replicated until a rebalance/anti-entropy pass
+     * (or its restart) heals them.
+     */
+    void StopNode(uint32_t id);
+
+    /**
+     * Restart node @p id, re-admit it once its recovery scan completes,
+     * and run a rebalance pass to stream back the keys whose ownership
+     * returned to it. @p done fires when the rebalance pass finished.
+     */
+    void RestartNode(uint32_t id, sim::Callback done = nullptr);
 
     void FlushAll();
 
@@ -185,6 +301,8 @@ class Cluster
   private:
     std::vector<std::unique_ptr<StorageNode>> nodes_;
     std::unique_ptr<ClusterRouter> router_;
+    std::unique_ptr<Rebalancer> rebalancer_;
+    std::unique_ptr<AntiEntropy> anti_entropy_;
 };
 
 }  // namespace sdf::cluster

@@ -39,6 +39,14 @@ class MemTable
     /** Newest in-memory version of @p key, or nullptr. */
     const KvItem *Lookup(uint64_t key) const;
 
+    /** Visit the newest version of every key (unspecified order). */
+    template <typename Fn>
+    void
+    ForEachNewest(Fn &&fn) const
+    {
+        for (const auto &[key, idx] : by_key_) fn(items_[idx]);
+    }
+
     /** Move out all items (unsorted) and reset. */
     std::vector<KvItem> TakeAll();
 

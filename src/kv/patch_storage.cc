@@ -1,5 +1,6 @@
 #include "kv/patch_storage.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.h"
@@ -114,6 +115,16 @@ SsdPatchStorage::GetRange(uint64_t id, uint64_t offset, uint64_t length,
                      device_.Read(base + offset, length, std::move(d), out);
                  },
                  std::move(done));
+}
+
+std::vector<uint64_t>
+SsdPatchStorage::StoredIds() const
+{
+    std::vector<uint64_t> ids;
+    ids.reserve(extent_of_.size());
+    for (const auto &[id, offset] : extent_of_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
 }
 
 void

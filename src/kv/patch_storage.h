@@ -58,6 +58,13 @@ class PatchStorage
     /** Drop patch @p id and reclaim its space. */
     virtual void DeletePatch(uint64_t id) = 0;
 
+    /**
+     * IDs of every stored patch, ascending. A restarting node reconciles
+     * this against its journal: stored patches no footer references were
+     * in flight at the stop and get reclaimed as orphans.
+     */
+    virtual std::vector<uint64_t> StoredIds() const = 0;
+
     /** Remaining capacity in patches. */
     virtual uint64_t FreePatchSlots() const = 0;
 
@@ -96,6 +103,11 @@ class BlockPatchStorage : public PatchStorage
                   int priority) override;
 
     void DeletePatch(uint64_t id) override { layer_.Delete(id); }
+
+    std::vector<uint64_t> StoredIds() const override
+    {
+        return layer_.StoredIds();
+    }
 
     uint64_t FreePatchSlots() const override { return layer_.FreeUnits(); }
 
@@ -137,6 +149,7 @@ class SsdPatchStorage : public PatchStorage
                   PatchCallback done, std::vector<uint8_t> *out,
                   int priority) override;
     void DeletePatch(uint64_t id) override;
+    std::vector<uint64_t> StoredIds() const override;
     uint64_t FreePatchSlots() const override { return free_extents_.size(); }
     bool DebugInstallPatch(uint64_t id) override;
 

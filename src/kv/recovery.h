@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The durable state a storage node can rebuild itself from.
+ *
+ * A CCDB node's persistent footprint is (a) the write-ahead log on a
+ * separate log device and (b) the immutable patches on flash, each of
+ * which carries a self-describing footer (entry table + sequence
+ * numbers). The simulator models both as a `StoreJournal`: a mirror of
+ * what the log device and the patch footers would contain at any instant.
+ * Restart hands the journal back to a fresh `Store`, which reinstalls the
+ * patch metadata, replays the WAL into the memtables, and reconciles the
+ * device against the journal (blocks not referenced by any footer were
+ * in flight at the crash and are reclaimed as orphans).
+ *
+ * The journal is bookkeeping, not timing: the device reads a real
+ * recovery would issue (one scan over every patch footer) are charged
+ * separately by the node's recovery scan before it rejoins the ring.
+ */
+#ifndef SDF_KV_RECOVERY_H
+#define SDF_KV_RECOVERY_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "kv/patch.h"
+
+namespace sdf::kv {
+
+/**
+ * One WAL record: an acknowledged put/delete whose item has not yet
+ * become durable inside a flushed patch.
+ */
+struct WalRecord
+{
+    uint64_t key = 0;
+    uint32_t value_size = 0;
+    bool tombstone = false;
+    /** Real payload, kept only in payload mode. */
+    std::shared_ptr<std::vector<uint8_t>> payload;
+};
+
+/** What a patch's on-flash footer describes: its entry table and level. */
+struct PatchFooter
+{
+    uint32_t level = 0;
+    std::shared_ptr<PatchMeta> meta;
+    /** Patch byte image, kept only in payload mode. */
+    std::shared_ptr<std::vector<uint8_t>> image;
+};
+
+/** Durable mirror of one slice: its WAL plus its patch footers. */
+struct SliceJournal
+{
+    /** Acked items not yet covered by a flushed patch, oldest first. */
+    std::deque<WalRecord> wal;
+    /** Patch id -> footer, for every live patch of this slice. */
+    std::map<uint64_t, PatchFooter> patches;
+};
+
+/** Durable state of a whole store; survives node stop/restart. */
+struct StoreJournal
+{
+    std::vector<SliceJournal> slices;
+    /**
+     * High-water mark of the external ID counter service (§2.4). Restart
+     * resumes allocation above every ID ever issued, so blocks written by
+     * I/O that was still in flight at the stop can never collide with the
+     * recovered allocator.
+     */
+    uint64_t next_patch_id = 0;
+
+    uint64_t
+    TotalWalRecords() const
+    {
+        uint64_t n = 0;
+        for (const SliceJournal &s : slices) n += s.wal.size();
+        return n;
+    }
+
+    uint64_t
+    TotalPatches() const
+    {
+        uint64_t n = 0;
+        for (const SliceJournal &s : slices) n += s.patches.size();
+        return n;
+    }
+};
+
+}  // namespace sdf::kv
+
+#endif  // SDF_KV_RECOVERY_H

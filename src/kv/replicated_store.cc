@@ -25,7 +25,15 @@ ReplicationEngine::Put(uint64_t key, uint32_t value_size, PutCallback done,
 {
     ++stats_.puts;
     const std::vector<uint32_t> order = selector_(key);
-    SDF_CHECK_MSG(!order.empty(), "selector returned no replicas");
+    if (order.empty()) {
+        // Every node that could hold the key is out of the membership.
+        ++stats_.no_replica_rejects;
+        ++stats_.put_failures;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(false);
+        });
+        return;
+    }
     const auto r = static_cast<uint32_t>(order.size());
     auto remaining = std::make_shared<uint32_t>(r);
     auto successes = std::make_shared<uint32_t>(0);
@@ -55,15 +63,23 @@ ReplicationEngine::Get(uint64_t key, GetCallback done)
     ++stats_.gets;
     auto order =
         std::make_shared<const std::vector<uint32_t>>(selector_(key));
-    SDF_CHECK_MSG(!order->empty(), "selector returned no replicas");
-    DoGet(key, std::move(done), std::move(order), 0, 0, false);
+    if (order->empty()) {
+        ++stats_.no_replica_rejects;
+        ++stats_.failed_reads;
+        sim_.Schedule(0, [done = std::move(done)]() {
+            if (done) done(GetResult{false, false, 0, nullptr});
+        });
+        return;
+    }
+    DoGet(key, std::move(done), std::move(order), 0, 0, false,
+          CurrentEpoch());
 }
 
 void
 ReplicationEngine::DoGet(uint64_t key, GetCallback done,
                          std::shared_ptr<const std::vector<uint32_t>> order,
                          uint32_t attempt, util::TimeNs first_fail,
-                         bool saw_failure)
+                         bool saw_failure, uint64_t epoch)
 {
     if (attempt == order->size()) {
         // Exhausted. All clean misses -> an authoritative miss; any
@@ -79,15 +95,33 @@ ReplicationEngine::DoGet(uint64_t key, GetCallback done,
     SDF_CHECK(replica < endpoints_.size());
     endpoints_[replica].get(
         key, [this, key, done = std::move(done), order, attempt, first_fail,
-              saw_failure](const GetResult &res) mutable {
+              saw_failure, epoch](const GetResult &res) mutable {
             if (!res.ok || !res.found) {
+                const util::TimeNs t0 =
+                    attempt == 0 ? sim_.Now() : first_fail;
+                // Membership moved while we were waiting (a node died or
+                // rejoined): the replica list is stale — restart against
+                // fresh placement. Bounded by the number of epoch bumps.
+                if (const uint64_t now_epoch = CurrentEpoch();
+                    now_epoch != epoch) {
+                    ++stats_.epoch_restarts;
+                    auto fresh = std::make_shared<
+                        const std::vector<uint32_t>>(selector_(key));
+                    if (fresh->empty()) {
+                        ++stats_.no_replica_rejects;
+                        ++stats_.failed_reads;
+                        if (done) done(GetResult{false, false, 0, nullptr});
+                        return;
+                    }
+                    DoGet(key, std::move(done), std::move(fresh), 0, t0,
+                          saw_failure || !res.ok, now_epoch);
+                    return;
+                }
                 // Storage failure — or a miss on this replica, which may
                 // just have lost the put that a later replica acked
                 // (degraded-mode write). Either way, ask the next one.
-                const util::TimeNs t0 =
-                    attempt == 0 ? sim_.Now() : first_fail;
                 DoGet(key, std::move(done), std::move(order), attempt + 1,
-                      t0, saw_failure || !res.ok);
+                      t0, saw_failure || !res.ok, epoch);
                 return;
             }
             if (attempt > 0) {

@@ -54,6 +54,10 @@ struct ReplicatedKvStats
     uint64_t failed_reads = 0;          ///< Every replica errored.
     uint64_t re_replications = 0;       ///< Read-repair puts issued.
     uint64_t re_replication_failures = 0;
+    /** Gets restarted with fresh placement after a membership change. */
+    uint64_t epoch_restarts = 0;
+    /** Ops rejected because the selector had no replicas (all nodes down). */
+    uint64_t no_replica_rejects = 0;
 };
 
 /**
@@ -84,6 +88,19 @@ class ReplicationEngine
     ReplicationEngine(sim::Simulator &sim,
                       std::vector<ReplicaEndpoint> endpoints,
                       Selector selector);
+
+    /**
+     * Install a membership-epoch source (cluster use). A Get snapshots
+     * the epoch up front; when a replica attempt fails and the epoch has
+     * moved meanwhile — the ring changed under the op — the get restarts
+     * against fresh placement instead of walking a stale replica list.
+     * Without a provider, placement is assumed static.
+     */
+    void
+    set_epoch_provider(std::function<uint64_t()> provider)
+    {
+        epoch_provider_ = std::move(provider);
+    }
 
     ReplicationEngine(const ReplicationEngine &) = delete;
     ReplicationEngine &operator=(const ReplicationEngine &) = delete;
@@ -125,13 +142,19 @@ class ReplicationEngine
   private:
     void DoGet(uint64_t key, GetCallback done,
                std::shared_ptr<const std::vector<uint32_t>> order,
-               uint32_t attempt, util::TimeNs first_fail, bool saw_failure);
+               uint32_t attempt, util::TimeNs first_fail, bool saw_failure,
+               uint64_t epoch);
     void Repair(uint64_t key, const GetResult &good,
                 const std::vector<uint32_t> &order, uint32_t failed_count);
+    uint64_t CurrentEpoch() const
+    {
+        return epoch_provider_ ? epoch_provider_() : 0;
+    }
 
     sim::Simulator &sim_;
     std::vector<ReplicaEndpoint> endpoints_;
     Selector selector_;
+    std::function<uint64_t()> epoch_provider_;
     ReplicatedKvStats stats_;
     util::LatencyRecorder recovery_latencies_;
 };

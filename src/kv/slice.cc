@@ -10,11 +10,12 @@
 namespace sdf::kv {
 
 Slice::Slice(sim::Simulator &sim, PatchStorage &storage, IdAllocator &ids,
-             const SliceConfig &config)
+             const SliceConfig &config, SliceJournal *journal)
     : sim_(sim),
       storage_(storage),
       ids_(ids),
       config_(config),
+      journal_(journal),
       mem_(storage.patch_bytes())
 {
     SDF_CHECK(config_.compaction_trigger >= 2);
@@ -45,6 +46,77 @@ Slice::Slice(sim::Simulator &sim, PatchStorage &storage, IdAllocator &ids,
         m.RegisterCounter(metric_prefix_ + ".get_retries",
                           &stats_.get_retries);
     }
+
+    if (journal_ &&
+        (!journal_->patches.empty() || !journal_->wal.empty())) {
+        RecoverFromJournal();
+    }
+}
+
+void
+Slice::RecoverFromJournal()
+{
+    // Patch footers first: reinstall every level's runs and rebuild the
+    // DRAM index. Ascending patch id reproduces install order; the
+    // per-entry sequence numbers make UpdateIndex order-insensitive
+    // anyway (newest seq wins).
+    uint64_t max_seq = 0;
+    for (const auto &[id, footer] : journal_->patches) {
+        SDF_CHECK_MSG(footer.meta != nullptr, "footer without metadata");
+        if (levels_.size() <= footer.level) levels_.resize(footer.level + 1);
+        levels_[footer.level].push_back(footer.meta);
+        if (footer.image) patch_images_[id] = footer.image;
+        for (const PatchEntry &e : footer.meta->entries())
+            max_seq = std::max(max_seq, e.seq);
+    }
+    for (const auto &[id, footer] : journal_->patches)
+        UpdateIndex(*footer.meta);
+    next_seq_ = max_seq + 1;
+
+    // WAL replay: re-perform every logged put, without acks (they were
+    // acked before the stop). Take the old log out first — replay goes
+    // through the normal put path, which re-appends each record and may
+    // trigger flushes exactly as the original puts did.
+    std::deque<WalRecord> wal = std::move(journal_->wal);
+    journal_->wal.clear();
+    for (WalRecord &w : wal) {
+        PutItem(KvItem{w.key, w.value_size, std::move(w.payload),
+                       w.tombstone},
+                nullptr);
+    }
+}
+
+void
+Slice::Detach()
+{
+    detached_ = true;
+    journal_ = nullptr;
+}
+
+void
+Slice::CollectLive(std::map<uint64_t, uint32_t> &out) const
+{
+    // Oldest layer first so newer versions overwrite: index (newest seq
+    // already won there), then the flushing memtable, then the live one.
+    for (const auto &[key, e] : index_) {
+        if (e.tombstone) continue;
+        out[key] = e.value_size;
+    }
+    for (const auto &[key, i] : imm_index_) {
+        const KvItem &item = imm_items_[i];
+        if (item.tombstone) {
+            out.erase(key);
+        } else {
+            out[key] = item.value_size;
+        }
+    }
+    mem_.ForEachNewest([&out](const KvItem &item) {
+        if (item.tombstone) {
+            out.erase(item.key);
+        } else {
+            out[item.key] = item.value_size;
+        }
+    });
 }
 
 Slice::~Slice()
@@ -122,6 +194,12 @@ Slice::PutItem(KvItem item, PutCallback done)
 void
 Slice::AddPut(KvItem item, PutCallback done)
 {
+    // The log append is what makes the ack durable: mirror the item into
+    // the WAL before acknowledging. Truncated once a flush covers it.
+    if (journal_) {
+        journal_->wal.push_back(WalRecord{item.key, item.value_size,
+                                          item.tombstone, item.payload});
+    }
     mem_.Add(std::move(item));
     // Acknowledge after the write-ahead log append (separate log device).
     sim_.Schedule(config_.log_latency, [done = std::move(done)]() {
@@ -151,6 +229,10 @@ Slice::DebugPreloadPatch(std::vector<KvItem> items)
         levels_.resize(config_.max_levels);
     levels_.back().push_back(meta);
     UpdateIndex(*meta);
+    if (journal_) {
+        journal_->patches[id] = PatchFooter{
+            static_cast<uint32_t>(levels_.size() - 1), meta, nullptr};
+    }
     return true;
 }
 
@@ -160,6 +242,11 @@ Slice::StartFlush()
     SDF_CHECK(!flush_active_);
     flush_active_ = true;
     ++stats_.flushes;
+
+    // Every WAL record so far describes an item now leaving the memtable
+    // (newer versions of the same key shadow older records, so the whole
+    // prefix is covered); truncate it when the patch lands.
+    wal_mark_ = journal_ ? journal_->wal.size() : 0;
 
     imm_items_ = mem_.TakeAll();
     imm_index_.clear();
@@ -188,12 +275,29 @@ Slice::StartFlush()
 void
 Slice::FinishFlush(bool ok, std::shared_ptr<PatchMeta> meta)
 {
+    if (detached_) {
+        flush_active_ = false;
+        return;
+    }
     if (ok) {
         levels_[0].push_back(meta);
         UpdateIndex(*meta);
+        if (journal_) {
+            journal_->patches[meta->id()] = PatchFooter{
+                0, meta,
+                config_.store_payloads ? patch_images_[meta->id()] : nullptr};
+            SDF_CHECK(journal_->wal.size() >= wal_mark_);
+            journal_->wal.erase(
+                journal_->wal.begin(),
+                journal_->wal.begin() + static_cast<long>(wal_mark_));
+        }
     } else {
         patch_images_.erase(meta->id());
+        // Failed flush: the WAL keeps the covered records, so a restart
+        // still recovers the items even though they were dropped from
+        // memory here.
     }
+    wal_mark_ = 0;
     imm_items_.clear();
     imm_index_.clear();
     flush_active_ = false;
@@ -346,6 +450,7 @@ Slice::MaybeStartCompaction()
 void
 Slice::CompactionReadNext()
 {
+    if (detached_) return;
     while (compaction_io_inflight_ < config_.compaction_io_concurrency &&
            compaction_read_next_ < compaction_inputs_.size()) {
         const size_t i = compaction_read_next_++;
@@ -373,6 +478,7 @@ Slice::CompactionReadNext()
 void
 Slice::CompactionMergeAndWrite()
 {
+    if (detached_) return;
     std::vector<const PatchMeta *> inputs;
     inputs.reserve(compaction_inputs_.size());
     uint64_t total_bytes = 0;
@@ -439,6 +545,10 @@ Slice::CompactionMergeAndWrite()
 void
 Slice::CompactionWriteNext()
 {
+    // A detached slice must not issue new writes: the IDs it would use
+    // were never recorded, and its successor store has already reconciled
+    // the device.
+    if (detached_) return;
     if (compaction_write_next_ == compaction_outputs_.size() &&
         compaction_io_inflight_ == 0) {
         FinishCompaction();
@@ -465,6 +575,9 @@ Slice::CompactionWriteNext()
 void
 Slice::FinishCompaction()
 {
+    // A zombie compaction (process stopped mid-merge) must not delete its
+    // input patches: the recovered store still indexes them.
+    if (detached_) return;
     // Detach the inputs from their level (new flushes may have appended
     // more runs meanwhile; remove exactly the snapshot).
     auto &level = levels_[compaction_level_];
@@ -495,6 +608,21 @@ Slice::FinishCompaction()
                 }
             }
         }
+    }
+    if (journal_) {
+        // Record the outputs before dropping the inputs: if both are
+        // momentarily present the index's sequence numbers dedup them,
+        // whereas the reverse order could lose coverage.
+        for (size_t i = 0; i < compaction_outputs_.size(); ++i) {
+            const auto &out = compaction_outputs_[i];
+            journal_->patches[out->id()] =
+                PatchFooter{compaction_level_ + 1, out,
+                            config_.store_payloads
+                                ? patch_images_[out->id()]
+                                : nullptr};
+        }
+        for (const auto &input : compaction_inputs_)
+            journal_->patches.erase(input->id());
     }
     for (const auto &input : compaction_inputs_) {
         storage_.DeletePatch(input->id());

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <memory>
 #include <unordered_map>
@@ -23,6 +24,7 @@
 #include "kv/memtable.h"
 #include "kv/patch.h"
 #include "kv/patch_storage.h"
+#include "kv/recovery.h"
 #include "kv/types.h"
 #include "sim/simulator.h"
 
@@ -72,8 +74,13 @@ struct SliceStats
 class Slice
 {
   public:
+    /**
+     * @param journal Optional durable mirror (WAL + patch footers). When
+     *     it already holds state, the slice rebuilds its levels, index,
+     *     and memtable from it before serving — the restart path.
+     */
     Slice(sim::Simulator &sim, PatchStorage &storage, IdAllocator &ids,
-          const SliceConfig &config);
+          const SliceConfig &config, SliceJournal *journal = nullptr);
     ~Slice();
 
     Slice(const Slice &) = delete;
@@ -116,6 +123,21 @@ class Slice
      */
     bool DebugPreloadPatch(std::vector<KvItem> items);
 
+    /**
+     * Sever this slice from its journal and storage: the owning process
+     * has stopped. In-flight flush/compaction callbacks become no-ops —
+     * in particular a zombie compaction may no longer delete patches a
+     * recovered successor store now indexes.
+     */
+    void Detach();
+
+    /**
+     * Merge this slice's live keys (newest version wins, tombstones
+     * excluded) into @p out as key -> value_size. Drives rebalancing and
+     * anti-entropy; metadata-only, so it charges no device reads.
+     */
+    void CollectLive(std::map<uint64_t, uint32_t> &out) const;
+
     /** Size of the patches this slice writes (the 8 MB unit). */
     uint64_t patch_bytes() const { return storage_.patch_bytes(); }
 
@@ -143,6 +165,7 @@ class Slice
 
     void AddPut(KvItem item, PutCallback done);
     void PutItem(KvItem item, PutCallback done);
+    void RecoverFromJournal();
     void StartFlush();
     void FinishFlush(bool ok, std::shared_ptr<PatchMeta> meta);
     void MaybeStartCompaction();
@@ -157,6 +180,10 @@ class Slice
     PatchStorage &storage_;
     IdAllocator &ids_;
     SliceConfig config_;
+    SliceJournal *journal_ = nullptr;
+    /** WAL records covered by the in-flight flush (truncated on success). */
+    size_t wal_mark_ = 0;
+    bool detached_ = false;
 
     MemTable mem_;
     std::vector<KvItem> imm_items_;            ///< Items being flushed.

@@ -1,6 +1,7 @@
 #include "kv/store.h"
 
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "util/assert.h"
@@ -8,13 +9,31 @@
 namespace sdf::kv {
 
 Store::Store(sim::Simulator &sim, PatchStorage &storage,
-             const StoreConfig &config)
+             const StoreConfig &config, StoreJournal *journal)
+    : ids_(journal ? journal->next_patch_id : 0)
 {
     SDF_CHECK(config.slice_count > 0);
+    if (journal) {
+        if (journal->slices.empty()) journal->slices.resize(config.slice_count);
+        SDF_CHECK_MSG(journal->slices.size() == config.slice_count,
+                      "journal slice count mismatch");
+        ids_.BindWatermark(&journal->next_patch_id);
+        // Reconcile the device against the journal: stored patches no
+        // footer references were in flight at the stop — reclaim them
+        // before the slices rebuild.
+        std::set<uint64_t> known;
+        for (const SliceJournal &sj : journal->slices) {
+            for (const auto &[id, footer] : sj.patches) known.insert(id);
+        }
+        for (uint64_t id : storage.StoredIds()) {
+            if (!known.count(id)) storage.DeletePatch(id);
+        }
+    }
     slices_.reserve(config.slice_count);
     for (uint32_t i = 0; i < config.slice_count; ++i) {
-        slices_.push_back(
-            std::make_unique<Slice>(sim, storage, ids_, config.slice));
+        slices_.push_back(std::make_unique<Slice>(
+            sim, storage, ids_, config.slice,
+            journal ? &journal->slices[i] : nullptr));
     }
 }
 

@@ -31,8 +31,15 @@ struct StoreConfig
 class Store
 {
   public:
+    /**
+     * @param journal Optional durable mirror shared with any predecessor
+     *     incarnation of this store. When it holds state, construction is
+     *     a restart: the ID allocator resumes above its high-water mark,
+     *     on-device patches no footer references are reclaimed as
+     *     orphans, and each slice rebuilds itself from its journal.
+     */
     Store(sim::Simulator &sim, PatchStorage &storage,
-          const StoreConfig &config);
+          const StoreConfig &config, StoreJournal *journal = nullptr);
 
     Store(const Store &) = delete;
     Store &operator=(const Store &) = delete;
@@ -65,6 +72,20 @@ class Store
 
     /** Aggregate statistics over all slices. */
     SliceStats TotalStats() const;
+
+    /** Sever all slices from journal and storage (the process stopped). */
+    void
+    Detach()
+    {
+        for (auto &s : slices_) s->Detach();
+    }
+
+    /** All live keys (key -> value_size) across the slices. */
+    void
+    CollectLive(std::map<uint64_t, uint32_t> &out) const
+    {
+        for (const auto &s : slices_) s->CollectLive(out);
+    }
 
   private:
     std::vector<std::unique_ptr<Slice>> slices_;

@@ -10,6 +10,7 @@
 #ifndef SDF_KV_TYPES_H
 #define SDF_KV_TYPES_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -66,11 +67,30 @@ class IdAllocator
   public:
     explicit IdAllocator(uint64_t first = 0) : next_(first) {}
 
-    uint64_t Next() { return next_++; }
+    /**
+     * Mirror every allocation into @p watermark. Models the counter
+     * service's durable high-water mark: a restarted node resumes above
+     * every ID ever issued, including ones whose writes never completed.
+     */
+    void
+    BindWatermark(uint64_t *watermark)
+    {
+        watermark_ = watermark;
+        if (watermark_) *watermark_ = std::max(*watermark_, next_);
+    }
+
+    uint64_t
+    Next()
+    {
+        const uint64_t id = next_++;
+        if (watermark_) *watermark_ = next_;
+        return id;
+    }
     uint64_t issued() const { return next_; }
 
   private:
     uint64_t next_;
+    uint64_t *watermark_ = nullptr;
 };
 
 }  // namespace sdf::kv

@@ -35,6 +35,9 @@ Network::Network(sim::Simulator &sim, const NetworkSpec &spec,
                           &rpc_stats_.failures);
         m.RegisterCounter(metric_prefix_ + ".rpc_late_responses",
                           &rpc_stats_.late_responses);
+        m.RegisterCounter(metric_prefix_ + ".bulk_messages",
+                          &bulk_messages_);
+        m.RegisterCounter(metric_prefix_ + ".bulk_bytes", &bulk_bytes_);
         m.RegisterGauge(metric_prefix_ + ".server_cpu_utilization", [this]() {
             return server_cpu_.Utilization(sim_.Now());
         });
@@ -81,6 +84,28 @@ Network::Push(uint32_t client, uint64_t bytes, sim::Callback delivered)
             util::TransferTimeNs(bytes, spec_.client_nic_bytes_per_sec);
         client_nics_[client]->SubmitAfter(srv_done + spec_.one_way_delay,
                                           cli_wire, std::move(delivered));
+    });
+}
+
+void
+Network::Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server)
+{
+    SDF_CHECK(client < client_nics_.size());
+    ++bulk_messages_;
+    bulk_bytes_ += bytes;
+    const TimeNs cli_wire =
+        util::TransferTimeNs(bytes, spec_.client_nic_bytes_per_sec);
+    client_nics_[client]->Submit(cli_wire, nullptr);
+    const TimeNs arrival = sim_.Now() + cli_wire + spec_.one_way_delay;
+    sim_.ScheduleAt(arrival, [this, bytes,
+                              at_server = std::move(at_server)]() mutable {
+        const TimeNs srv_wire =
+            util::TransferTimeNs(bytes, spec_.server_nic_bytes_per_sec);
+        server_nic_.Submit(srv_wire, [this, at_server = std::move(
+                                                at_server)]() mutable {
+            server_cpu_.Submit(spec_.server_per_message,
+                               std::move(at_server));
+        });
     });
 }
 

@@ -117,8 +117,18 @@ class Network
      *  worker and both NICs; @p delivered fires at the client. */
     void Push(uint32_t client, uint64_t bytes, sim::Callback delivered);
 
+    /**
+     * Bulk transfer into the server (rebalance/anti-entropy streaming):
+     * charges both NICs for the full payload and one CPU dispatch, but no
+     * per-item worker cost — the receiver ingests the stream in batches.
+     * @p at_server fires when the payload has fully arrived.
+     */
+    void Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server);
+
     uint64_t messages() const { return messages_; }
     uint64_t bytes_to_clients() const { return bytes_to_clients_; }
+    uint64_t bulk_messages() const { return bulk_messages_; }
+    uint64_t bulk_bytes() const { return bulk_bytes_; }
     const NetworkSpec &spec() const { return spec_; }
     const RpcStats &rpc_stats() const { return rpc_stats_; }
 
@@ -136,6 +146,8 @@ class Network
     sim::FifoResource server_cpu_;
     uint64_t messages_ = 0;
     uint64_t bytes_to_clients_ = 0;
+    uint64_t bulk_messages_ = 0;
+    uint64_t bulk_bytes_ = 0;
     RpcStats rpc_stats_;
 
     obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).

@@ -54,12 +54,13 @@ BuildStorageStack(sim::Simulator &sim, const StackConfig &cfg)
 }
 
 KvStack
-BuildKvStack(sim::Simulator &sim, const KvStackConfig &cfg)
+BuildKvStack(sim::Simulator &sim, const KvStackConfig &cfg,
+             kv::StoreJournal *journal)
 {
     KvStack out;
     out.storage = BuildStorageStack(sim, cfg.stack);
     out.store = std::make_unique<kv::Store>(sim, *out.storage.storage,
-                                            cfg.store);
+                                            cfg.store, journal);
     return out;
 }
 

@@ -113,7 +113,12 @@ struct KvStack
     std::unique_ptr<kv::Store> store;
 };
 
-KvStack BuildKvStack(sim::Simulator &sim, const KvStackConfig &cfg);
+/**
+ * @param journal Optional durable store mirror (see kv/recovery.h): pass
+ *     a node's journal so the store can be rebuilt from it on restart.
+ */
+KvStack BuildKvStack(sim::Simulator &sim, const KvStackConfig &cfg,
+                     kv::StoreJournal *journal = nullptr);
 
 /** A complete single-node CCDB deployment for one experiment run. */
 class KvTestbed

@@ -13,15 +13,18 @@
  *
  * Run with --help for the full flag list.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "cluster/cluster.h"
+#include "cluster/rebalancer.h"
 #include "fault_common.h"
 #include "util/table_printer.h"
 
@@ -66,6 +69,8 @@ struct Options
     uint32_t replication = 2;
     double read_fraction = 0.9;
     int64_t kill_node = -1;          // >=0: kill that node's device mid-run.
+    int64_t restart_node = -1;       // >=0: stop + restart that node mid-run.
+    bool rebalance = false;          // Heal placement after --kill-node.
 
     // Observability exports (--stats-json/--stats-csv/--trace).
     bench::ObsCli obs;
@@ -113,6 +118,10 @@ PrintHelp()
         "  --read-frac=<f>      mixed-load read fraction (default 0.9)\n"
         "  --kill-node=<id>     kill that node's device mid-run (degraded "
         "mode)\n"
+        "  --restart-node=<id>  stop that node's process at T/3 and restart\n"
+        "                       it at 2T/3 (recovery scan + rebalance)\n"
+        "  --rebalance          with --kill-node: declare the node dead and\n"
+        "                       run anti-entropy to restore redundancy\n"
         "  --keys=<n>           keys preloaded via the router (default 300)\n"
         "\n");
     std::puts(bench::ObsCli::HelpText());
@@ -208,6 +217,10 @@ ParseArgs(int argc, char **argv, Options &opt)
             opt.read_fraction = std::stod(val);
         } else if (key == "--kill-node") {
             opt.kill_node = std::stoll(val);
+        } else if (key == "--restart-node") {
+            opt.restart_node = std::stoll(val);
+        } else if (key == "--rebalance") {
+            opt.rebalance = true;
         } else if (!opt.obs.TryFlag(key, val)) {
             std::fprintf(stderr, "unknown flag: %s (try --help)\n",
                          key.c_str());
@@ -512,6 +525,52 @@ RunCluster(Options &opt)
             sim, devices, fault::FaultPlan(std::move(events)));
     }
 
+    // Optional process lifecycle events during the load window.
+    const util::TimeNs load_start = sim.Now();
+    if (opt.restart_node >= 0) {
+        const auto victim = static_cast<uint32_t>(opt.restart_node);
+        if (victim >= cl.node_count()) {
+            std::fprintf(stderr, "--restart-node=%u: no such node\n", victim);
+            return 1;
+        }
+        sim.ScheduleAt(load_start + util::SecToNs(opt.duration / 3),
+                       [&cl, &sim, victim]() {
+                           std::printf("t=%.1f ms: stopping node %u\n",
+                                       static_cast<double>(sim.Now()) / 1e6,
+                                       victim);
+                           cl.StopNode(victim);
+                       });
+        sim.ScheduleAt(load_start + util::SecToNs(2 * opt.duration / 3),
+                       [&cl, &sim, victim]() {
+                           cl.RestartNode(victim, [&cl, &sim, victim]() {
+                               std::printf(
+                                   "t=%.1f ms: node %u recovered "
+                                   "(%.2f ms) and rebalanced\n",
+                                   static_cast<double>(sim.Now()) / 1e6,
+                                   victim,
+                                   static_cast<double>(
+                                       cl.node(victim)
+                                           .recovery()
+                                           .last_recovery_ns) /
+                                       1e6);
+                           });
+                       });
+    }
+    if (opt.rebalance && opt.kill_node >= 0) {
+        // The device died at T/2; shortly after, declare the node gone
+        // for good and restore R-way redundancy from the survivors.
+        const auto victim = static_cast<uint32_t>(opt.kill_node);
+        sim.ScheduleAt(load_start + util::SecToNs(opt.duration * 0.6),
+                       [&cl, &sim, victim]() {
+                           std::printf("t=%.1f ms: node %u declared dead, "
+                                       "anti-entropy started\n",
+                                       static_cast<double>(sim.Now()) / 1e6,
+                                       victim);
+                           cl.router().MarkNodeDown(victim);
+                           cl.anti_entropy().Run();
+                       });
+    }
+
     workload::MixedRunConfig mc;
     mc.read_fraction = opt.read_fraction;
     mc.value_bytes = value_bytes;
@@ -548,28 +607,92 @@ RunCluster(Options &opt)
     }
     table.Print();
 
-    // With a node killed, audit every acknowledged write back through the
-    // router: replication must have preserved all of them.
+    // After any disruption, audit every key the cluster acknowledged —
+    // the preload plus every acked mixed-load write — back through the
+    // router: replication/recovery must have preserved all of them.
     uint64_t lost = 0;
-    if (opt.kill_node >= 0) {
+    if (opt.kill_node >= 0 || opt.restart_node >= 0) {
+        std::vector<uint64_t> audit_keys = keys;
+        audit_keys.insert(audit_keys.end(), r.acked_writes.begin(),
+                          r.acked_writes.end());
+        std::sort(audit_keys.begin(), audit_keys.end());
+        audit_keys.erase(
+            std::unique(audit_keys.begin(), audit_keys.end()),
+            audit_keys.end());
         // Closed-loop audit: flooding every key at once would overflow
         // the RPC timeout and report congestion as data loss.
         uint64_t audited = 0;
         size_t next = 0;
+        std::vector<uint64_t> lost_keys;
         std::function<void()> audit_step = [&]() {
-            if (next >= r.acked_writes.size()) return;
-            const uint64_t key = r.acked_writes[next++];
-            cl.router().Get(key, [&](const kv::GetResult &res) {
+            if (next >= audit_keys.size()) return;
+            const uint64_t key = audit_keys[next++];
+            cl.router().Get(key, [&, key](const kv::GetResult &res) {
                 ++audited;
-                if (!res.ok || !res.found) ++lost;
+                if (!res.ok || !res.found) {
+                    ++lost;
+                    if (lost_keys.size() < 10) lost_keys.push_back(key);
+                }
                 audit_step();
             });
         };
         for (uint32_t s = 0; s < 8; ++s) audit_step();
         sim.Run();
-        std::printf("degraded audit: %llu acked writes, %llu lost\n",
+        std::printf("consistency audit: %llu acked keys, %llu lost\n",
                     static_cast<unsigned long long>(audited),
                     static_cast<unsigned long long>(lost));
+        // The first few losses with their placement: which vnode owns the
+        // key and which nodes the ring currently maps it to.
+        for (uint64_t key : lost_keys) {
+            const auto [point, owner] = cl.router().ring().OwnerVnode(key);
+            std::string replicas;
+            for (uint32_t n : cl.router().ReplicaNodes(key)) {
+                if (!replicas.empty()) replicas += ",";
+                replicas += std::to_string(n);
+            }
+            std::fprintf(stderr,
+                         "lost key %llu: vnode 0x%016llx on node %u, "
+                         "replica set [%s]\n",
+                         static_cast<unsigned long long>(key),
+                         static_cast<unsigned long long>(point), owner,
+                         replicas.c_str());
+        }
+    }
+
+    uint64_t under_replicated = 0;
+    if (opt.restart_node >= 0 || (opt.rebalance && opt.kill_node >= 0)) {
+        const cluster::Rebalancer::Stats &rb = cl.rebalancer().stats();
+        under_replicated = cl.rebalancer().CountUnderReplicated();
+        std::printf("rebalance: %llu passes (%llu anti-entropy), %llu keys "
+                    "moved (%.1f MiB), %llu failures, %llu keys still "
+                    "under-replicated\n",
+                    static_cast<unsigned long long>(rb.passes),
+                    static_cast<unsigned long long>(rb.anti_entropy_passes),
+                    static_cast<unsigned long long>(rb.keys_moved),
+                    static_cast<double>(rb.bytes_moved) / (1 << 20),
+                    static_cast<unsigned long long>(rb.move_failures),
+                    static_cast<unsigned long long>(under_replicated));
+        opt.obs.AddDerived("result.rebalance_keys_moved",
+                           static_cast<double>(rb.keys_moved));
+        opt.obs.AddDerived("result.rebalance_bytes_moved",
+                           static_cast<double>(rb.bytes_moved));
+        opt.obs.AddDerived("result.under_replicated",
+                           static_cast<double>(under_replicated));
+    }
+    if (opt.restart_node >= 0) {
+        const auto &rec =
+            cl.node(static_cast<uint32_t>(opt.restart_node)).recovery();
+        std::printf("recovery: %llu patches scanned (%.1f MiB), %llu WAL "
+                    "records replayed, %.2f ms\n",
+                    static_cast<unsigned long long>(rec.patches_scanned),
+                    static_cast<double>(rec.bytes_scanned) / (1 << 20),
+                    static_cast<unsigned long long>(
+                        rec.wal_records_replayed),
+                    static_cast<double>(rec.last_recovery_ns) / 1e6);
+        opt.obs.AddDerived("result.recovery_ms",
+                           static_cast<double>(rec.last_recovery_ns) / 1e6);
+        opt.obs.AddDerived("result.recovery_patches_scanned",
+                           static_cast<double>(rec.patches_scanned));
     }
 
     AddCommonMeta(opt);
@@ -584,7 +707,7 @@ RunCluster(Options &opt)
     opt.obs.AddDerived("result.failed_reads",
                        static_cast<double>(rs.failed_reads));
     if (const int rc = opt.obs.Export(); rc != 0) return rc;
-    return lost == 0 ? 0 : 1;
+    return lost == 0 && under_replicated == 0 ? 0 : 1;
 }
 
 int
