@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Regenerate the machine-readable perf snapshot (BENCH_pr5.json by default)
+# Regenerate the machine-readable perf snapshot (BENCH_pr7.json by default)
 # from a fixed set of sdfsim runs with --stats-json. Every run is on the
 # simulated clock with a fixed seed, so the snapshot is deterministic and
 # diffs meaningfully across PRs: counters, per-stage latency means, and
-# derived throughput for the canonical workloads.
+# derived throughput for the canonical workloads, including the open-loop
+# overload runs (storm goodput, typed sheds, hedge/breaker accounting).
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr5.json}"
+out="${1:-BENCH_pr7.json}"
 
 cmake -B build -S . > /dev/null
 cmake --build build -j --target sdfsim > /dev/null
@@ -33,6 +34,8 @@ run conv_write_8m    --device=huawei --workload=write --request=8m --duration=0.
 run cluster_3n_r2    --workload=cluster --nodes=3 --replication=2 --duration=0.5
 run cluster_restart  --workload=cluster --nodes=4 --replication=2 --duration=0.5 --restart-node=1
 run cluster_rebal    --workload=cluster --nodes=4 --replication=2 --duration=0.5 --kill-node=0 --rebalance
+run overload_storm   --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=60000 --storm=2.0
+run overload_failslow --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=20000 --fail-slow-node=1 --fail-slow-factor=4
 
 python3 - "$out" "$tmp" <<'EOF'
 import json

@@ -3,8 +3,9 @@
 # build, a warnings-as-errors build (-DSDF_WERROR=ON), and an ASan+UBSan
 # build (-DSDF_SANITIZE=ON), each in its own build tree. Also smoke-tests
 # the observability exports (stats JSON invariants, trace well-formedness,
-# same-seed byte identity) via tools/validate_stats.py, and the cluster
-# workload (same-seed determinism + degraded-mode zero-loss).
+# same-seed byte identity) via tools/validate_stats.py, the cluster
+# workload (same-seed determinism + degraded-mode zero-loss), and the
+# open-loop overload workload (typed sheds, fail-slow hedging/breaker).
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -51,6 +52,21 @@ echo "== recovery smoke =="
 ./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
     --duration=0.3 --restart-node=1 > /dev/null
 
+echo "== overload smoke =="
+# Open-loop storm through the client front door: nonzero exit on any
+# lost acked write; storms, sheds and hedges stay seed-deterministic.
+./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
+    --duration=0.2 --arrival-rate=60000 --storm=2.0 \
+    --stats-json="$obs_tmp/o1.json" > /dev/null
+./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
+    --duration=0.2 --arrival-rate=60000 --storm=2.0 \
+    --stats-json="$obs_tmp/o2.json" > /dev/null
+cmp "$obs_tmp/o1.json" "$obs_tmp/o2.json"  # Same seed => byte-identical.
+python3 tools/validate_stats.py "$obs_tmp/o1.json"
+# One fail-slow node mid-run; hedged reads + breaker route around it.
+./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
+    --duration=0.2 --fail-slow-node=1 --fail-slow-factor=4 > /dev/null
+
 echo "== warnings-as-errors build =="
 cmake -B build-werror -S . -DSDF_WERROR=ON > /dev/null
 cmake --build build-werror -j
@@ -66,5 +82,11 @@ cmake --build build-asan -j
     --duration=0.3 --kill-node=0 --rebalance > /dev/null
 ./build-asan/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
     --duration=0.3 --restart-node=1 > /dev/null
+# The overload path (open-loop driver, client windows/batches/hedges,
+# admission sheds, fail-slow deferral) under the sanitizers as well.
+./build-asan/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
+    --duration=0.2 --arrival-rate=60000 --storm=2.0 > /dev/null
+./build-asan/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
+    --duration=0.2 --fail-slow-node=1 --no-breaker > /dev/null
 
 echo "All checks passed."

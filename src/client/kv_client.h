@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Async client front door for the sharded KV cluster.
+ *
+ * The paper's web-scale setting serves open-loop traffic: requests arrive
+ * when users click, not when the previous response returns. A client
+ * library facing that traffic needs three defenses the raw router lacks:
+ *
+ *  - a bounded outstanding-request window per destination node, with a
+ *    bounded submit queue behind it — when both fill, new work is shed
+ *    *at the client* with a typed kOverloaded, before it burns a NIC or
+ *    a server admission slot;
+ *  - request coalescing: queued reads headed for the same node ride one
+ *    batched RPC (StorageNode::BatchGet), amortizing per-message dispatch
+ *    cost exactly when pressure is highest — the queue only has depth
+ *    when the window is full;
+ *  - hedged reads: when a primary read exceeds an adaptive threshold
+ *    (the observed read-latency p99, floored), a second request fires at
+ *    the next replica and the first result wins. This converts one
+ *    fail-slow node's latency into a bounded detour instead of a tail.
+ *
+ * Every operation carries an absolute deadline (OpContext) that
+ * propagates through net::Network to the server, so overload turns into
+ * fast typed sheds rather than unbounded queueing.
+ */
+#ifndef SDF_CLIENT_KV_CLIENT_H
+#define SDF_CLIENT_KV_CLIENT_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/simulator.h"
+#include "util/latency_recorder.h"
+#include "util/units.h"
+#include "workload/kv_driver.h"
+
+namespace sdf::client {
+
+using util::TimeNs;
+
+/** Front-door policy knobs. */
+struct KvClientConfig
+{
+    /** Outstanding RPCs per destination node before submits queue. A
+     *  coalesced read batch counts once — it also occupies exactly one
+     *  server admission slot — so pressure makes batches, not stalls. */
+    uint32_t window_per_node = 64;
+    /** Queued ops per node behind a full window before submits are shed
+     *  client-side with kOverloaded. 0 = unbounded queue (no client shed). */
+    uint32_t queue_cap = 1024;
+    /** Max reads coalesced into one BatchGet RPC; 1 disables batching. */
+    uint32_t batch_max = 8;
+    /** Per-op deadline budget (absolute deadline = submit + this);
+     *  0 = none — the transport's timeout ladder still applies. */
+    TimeNs deadline = 0;
+    /** Fire a second replica read past the adaptive threshold. */
+    bool hedge_reads = true;
+    /** Latency quantile the hedge threshold adapts to. */
+    double hedge_quantile = 99.0;
+    /** Clamp the threshold to this multiple of the median read latency.
+     *  A fail-slow replica inflates the very p99 the threshold adapts to
+     *  (the slow reads ARE the tail), so unclamped it would chase the
+     *  latency it exists to cut; the median stays healthy as long as most
+     *  replicas are. 0 disables the clamp. */
+    double hedge_median_clamp = 3.0;
+    /** Threshold floor: never hedge earlier than this. */
+    TimeNs hedge_min = util::UsToNs(500);
+    /** Completed reads needed before hedging activates (threshold is
+     *  noise until the histogram has mass). */
+    uint64_t hedge_min_samples = 64;
+};
+
+/** Cumulative front-door counters ("client.*"). */
+struct ClientStats
+{
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t shed_queue_full = 0;  ///< Client-side typed kOverloaded.
+    uint64_t queued = 0;           ///< Submits that waited for a slot.
+    uint64_t batches = 0;          ///< Coalesced BatchGet RPCs issued.
+    uint64_t batched_gets = 0;     ///< Reads carried inside those RPCs.
+    uint64_t fallback_walks = 0;   ///< Primary read failed -> engine walk.
+    uint64_t ok = 0;               ///< Ops served (incl. clean misses' put acks).
+    uint64_t misses = 0;
+    uint64_t overloaded = 0;       ///< Typed kOverloaded outcomes.
+    uint64_t deadline_exceeded = 0;
+    uint64_t errors = 0;
+};
+
+/** Hedged-read accounting ("client.hedge.*"). */
+struct HedgeStats
+{
+    uint64_t launched = 0;   ///< Second requests actually sent.
+    uint64_t wins = 0;       ///< Hedge delivered the value first.
+    uint64_t losses = 0;     ///< Primary settled after the hedge fired.
+    uint64_t cancelled = 0;  ///< Timer cancelled — primary beat the threshold.
+};
+
+/**
+ * Asynchronous KV client over a ClusterRouter. Submit never blocks: it
+ * either dispatches, queues, or sheds (typed, via the callback, on the
+ * next simulator step). Single-simulator-threaded like everything else.
+ */
+class KvClient
+{
+  public:
+    using PutDone = kv::PutStatusCallback;
+    using GetDone = kv::GetCallback;
+
+    KvClient(sim::Simulator &sim, cluster::ClusterRouter &router,
+             const KvClientConfig &cfg = {});
+    ~KvClient();
+
+    KvClient(const KvClient &) = delete;
+    KvClient &operator=(const KvClient &) = delete;
+
+    /** Async write through replication; @p done gets the typed outcome. */
+    void Put(uint64_t key, uint32_t value_size, PutDone done);
+
+    /**
+     * Async read: primary replica first (coalesced when queued), hedged
+     * past the adaptive threshold, falling back to the engine's failover
+     * walk when the primary cannot serve.
+     */
+    void Get(uint64_t key, GetDone done);
+
+    /** The front door as a generic workload target. */
+    workload::KvService Service();
+
+    const ClientStats &stats() const { return stats_; }
+    const HedgeStats &hedge_stats() const { return hedge_; }
+    /** Completed-read latencies (feeds the hedge threshold). */
+    const util::LatencyRecorder &read_latencies() const { return read_lat_; }
+    /** Current hedge threshold, 0 while inactive. */
+    TimeNs HedgeThreshold() const;
+
+  private:
+    struct PendingOp
+    {
+        bool is_put = false;
+        uint64_t key = 0;
+        uint32_t value_size = 0;
+        PutDone put_done;
+        GetDone get_done;
+    };
+
+    /** One read in flight; shared by primary, hedge and fallback paths. */
+    struct GetOp
+    {
+        uint64_t key = 0;
+        uint32_t node = 0;       ///< Primary node (the hedge avoids it).
+        TimeNs t0 = 0;           ///< Dispatch time.
+        TimeNs deadline = 0;     ///< Absolute, 0 = none.
+        bool settled = false;
+        bool hedged = false;     ///< Hedge request actually launched.
+        sim::EventId hedge_timer = sim::kInvalidEvent;
+        GetDone done;
+    };
+
+    struct NodeQueue
+    {
+        uint32_t inflight = 0;
+        std::deque<PendingOp> pending;
+    };
+
+    void Submit(uint32_t node, PendingOp op);
+    void Pump(uint32_t node);
+    void ReleaseSlot(uint32_t node);
+    void DispatchPut(uint32_t node, PendingOp op);
+    void DispatchGets(uint32_t node, std::vector<PendingOp> ops);
+    void OnPrimaryResult(const std::shared_ptr<GetOp> &op,
+                         const kv::GetResult &res);
+    void LaunchHedge(const std::shared_ptr<GetOp> &op);
+    void Settle(const std::shared_ptr<GetOp> &op, const kv::GetResult &res,
+                bool from_hedge);
+    void CountOutcome(const kv::GetResult &res);
+    TimeNs DeadlineFromNow() const;
+
+    sim::Simulator &sim_;
+    cluster::ClusterRouter &router_;
+    KvClientConfig cfg_;
+    std::vector<NodeQueue> queues_;
+    ClientStats stats_;
+    HedgeStats hedge_;
+    util::LatencyRecorder read_lat_;
+
+    obs::Hub *hub_ = nullptr;
+    std::string metric_prefix_;
+};
+
+}  // namespace sdf::client
+
+#endif  // SDF_CLIENT_KV_CLIENT_H

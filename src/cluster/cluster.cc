@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "cluster/rebalancer.h"
@@ -17,11 +18,25 @@ constexpr uint64_t kRpcHeaderBytes = 64;
 constexpr uint64_t kAckBytes = 64;
 constexpr uint64_t kNackBytes = 16;
 
+/** Map a transport disposition onto the KV-level one. */
+kv::OpStatus
+CodeToStatus(net::RpcCode code)
+{
+    switch (code) {
+        case net::RpcCode::kOk: return kv::OpStatus::kOk;
+        case net::RpcCode::kOverloaded: return kv::OpStatus::kOverloaded;
+        case net::RpcCode::kDeadlineExceeded:
+            return kv::OpStatus::kDeadlineExceeded;
+    }
+    return kv::OpStatus::kError;
+}
+
 }  // namespace
 
 StorageNode::StorageNode(sim::Simulator &sim, uint32_t id,
                          const NodeConfig &cfg)
-    : sim_(sim), id_(id), clients_(cfg.clients), store_cfg_(cfg.kv.store)
+    : sim_(sim), id_(id), clients_(cfg.clients),
+      admission_cap_(cfg.admission_cap), store_cfg_(cfg.kv.store)
 {
     SDF_CHECK(clients_ > 0);
     // Everything built inside this scope — the network endpoint, the
@@ -50,12 +65,61 @@ StorageNode::StorageNode(sim::Simulator &sim, uint32_t id,
         m.RegisterGauge(metric_prefix_ + ".running", [this]() {
             return running_ ? 1.0 : 0.0;
         });
+        admission_prefix_ = m.UniquePrefix("admission");
+        m.RegisterCounter(admission_prefix_ + ".admitted",
+                          &admission_.admitted);
+        m.RegisterCounter(admission_prefix_ + ".shed_overload",
+                          &admission_.shed_overload);
+        m.RegisterCounter(admission_prefix_ + ".peak_inflight",
+                          &admission_.peak_inflight);
+        m.RegisterGauge(admission_prefix_ + ".inflight", [this]() {
+            return static_cast<double>(inflight_);
+        });
     }
 }
 
 StorageNode::~StorageNode()
 {
-    if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);
+    if (hub_ != nullptr) {
+        hub_->metrics().UnregisterPrefix(metric_prefix_);
+        hub_->metrics().UnregisterPrefix(admission_prefix_);
+    }
+}
+
+bool
+StorageNode::Admit()
+{
+    if (admission_cap_ != 0 && inflight_ >= admission_cap_) {
+        ++admission_.shed_overload;
+        return false;
+    }
+    ++admission_.admitted;
+    ++inflight_;
+    admission_.peak_inflight = std::max(admission_.peak_inflight, inflight_);
+    return true;
+}
+
+void
+StorageNode::Release(uint64_t inc)
+{
+    if (inc != incarnation_ || inflight_ == 0) return;
+    --inflight_;
+}
+
+void
+StorageNode::Slowed(util::TimeNs start, std::function<void()> fn)
+{
+    if (fail_slow_mult_ <= 1.0) {
+        fn();
+        return;
+    }
+    const auto extra = static_cast<util::TimeNs>(
+        (fail_slow_mult_ - 1.0) * static_cast<double>(sim_.Now() - start));
+    if (extra == 0) {
+        fn();
+        return;
+    }
+    sim_.Schedule(extra, std::move(fn));
 }
 
 void
@@ -63,6 +127,10 @@ StorageNode::Stop()
 {
     SDF_CHECK_MSG(running_, "node already stopped");
     running_ = false;
+    // In-flight admissions die with the process; their Release()s carry
+    // the old incarnation and become no-ops.
+    ++incarnation_;
+    inflight_ = 0;
     stack_.store->Detach();
     retired_.push_back(std::move(stack_.store));
 }
@@ -172,55 +240,88 @@ kv::ReplicaEndpoint
 StorageNode::Endpoint()
 {
     kv::ReplicaEndpoint ep;
-    ep.put = [this](uint64_t key, uint32_t value_size, kv::PutCallback done,
-                    std::shared_ptr<std::vector<uint8_t>> payload) {
+    ep.put = [this](uint64_t key, uint32_t value_size,
+                    kv::PutStatusCallback done,
+                    std::shared_ptr<std::vector<uint8_t>> payload,
+                    kv::OpContext ctx) {
         const uint32_t client = next_client_++ % clients_;
-        net_->RpcWithRetry(
-            client, uint64_t{value_size} + kRpcHeaderBytes,
+        net_->RpcTyped(
+            client, uint64_t{value_size} + kRpcHeaderBytes, ctx.deadline,
             [this, key, value_size, payload](
-                std::function<void(uint64_t)> reply) {
+                util::TimeNs /*deadline*/, net::Network::TypedReply reply) {
                 // A stopped process doesn't answer: the request just dies
                 // and the client times out + fails over.
                 if (!running_) return;
+                if (!Admit()) {
+                    // Shed before any storage work: a fast typed nack the
+                    // caller must not blindly retry.
+                    reply(kNackBytes, net::RpcCode::kOverloaded);
+                    return;
+                }
+                const uint64_t inc = incarnation_;
+                const util::TimeNs t0 = sim_.Now();
                 // Re-puts from RPC retries are idempotent: the LSM just
                 // writes the same (key, size) again.
                 store().Put(
                     key, value_size,
-                    [this, reply = std::move(reply)](bool ok) {
+                    [this, inc, t0, reply = std::move(reply)](bool ok) {
+                        Release(inc);
                         // Only a durable put acks; a storage failure stays
                         // silent so the client times out and retries
                         // (and the engine eventually fails over). The same
                         // goes for an ack racing a Stop(): the process died
                         // before replying.
-                        if (ok && running_) reply(kAckBytes);
+                        if (ok && running_) {
+                            Slowed(t0, [this, reply]() {
+                                if (running_) {
+                                    reply(kAckBytes, net::RpcCode::kOk);
+                                }
+                            });
+                        }
                     },
                     std::move(payload));
             },
-            std::move(done));
+            [done = std::move(done)](net::RpcCode code) {
+                if (done) done(CodeToStatus(code));
+            });
     };
-    ep.get = [this](uint64_t key, kv::GetCallback done) {
+    ep.get = [this](uint64_t key, kv::GetCallback done, kv::OpContext ctx) {
         const uint32_t client = next_client_++ % clients_;
         auto res = std::make_shared<kv::GetResult>();
-        net_->RpcWithRetry(
-            client, kRpcHeaderBytes,
-            [this, key, res](std::function<void(uint64_t)> reply) {
+        net_->RpcTyped(
+            client, kRpcHeaderBytes, ctx.deadline,
+            [this, key, res](util::TimeNs /*deadline*/,
+                             net::Network::TypedReply reply) {
                 if (!running_) return;
-                store().Get(key, [this, res, reply = std::move(reply)](
+                if (!Admit()) {
+                    reply(kNackBytes, net::RpcCode::kOverloaded);
+                    return;
+                }
+                const uint64_t inc = incarnation_;
+                const util::TimeNs t0 = sim_.Now();
+                store().Get(key, [this, inc, res, t0,
+                                  reply = std::move(reply)](
                                      const kv::GetResult &r) {
+                    Release(inc);
                     if (!running_) return;
                     *res = r;
                     // Failures/misses reply fast (small nack) so the
                     // router fails over to the next replica immediately
                     // instead of waiting out the retry ladder.
-                    reply(r.ok && r.found
-                              ? uint64_t{r.value_size} + kRpcHeaderBytes
-                              : kNackBytes);
+                    const uint64_t bytes =
+                        r.ok && r.found
+                            ? uint64_t{r.value_size} + kRpcHeaderBytes
+                            : kNackBytes;
+                    Slowed(t0, [this, reply, bytes]() {
+                        if (running_) reply(bytes, net::RpcCode::kOk);
+                    });
                 });
             },
-            [res, done = std::move(done)](bool ok) {
-                if (!ok) {
+            [res, done = std::move(done)](net::RpcCode code) {
+                if (code != net::RpcCode::kOk) {
                     kv::GetResult dead;
                     dead.ok = false;
+                    dead.status = CodeToStatus(code);
                     done(dead);
                 } else {
                     done(*res);
@@ -228,6 +329,70 @@ StorageNode::Endpoint()
             });
     };
     return ep;
+}
+
+void
+StorageNode::BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
+                      BatchGetCallback done)
+{
+    SDF_CHECK_MSG(!keys.empty(), "empty batch");
+    const uint32_t client = next_client_++ % clients_;
+    const uint64_t request_bytes = kRpcHeaderBytes + 8 * keys.size();
+    auto results = std::make_shared<std::vector<kv::GetResult>>();
+    const size_t n = keys.size();
+    net_->RpcTyped(
+        client, request_bytes, ctx.deadline,
+        [this, keys = std::move(keys), results](
+            util::TimeNs /*deadline*/, net::Network::TypedReply reply) {
+            if (!running_) return;
+            // The whole batch costs one admission slot: coalescing is how
+            // a client *reduces* pressure, so it must not multiply it.
+            if (!Admit()) {
+                reply(kNackBytes, net::RpcCode::kOverloaded);
+                return;
+            }
+            const uint64_t inc = incarnation_;
+            const util::TimeNs t0 = sim_.Now();
+            results->assign(keys.size(), kv::GetResult{});
+            auto remaining = std::make_shared<size_t>(keys.size());
+            auto shared_reply = std::make_shared<net::Network::TypedReply>(
+                std::move(reply));
+            for (size_t i = 0; i < keys.size(); ++i) {
+                store().Get(
+                    keys[i],
+                    [this, inc, i, t0, results, remaining,
+                     shared_reply](const kv::GetResult &r) {
+                        (*results)[i] = r;
+                        if (--*remaining > 0) return;
+                        Release(inc);
+                        if (!running_) return;
+                        uint64_t bytes = kRpcHeaderBytes;
+                        for (const kv::GetResult &res : *results) {
+                            bytes += res.ok && res.found
+                                         ? uint64_t{res.value_size} +
+                                               kRpcHeaderBytes
+                                         : kNackBytes;
+                        }
+                        Slowed(t0, [this, shared_reply, bytes]() {
+                            if (running_) {
+                                (*shared_reply)(bytes, net::RpcCode::kOk);
+                            }
+                        });
+                    });
+            }
+        },
+        [results, n, done = std::move(done)](net::RpcCode code) {
+            if (code != net::RpcCode::kOk || results->size() != n) {
+                std::vector<kv::GetResult> fail(n);
+                for (kv::GetResult &r : fail) {
+                    r.ok = false;
+                    r.status = CodeToStatus(code);
+                }
+                done(std::move(fail));
+            } else {
+                done(*results);
+            }
+        });
 }
 
 void
@@ -240,15 +405,18 @@ StorageNode::FlushAll()
 
 ClusterRouter::ClusterRouter(sim::Simulator &sim,
                              const std::vector<StorageNode *> &nodes,
-                             uint32_t replication, uint32_t vnodes_per_node)
-    : ring_(static_cast<uint32_t>(nodes.size()), vnodes_per_node),
+                             uint32_t replication, uint32_t vnodes_per_node,
+                             const BreakerConfig &breaker)
+    : sim_(sim),
+      ring_(static_cast<uint32_t>(nodes.size()), vnodes_per_node),
       replication_(replication),
       node_puts_(nodes.size(), 0),
       node_gets_(nodes.size(), 0),
+      nodes_(nodes),
+      breaker_(static_cast<uint32_t>(nodes.size()), breaker),
+      direct_(BuildEndpoints(nodes)),
       engine_(sim, BuildEndpoints(nodes),
-              [this](uint64_t key) {
-                  return ring_.ReplicasFor(key, replication_);
-              })
+              [this](uint64_t key) { return ReadOrder(key); })
 {
     SDF_CHECK_MSG(replication >= 1 && replication <= nodes.size(),
                   "replication must be in [1, nodes]");
@@ -286,7 +454,59 @@ ClusterRouter::ClusterRouter(sim::Simulator &sim,
                             [this]() {
                                 return &recovery_latencies().histogram();
                             });
+        m.RegisterCounter(metric_prefix_ + ".breaker.trips",
+                          &breaker_.stats().trips);
+        m.RegisterCounter(metric_prefix_ + ".breaker.resets",
+                          &breaker_.stats().resets);
+        m.RegisterCounter(metric_prefix_ + ".breaker.reroutes",
+                          &breaker_.stats().reroutes);
+        m.RegisterGauge(metric_prefix_ + ".breaker.open_nodes", [this]() {
+            return static_cast<double>(breaker_.open_count());
+        });
     }
+}
+
+std::vector<uint32_t>
+ClusterRouter::ReadOrder(uint64_t key)
+{
+    std::vector<uint32_t> order = ring_.ReplicasFor(key, replication_);
+    if (!breaker_.AnyOpen() || order.size() < 2) return order;
+    const uint32_t head = order.front();
+    std::stable_partition(order.begin(), order.end(), [this](uint32_t n) {
+        return !breaker_.IsOpen(n);
+    });
+    if (order.front() != head) breaker_.CountReroute();
+    return order;
+}
+
+void
+ClusterRouter::GetAt(uint32_t node, uint64_t key, kv::OpContext ctx,
+                     kv::GetCallback done)
+{
+    SDF_CHECK(node < direct_.size());
+    direct_[node].get(key, std::move(done), ctx);
+}
+
+void
+ClusterRouter::BatchGetAt(uint32_t node, std::vector<uint64_t> keys,
+                          kv::OpContext ctx,
+                          StorageNode::BatchGetCallback done)
+{
+    SDF_CHECK(node < nodes_.size());
+    node_gets_[node] += keys.size();
+    const util::TimeNs t0 = sim_.Now();
+    nodes_[node]->BatchGet(
+        std::move(keys), ctx,
+        [this, node, t0,
+         done = std::move(done)](std::vector<kv::GetResult> results) {
+            // One service-time sample per batch RPC; sheds excluded (a
+            // fast refusal must not make an overloaded node look healthy).
+            const bool shed =
+                !results.empty() && !results.front().ok &&
+                results.front().status == kv::OpStatus::kOverloaded;
+            if (!shed) breaker_.Record(node, sim_.Now() - t0);
+            done(std::move(results));
+        });
 }
 
 void
@@ -313,21 +533,48 @@ ClusterRouter::~ClusterRouter()
 std::vector<kv::ReplicaEndpoint>
 ClusterRouter::BuildEndpoints(const std::vector<StorageNode *> &nodes)
 {
+    // Every completion that is not an admission shed feeds the breaker's
+    // per-node service-time EWMA: a shed is a fast refusal, not service.
     std::vector<kv::ReplicaEndpoint> eps;
     eps.reserve(nodes.size());
     for (size_t i = 0; i < nodes.size(); ++i) {
         kv::ReplicaEndpoint ep = nodes[i]->Endpoint();
         eps.push_back(kv::ReplicaEndpoint{
             [this, i, put = std::move(ep.put)](
-                uint64_t key, uint32_t value_size, kv::PutCallback done,
-                std::shared_ptr<std::vector<uint8_t>> payload) {
+                uint64_t key, uint32_t value_size,
+                kv::PutStatusCallback done,
+                std::shared_ptr<std::vector<uint8_t>> payload,
+                kv::OpContext ctx) {
                 ++node_puts_[i];
-                put(key, value_size, std::move(done), std::move(payload));
+                const util::TimeNs t0 = sim_.Now();
+                put(
+                    key, value_size,
+                    [this, i, t0,
+                     done = std::move(done)](kv::OpStatus s) {
+                        if (s != kv::OpStatus::kOverloaded) {
+                            breaker_.Record(static_cast<uint32_t>(i),
+                                            sim_.Now() - t0);
+                        }
+                        if (done) done(s);
+                    },
+                    std::move(payload), ctx);
             },
-            [this, i, get = std::move(ep.get)](uint64_t key,
-                                               kv::GetCallback done) {
+            [this, i, get = std::move(ep.get)](
+                uint64_t key, kv::GetCallback done, kv::OpContext ctx) {
                 ++node_gets_[i];
-                get(key, std::move(done));
+                const util::TimeNs t0 = sim_.Now();
+                get(
+                    key,
+                    [this, i, t0,
+                     done = std::move(done)](const kv::GetResult &r) {
+                        if (r.ok ||
+                            r.status != kv::OpStatus::kOverloaded) {
+                            breaker_.Record(static_cast<uint32_t>(i),
+                                            sim_.Now() - t0);
+                        }
+                        done(r);
+                    },
+                    ctx);
             }});
     }
     return eps;
@@ -340,6 +587,10 @@ ClusterRouter::Service()
     svc.put = [this](uint64_t key, uint32_t value_size,
                      kv::PutCallback done) {
         Put(key, value_size, std::move(done));
+    };
+    svc.put_typed = [this](uint64_t key, uint32_t value_size,
+                           kv::PutStatusCallback done) {
+        PutTyped(key, value_size, std::move(done));
     };
     svc.get = [this](uint64_t key, kv::GetCallback done) {
         Get(key, std::move(done));
@@ -358,7 +609,8 @@ Cluster::Cluster(sim::Simulator &sim, const ClusterConfig &cfg)
     ptrs.reserve(nodes_.size());
     for (auto &n : nodes_) ptrs.push_back(n.get());
     router_ = std::make_unique<ClusterRouter>(sim, ptrs, cfg.replication,
-                                              cfg.vnodes_per_node);
+                                              cfg.vnodes_per_node,
+                                              cfg.breaker);
     RebalanceConfig rc;
     rc.max_inflight = cfg.rebalance_max_inflight;
     rebalancer_ = std::make_unique<Rebalancer>(sim, ptrs, *router_, rc);

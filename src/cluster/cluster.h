@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/breaker.h"
 #include "cluster/hash_ring.h"
 #include "kv/recovery.h"
 #include "kv/replicated_store.h"
@@ -50,6 +51,12 @@ struct NodeConfig
     net::NetworkSpec net;
     /** Router connections into this node (round-robined per request). */
     uint32_t clients = 4;
+    /**
+     * Admission control: requests concurrently admitted past the RPC
+     * dispatcher before new arrivals are shed with a typed kOverloaded
+     * nack. 0 disables shedding (every request queues, however deep).
+     */
+    uint32_t admission_cap = 0;
 };
 
 /**
@@ -76,6 +83,18 @@ class StorageNode
         uint64_t wal_records_replayed = 0;
         uint64_t last_recovery_ns = 0;
     };
+
+    /** Admission-control counters ("node<N>.admission.*"). */
+    struct AdmissionStats
+    {
+        uint64_t admitted = 0;       ///< Requests let past the cap.
+        uint64_t shed_overload = 0;  ///< Typed kOverloaded nacks sent.
+        uint64_t peak_inflight = 0;
+    };
+
+    /** Completion of a BatchGet: one result per requested key, in order. */
+    using BatchGetCallback =
+        std::function<void(std::vector<kv::GetResult> results)>;
 
     StorageNode(sim::Simulator &sim, uint32_t id, const NodeConfig &cfg);
     ~StorageNode();
@@ -138,15 +157,60 @@ class StorageNode
      */
     kv::ReplicaEndpoint Endpoint();
 
+    /**
+     * Coalesced read: one RPC carrying @p keys, served as parallel local
+     * gets, answered with one response once all complete. Costs one
+     * admission slot and one dispatch regardless of batch size — the
+     * client front door uses this to amortize per-message overhead. On a
+     * transport-level failure (deadline, shed, dead node) every result
+     * carries the same typed status.
+     */
+    void BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
+                  BatchGetCallback done);
+
+    /**
+     * Fail-slow injection: scale everything this node does by
+     * @p multiplier — RPC dispatch and payload work (via
+     * net::Network::SetServiceTimeMultiplier) plus the storage service
+     * time itself (replies are deferred by (m-1)x the time the local
+     * store took). 1.0 restores health. The node keeps answering, just
+     * slowly — the failure mode RAID-style fail-stop handling misses.
+     */
+    void SetFailSlow(double multiplier)
+    {
+        fail_slow_mult_ = multiplier;
+        net_->SetServiceTimeMultiplier(multiplier);
+    }
+
+    const AdmissionStats &admission() const { return admission_; }
+    uint64_t inflight() const { return inflight_; }
+
     /** Flush every slice's memtable (for preloading/fault audits). */
     void FlushAll();
 
   private:
+    /** Admission check at the RPC dispatcher; counts the decision. */
+    bool Admit();
+    /** Release an admission slot taken in incarnation @p inc (no-op if
+     *  the process restarted meanwhile — the slot died with it). */
+    void Release(uint64_t inc);
+    /** Run @p fn now — or, when fail-slow, after (mult-1)x the service
+     *  time elapsed since @p start. Inline when healthy, so runs without
+     *  injection are byte-identical to before the knob existed. */
+    void Slowed(util::TimeNs start, std::function<void()> fn);
+
     sim::Simulator &sim_;
     uint32_t id_;
     uint32_t clients_;
     uint32_t next_client_ = 0;
     bool running_ = true;
+    double fail_slow_mult_ = 1.0;
+    uint32_t admission_cap_ = 0;
+    uint64_t inflight_ = 0;
+    /** Bumped by Stop(): lets in-flight Release()s from the previous
+     *  process detect they are stale. */
+    uint64_t incarnation_ = 0;
+    AdmissionStats admission_;
     std::unique_ptr<net::Network> net_;
     testbed::KvStack stack_;
     /** Store construction recipe, reused by Restart(). */
@@ -160,6 +224,7 @@ class StorageNode
 
     obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
     std::string metric_prefix_;
+    std::string admission_prefix_;
 };
 
 /**
@@ -172,7 +237,8 @@ class ClusterRouter
   public:
     ClusterRouter(sim::Simulator &sim,
                   const std::vector<StorageNode *> &nodes,
-                  uint32_t replication, uint32_t vnodes_per_node = 64);
+                  uint32_t replication, uint32_t vnodes_per_node = 64,
+                  const BreakerConfig &breaker = {});
     ~ClusterRouter();
 
     ClusterRouter(const ClusterRouter &) = delete;
@@ -205,19 +271,51 @@ class ClusterRouter
         return ring_.ReplicasFor(key, replication_);
     }
 
+    /**
+     * Placement order with fail-slow policy applied: the ring's replica
+     * set, with breaker-open nodes demoted to the back. This is the
+     * order the engine walks and the order the client front door hedges
+     * against.
+     */
+    std::vector<uint32_t> ReadOrder(uint64_t key);
+
     /** See ReplicationEngine::Put (ack == at least one durable copy). */
     void
     Put(uint64_t key, uint32_t value_size, kv::PutCallback done,
-        std::shared_ptr<std::vector<uint8_t>> payload = nullptr)
+        std::shared_ptr<std::vector<uint8_t>> payload = nullptr,
+        kv::OpContext ctx = {})
     {
-        engine_.Put(key, value_size, std::move(done), std::move(payload));
+        engine_.Put(key, value_size, std::move(done), std::move(payload),
+                    ctx);
+    }
+
+    /** See ReplicationEngine::PutTyped (typed overall disposition). */
+    void
+    PutTyped(uint64_t key, uint32_t value_size, kv::PutStatusCallback done,
+             std::shared_ptr<std::vector<uint8_t>> payload = nullptr,
+             kv::OpContext ctx = {})
+    {
+        engine_.PutTyped(key, value_size, std::move(done),
+                         std::move(payload), ctx);
     }
 
     /** See ReplicationEngine::Get (transparent failover + read-repair). */
-    void Get(uint64_t key, kv::GetCallback done)
+    void Get(uint64_t key, kv::GetCallback done, kv::OpContext ctx = {})
     {
-        engine_.Get(key, std::move(done));
+        engine_.Get(key, std::move(done), ctx);
     }
+
+    /**
+     * Direct single-node read, no failover — the client front door's
+     * primary/hedge attempts. Counted and breaker-sampled like every
+     * routed request.
+     */
+    void GetAt(uint32_t node, uint64_t key, kv::OpContext ctx,
+               kv::GetCallback done);
+
+    /** Direct coalesced read on one node; see StorageNode::BatchGet. */
+    void BatchGetAt(uint32_t node, std::vector<uint64_t> keys,
+                    kv::OpContext ctx, StorageNode::BatchGetCallback done);
 
     /** The router as a generic workload target. */
     workload::KvService Service();
@@ -232,15 +330,23 @@ class ClusterRouter
     uint64_t node_puts(uint32_t i) const { return node_puts_[i]; }
     uint64_t node_gets(uint32_t i) const { return node_gets_[i]; }
 
+    /** Fail-slow breaker state (trips/resets/reroutes, open nodes). */
+    const FailSlowBreaker &breaker() const { return breaker_; }
+
   private:
     std::vector<kv::ReplicaEndpoint>
     BuildEndpoints(const std::vector<StorageNode *> &nodes);
 
+    sim::Simulator &sim_;
     HashRing ring_;
     uint32_t replication_;
     uint64_t epoch_ = 0;
     std::vector<uint64_t> node_puts_;
     std::vector<uint64_t> node_gets_;
+    std::vector<StorageNode *> nodes_;
+    FailSlowBreaker breaker_;
+    /** Unwrapped per-node endpoints for GetAt (engine_ owns its own). */
+    std::vector<kv::ReplicaEndpoint> direct_;
     kv::ReplicationEngine engine_;
     obs::Hub *hub_ = nullptr;
     std::string metric_prefix_;
@@ -254,6 +360,8 @@ struct ClusterConfig
     uint32_t vnodes_per_node = 64;
     /** Rebalance/anti-entropy streaming concurrency cap. */
     uint32_t rebalance_max_inflight = 4;
+    /** Fail-slow breaker policy for the router (off by default). */
+    BreakerConfig breaker;
     /** Template for every node (same hardware per Table 2). */
     NodeConfig node;
 };

@@ -19,6 +19,7 @@ FaultKindName(FaultKind k)
         case FaultKind::kPageCorruption: return "corrupt";
         case FaultKind::kLinkCrcWindow: return "crc";
         case FaultKind::kRberElevation: return "rber";
+        case FaultKind::kFailSlow: return "failslow";
     }
     return "?";
 }
@@ -31,7 +32,7 @@ KindFromName(const std::string &name, FaultKind *out)
     for (FaultKind k :
          {FaultKind::kChannelStall, FaultKind::kChannelDeath,
           FaultKind::kPageCorruption, FaultKind::kLinkCrcWindow,
-          FaultKind::kRberElevation}) {
+          FaultKind::kRberElevation, FaultKind::kFailSlow}) {
         if (name == FaultKindName(k)) {
             *out = k;
             return true;
@@ -66,7 +67,7 @@ FaultPlan::Random(const FaultPlanSpec &spec, uint64_t seed)
 
     const double weights[] = {spec.weight_stall, spec.weight_death,
                               spec.weight_corrupt, spec.weight_crc,
-                              spec.weight_rber};
+                              spec.weight_rber, spec.weight_failslow};
     double total_weight = 0;
     for (double w : weights) total_weight += w;
     SDF_CHECK_MSG(total_weight > 0, "all fault weights zero");
@@ -81,7 +82,7 @@ FaultPlan::Random(const FaultPlanSpec &spec, uint64_t seed)
 
         double pick = rng.NextDouble() * total_weight;
         int kind = 0;
-        while (kind < 4 && pick >= weights[kind]) pick -= weights[kind++];
+        while (kind < 5 && pick >= weights[kind]) pick -= weights[kind++];
         if (kind == 1 && deaths >= spec.max_deaths) kind = 0;  // Demote.
 
         switch (kind) {
@@ -109,7 +110,7 @@ FaultPlan::Random(const FaultPlanSpec &spec, uint64_t seed)
                             static_cast<uint64_t>(spec.crc_window_max)));
                 e.magnitude = rng.NextDouble() * spec.crc_prob_max;
                 break;
-            default:
+            case 4:
                 e.kind = FaultKind::kRberElevation;
                 e.plane = static_cast<uint32_t>(rng.NextBelow(spec.planes));
                 e.block = static_cast<uint32_t>(
@@ -117,6 +118,16 @@ FaultPlan::Random(const FaultPlanSpec &spec, uint64_t seed)
                 // Factor in [2, rber_factor_max]: always a real elevation.
                 e.magnitude =
                     2.0 + rng.NextDouble() * (spec.rber_factor_max - 2.0);
+                break;
+            default:
+                e.kind = FaultKind::kFailSlow;
+                e.channel = 0;  // Node-level fault; channel is meaningless.
+                e.duration =
+                    1 + static_cast<TimeNs>(rng.NextBelow(
+                            static_cast<uint64_t>(spec.fail_slow_max)));
+                // Factor in [2, fail_slow_factor_max]: always a real slowdown.
+                e.magnitude =
+                    2.0 + rng.NextDouble() * (spec.fail_slow_factor_max - 2.0);
                 break;
         }
         events.push_back(e);
@@ -186,6 +197,14 @@ FaultPlan::Parse(const std::string &text, FaultPlan *out, std::string *error)
                     return fail("rber needs plane block factor");
                 }
                 break;
+            case FaultKind::kFailSlow:
+                if (!(fields >> dur_us >> e.magnitude) || dur_us <= 0 ||
+                    e.magnitude <= 0) {
+                    return fail(
+                        "failslow needs duration (us) and a positive factor");
+                }
+                e.duration = util::UsToNs(dur_us);
+                break;
         }
         events.push_back(e);
     }
@@ -224,6 +243,11 @@ FaultPlan::ToText() const
                               us, e.device, e.channel, e.plane, e.block,
                               e.magnitude);
                 break;
+            case FaultKind::kFailSlow:
+                std::snprintf(buf, sizeof buf, "%.3f failslow %u %u %.3f %g\n",
+                              us, e.device, e.channel,
+                              util::NsToUs(e.duration), e.magnitude);
+                break;
         }
         text += buf;
     }
@@ -232,8 +256,8 @@ FaultPlan::ToText() const
 
 FaultInjector::FaultInjector(sim::Simulator &sim,
                              std::vector<core::SdfDevice *> devices,
-                             const FaultPlan &plan)
-    : sim_(sim), devices_(std::move(devices))
+                             const FaultPlan &plan, FailSlowSink fail_slow)
+    : sim_(sim), devices_(std::move(devices)), fail_slow_(std::move(fail_slow))
 {
     for (const FaultEvent &e : plan.events()) {
         sim_.ScheduleAt(std::max(e.when, sim_.Now()),
@@ -252,6 +276,7 @@ FaultInjector::FaultInjector(sim::Simulator &sim,
                           &stats_.crc_windows);
         m.RegisterCounter(metric_prefix_ + ".rber_elevations",
                           &stats_.rber_elevations);
+        m.RegisterCounter(metric_prefix_ + ".fail_slows", &stats_.fail_slows);
         m.RegisterCounter(metric_prefix_ + ".skipped", &stats_.skipped);
     }
 }
@@ -264,6 +289,25 @@ FaultInjector::~FaultInjector()
 void
 FaultInjector::Apply(const FaultEvent &e)
 {
+    if (e.kind == FaultKind::kFailSlow) {
+        // Node-level fault: `device` names a storage node, delivered via the
+        // sink rather than a NAND channel. No sink wired means this plan was
+        // built for a device-only rig — count it as clamped, like an
+        // out-of-range channel.
+        if (!fail_slow_) {
+            ++stats_.skipped;
+            return;
+        }
+        fail_slow_(e.device, e.magnitude);
+        ++stats_.fail_slows;
+        if (e.duration > 0) {
+            const uint32_t node = e.device;
+            sim_.Schedule(e.duration, [this, node]() {
+                fail_slow_(node, 1.0);
+            });
+        }
+        return;
+    }
     if (e.device >= devices_.size()) {
         ++stats_.skipped;
         return;
@@ -307,6 +351,8 @@ FaultInjector::Apply(const FaultEvent &e)
             ch.ElevateRber(nand::BlockAddr{e.plane, e.block}, e.magnitude);
             ++stats_.rber_elevations;
             break;
+        case FaultKind::kFailSlow:
+            break;  // Handled above; unreachable.
     }
 }
 

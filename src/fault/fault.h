@@ -22,11 +22,18 @@
  *   3000 corrupt 0 1 2 14 9     # corrupt dev0/ch1 plane2 block14 page9
  *   4000 crc 0 5 800 0.25       # 800us window of 25% read CRC errors
  *   5000 rber 0 2 0 3 50.0      # multiply ch2 plane0 block3 RBER by 50
+ *   6000 failslow 2 0 2000 4.0  # node2 serves 4x slower for 2000us
+ *
+ * kFailSlow is a node-level fault, not a NAND one: the `device` field
+ * names a storage node, and the injector delivers it through a sink
+ * callback (typically wired to cluster::StorageNode::SetFailSlow). The
+ * multiplier is restored to 1.0 when the window ends.
  */
 #ifndef SDF_FAULT_FAULT_H
 #define SDF_FAULT_FAULT_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +54,7 @@ enum class FaultKind : uint8_t
     kPageCorruption,  ///< One page uncorrectable at every retry level.
     kLinkCrcWindow,   ///< Reads fail with `magnitude` prob for `duration`.
     kRberElevation,   ///< One block's RBER multiplied by `magnitude`.
+    kFailSlow,        ///< Node `device` serves `magnitude`x slower for `duration`.
 };
 
 const char *FaultKindName(FaultKind k);
@@ -76,18 +84,26 @@ struct FaultPlanSpec
     uint32_t planes = 4;
     uint32_t blocks_per_plane = 16;
     uint32_t pages_per_block = 256;
-    /** Relative weights per kind (stall, death, corrupt, crc, rber). */
+    /** Relative weights per kind (stall, death, corrupt, crc, rber,
+     *  failslow). Fail-slow defaults to 0 so plans without a sink — and
+     *  pre-existing seeded campaigns — are unchanged. */
     double weight_stall = 3.0;
     double weight_death = 0.5;
     double weight_corrupt = 4.0;
     double weight_crc = 2.0;
     double weight_rber = 4.0;
+    double weight_failslow = 0.0;
     /** At most this many channel deaths total (keep the system alive). */
     uint32_t max_deaths = 2;
     TimeNs stall_max = util::UsToNs(2000);
     TimeNs crc_window_max = util::UsToNs(5000);
     double crc_prob_max = 0.5;
     double rber_factor_max = 100.0;
+    /** kFailSlow windows: duration in (0, fail_slow_max], factor in
+     *  [2, fail_slow_factor_max]. `device` is rolled below `devices`
+     *  and names a storage node. */
+    TimeNs fail_slow_max = util::MsToNs(50);
+    double fail_slow_factor_max = 8.0;
 };
 
 /** A deterministic, replayable schedule of faults, sorted by time. */
@@ -127,11 +143,13 @@ struct FaultInjectorStats
     uint64_t corruptions = 0;
     uint64_t crc_windows = 0;
     uint64_t rber_elevations = 0;
+    uint64_t fail_slows = 0;
     uint64_t skipped = 0;  ///< Out-of-range targets (clamped plans).
 
     uint64_t total() const
     {
-        return stalls + deaths + corruptions + crc_windows + rber_elevations;
+        return stalls + deaths + corruptions + crc_windows + rber_elevations +
+               fail_slows;
     }
 };
 
@@ -145,8 +163,12 @@ struct FaultInjectorStats
 class FaultInjector
 {
   public:
+    /** Delivers kFailSlow events: (node, multiplier); the injector calls it
+     *  again with 1.0 when the window expires. */
+    using FailSlowSink = std::function<void(uint32_t node, double multiplier)>;
+
     FaultInjector(sim::Simulator &sim, std::vector<core::SdfDevice *> devices,
-                  const FaultPlan &plan);
+                  const FaultPlan &plan, FailSlowSink fail_slow = nullptr);
     ~FaultInjector();
 
     FaultInjector(const FaultInjector &) = delete;
@@ -159,6 +181,7 @@ class FaultInjector
 
     sim::Simulator &sim_;
     std::vector<core::SdfDevice *> devices_;
+    FailSlowSink fail_slow_;
     FaultInjectorStats stats_;
 
     obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).

@@ -21,7 +21,22 @@ ReplicationEngine::ReplicationEngine(sim::Simulator &sim,
 
 void
 ReplicationEngine::Put(uint64_t key, uint32_t value_size, PutCallback done,
-                       std::shared_ptr<std::vector<uint8_t>> payload)
+                       std::shared_ptr<std::vector<uint8_t>> payload,
+                       OpContext ctx)
+{
+    PutTyped(
+        key, value_size,
+        [done = std::move(done)](OpStatus s) {
+            if (done) done(s == OpStatus::kOk);
+        },
+        std::move(payload), ctx);
+}
+
+void
+ReplicationEngine::PutTyped(uint64_t key, uint32_t value_size,
+                            PutStatusCallback done,
+                            std::shared_ptr<std::vector<uint8_t>> payload,
+                            OpContext ctx)
 {
     ++stats_.puts;
     const std::vector<uint32_t> order = selector_(key);
@@ -30,35 +45,43 @@ ReplicationEngine::Put(uint64_t key, uint32_t value_size, PutCallback done,
         ++stats_.no_replica_rejects;
         ++stats_.put_failures;
         sim_.Schedule(0, [done = std::move(done)]() {
-            if (done) done(false);
+            if (done) done(OpStatus::kError);
         });
         return;
     }
     const auto r = static_cast<uint32_t>(order.size());
     auto remaining = std::make_shared<uint32_t>(r);
     auto successes = std::make_shared<uint32_t>(0);
+    auto worst = std::make_shared<OpStatus>(OpStatus::kOk);
     for (uint32_t i = 0; i < r; ++i) {
         const uint32_t replica = order[i];
         SDF_CHECK(replica < endpoints_.size());
         endpoints_[replica].put(
             key, value_size,
-            [this, remaining, successes,
-             done = i + 1 == r ? std::move(done) : done](bool ok) mutable {
-                if (ok) {
+            [this, remaining, successes, worst,
+             done = i + 1 == r ? std::move(done) : done](OpStatus s) mutable {
+                if (s == OpStatus::kOk) {
                     ++*successes;
                 } else {
                     ++stats_.put_replica_failures;
+                    *worst = WorseStatus(*worst, s);
                 }
                 if (--*remaining > 0) return;
-                if (*successes == 0) ++stats_.put_failures;
-                if (done) done(*successes > 0);
+                if (*successes > 0) {
+                    if (done) done(OpStatus::kOk);
+                    return;
+                }
+                ++stats_.put_failures;
+                if (done) {
+                    done(*worst == OpStatus::kOk ? OpStatus::kError : *worst);
+                }
             },
-            payload);
+            payload, ctx);
     }
 }
 
 void
-ReplicationEngine::Get(uint64_t key, GetCallback done)
+ReplicationEngine::Get(uint64_t key, GetCallback done, OpContext ctx)
 {
     ++stats_.gets;
     auto order =
@@ -67,38 +90,60 @@ ReplicationEngine::Get(uint64_t key, GetCallback done)
         ++stats_.no_replica_rejects;
         ++stats_.failed_reads;
         sim_.Schedule(0, [done = std::move(done)]() {
-            if (done) done(GetResult{false, false, 0, nullptr});
+            if (done) {
+                GetResult res;
+                res.ok = false;
+                res.status = OpStatus::kError;
+                done(res);
+            }
         });
         return;
     }
-    DoGet(key, std::move(done), std::move(order), 0, 0, false,
-          CurrentEpoch());
+    DoGet(key, std::move(done), std::move(order), 0, 0, OpStatus::kOk,
+          CurrentEpoch(), ctx);
 }
+
+namespace {
+
+/** Typed failure a replica's GetResult contributes (kOk = clean miss). */
+OpStatus
+FailureStatus(const GetResult &res)
+{
+    if (res.ok) return OpStatus::kOk;
+    // Endpoints predating typed statuses leave status at kOk on failure.
+    return res.status == OpStatus::kOk ? OpStatus::kError : res.status;
+}
+
+}  // namespace
 
 void
 ReplicationEngine::DoGet(uint64_t key, GetCallback done,
                          std::shared_ptr<const std::vector<uint32_t>> order,
                          uint32_t attempt, util::TimeNs first_fail,
-                         bool saw_failure, uint64_t epoch)
+                         OpStatus worst, uint64_t epoch, OpContext ctx)
 {
     if (attempt == order->size()) {
         // Exhausted. All clean misses -> an authoritative miss; any
         // storage failure along the way -> a failed read.
         GetResult res;
         res.found = false;
-        res.ok = !saw_failure;
-        if (saw_failure) ++stats_.failed_reads;
+        res.ok = worst == OpStatus::kOk;
+        res.status = worst;
+        if (!res.ok) ++stats_.failed_reads;
         if (done) done(res);
         return;
     }
     const uint32_t replica = (*order)[attempt];
     SDF_CHECK(replica < endpoints_.size());
     endpoints_[replica].get(
-        key, [this, key, done = std::move(done), order, attempt, first_fail,
-              saw_failure, epoch](const GetResult &res) mutable {
+        key,
+        [this, key, done = std::move(done), order, attempt, first_fail,
+         worst, epoch, ctx](const GetResult &res) mutable {
             if (!res.ok || !res.found) {
                 const util::TimeNs t0 =
                     attempt == 0 ? sim_.Now() : first_fail;
+                const OpStatus next_worst =
+                    WorseStatus(worst, FailureStatus(res));
                 // Membership moved while we were waiting (a node died or
                 // rejoined): the replica list is stale — restart against
                 // fresh placement. Bounded by the number of epoch bumps.
@@ -110,18 +155,24 @@ ReplicationEngine::DoGet(uint64_t key, GetCallback done,
                     if (fresh->empty()) {
                         ++stats_.no_replica_rejects;
                         ++stats_.failed_reads;
-                        if (done) done(GetResult{false, false, 0, nullptr});
+                        if (done) {
+                            GetResult fail;
+                            fail.ok = false;
+                            fail.status = WorseStatus(next_worst,
+                                                      OpStatus::kError);
+                            done(fail);
+                        }
                         return;
                     }
                     DoGet(key, std::move(done), std::move(fresh), 0, t0,
-                          saw_failure || !res.ok, now_epoch);
+                          next_worst, now_epoch, ctx);
                     return;
                 }
                 // Storage failure — or a miss on this replica, which may
                 // just have lost the put that a later replica acked
                 // (degraded-mode write). Either way, ask the next one.
                 DoGet(key, std::move(done), std::move(order), attempt + 1,
-                      t0, saw_failure || !res.ok, epoch);
+                      t0, next_worst, epoch, ctx);
                 return;
             }
             if (attempt > 0) {
@@ -132,7 +183,8 @@ ReplicationEngine::DoGet(uint64_t key, GetCallback done,
                 Repair(key, res, *order, attempt);
             }
             if (done) done(res);
-        });
+        },
+        ctx);
 }
 
 void
@@ -144,10 +196,10 @@ ReplicationEngine::Repair(uint64_t key, const GetResult &good,
         ++stats_.re_replications;
         endpoints_[order[i]].put(
             key, good.value_size,
-            [this](bool ok) {
-                if (!ok) ++stats_.re_replication_failures;
+            [this](OpStatus s) {
+                if (s != OpStatus::kOk) ++stats_.re_replication_failures;
             },
-            good.payload);
+            good.payload, OpContext{});
     }
 }
 
@@ -163,11 +215,19 @@ StoreEndpoints(const std::vector<Store *> &replicas)
     for (Store *s : replicas) {
         SDF_CHECK(s != nullptr);
         ReplicaEndpoint e;
-        e.put = [s](uint64_t key, uint32_t value_size, PutCallback done,
-                    std::shared_ptr<std::vector<uint8_t>> payload) {
-            s->Put(key, value_size, std::move(done), std::move(payload));
+        e.put = [s](uint64_t key, uint32_t value_size,
+                    PutStatusCallback done,
+                    std::shared_ptr<std::vector<uint8_t>> payload,
+                    OpContext /*ctx*/) {
+            // Local stores know nothing of deadlines; map bool -> typed.
+            s->Put(
+                key, value_size,
+                [done = std::move(done)](bool ok) {
+                    if (done) done(ok ? OpStatus::kOk : OpStatus::kError);
+                },
+                std::move(payload));
         };
-        e.get = [s](uint64_t key, GetCallback done) {
+        e.get = [s](uint64_t key, GetCallback done, OpContext /*ctx*/) {
             s->Get(key, std::move(done));
         };
         endpoints.push_back(std::move(e));

@@ -68,10 +68,12 @@ struct ReplicatedKvStats
  */
 struct ReplicaEndpoint
 {
-    std::function<void(uint64_t key, uint32_t value_size, PutCallback done,
-                       std::shared_ptr<std::vector<uint8_t>> payload)>
+    std::function<void(uint64_t key, uint32_t value_size,
+                       PutStatusCallback done,
+                       std::shared_ptr<std::vector<uint8_t>> payload,
+                       OpContext ctx)>
         put;
-    std::function<void(uint64_t key, GetCallback done)> get;
+    std::function<void(uint64_t key, GetCallback done, OpContext ctx)> get;
 };
 
 /** Replica placement/failover mechanics over abstract endpoints. */
@@ -116,7 +118,18 @@ class ReplicationEngine
      * by later degraded reads).
      */
     void Put(uint64_t key, uint32_t value_size, PutCallback done,
-             std::shared_ptr<std::vector<uint8_t>> payload = nullptr);
+             std::shared_ptr<std::vector<uint8_t>> payload = nullptr,
+             OpContext ctx = {});
+
+    /**
+     * Typed Put: like Put, but @p done receives the aggregated
+     * disposition — kOk on at least one durable copy, otherwise the most
+     * backpressure-actionable failure any replica reported (overload
+     * beats deadline beats storage error; see WorseStatus).
+     */
+    void PutTyped(uint64_t key, uint32_t value_size, PutStatusCallback done,
+                  std::shared_ptr<std::vector<uint8_t>> payload = nullptr,
+                  OpContext ctx = {});
 
     /**
      * Read @p key with transparent failover: selected replicas are tried
@@ -124,9 +137,10 @@ class ReplicationEngine
      * fails over (a degraded-mode put may have landed on only some
      * replicas); the read is a miss only when every replica agrees. The
      * result's ok flag is false only when a replica failed at storage
-     * level and none served the value.
+     * level and none served the value; res.status then carries the worst
+     * typed failure seen across the walk.
      */
-    void Get(uint64_t key, GetCallback done);
+    void Get(uint64_t key, GetCallback done, OpContext ctx = {});
 
     const ReplicatedKvStats &stats() const { return stats_; }
 
@@ -142,8 +156,8 @@ class ReplicationEngine
   private:
     void DoGet(uint64_t key, GetCallback done,
                std::shared_ptr<const std::vector<uint32_t>> order,
-               uint32_t attempt, util::TimeNs first_fail, bool saw_failure,
-               uint64_t epoch);
+               uint32_t attempt, util::TimeNs first_fail, OpStatus worst,
+               uint64_t epoch, OpContext ctx);
     void Repair(uint64_t key, const GetResult &good,
                 const std::vector<uint32_t> &order, uint32_t failed_count);
     uint64_t CurrentEpoch() const

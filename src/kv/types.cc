@@ -1,0 +1,17 @@
+#include "kv/types.h"
+
+namespace sdf::kv {
+
+const char *
+OpStatusName(OpStatus s)
+{
+    switch (s) {
+        case OpStatus::kOk: return "ok";
+        case OpStatus::kError: return "error";
+        case OpStatus::kDeadlineExceeded: return "deadline_exceeded";
+        case OpStatus::kOverloaded: return "overloaded";
+    }
+    return "unknown";
+}
+
+}  // namespace sdf::kv

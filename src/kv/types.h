@@ -45,6 +45,40 @@ struct ItemLocation
     uint32_t value_size = 0;
 };
 
+/**
+ * Typed disposition of a KV front-door operation. Overload control needs
+ * failures to say *why*: a shed request (kOverloaded) tells the client to
+ * back off, a blown deadline (kDeadlineExceeded) tells it the work may
+ * still complete server-side, and a storage error (kError) tells it to
+ * fail over. Ranked by how actionable the signal is for backpressure.
+ */
+enum class OpStatus : uint8_t
+{
+    kOk = 0,              ///< Served (or an authoritative miss).
+    kError,               ///< Storage-level failure on every replica tried.
+    kDeadlineExceeded,    ///< Deadline or RPC retry budget exhausted.
+    kOverloaded,          ///< Shed by admission control (server or client).
+};
+
+const char *OpStatusName(OpStatus s);
+
+/** The more backpressure-actionable of two failure dispositions. */
+inline OpStatus
+WorseStatus(OpStatus a, OpStatus b)
+{
+    return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+/**
+ * Per-operation context threaded from the front door down to the RPC
+ * layer. `deadline` is an absolute simulated time; 0 means none — the
+ * transport's own timeout/retry ladder still bounds the attempt.
+ */
+struct OpContext
+{
+    uint64_t deadline = 0;  ///< util::TimeNs; absolute, 0 = no deadline.
+};
+
 /** Completion of a Get: found + size (+ data when payloads are on). */
 struct GetResult
 {
@@ -52,10 +86,14 @@ struct GetResult
     bool ok = true;            ///< Storage-level success.
     uint32_t value_size = 0;
     std::shared_ptr<std::vector<uint8_t>> payload;
+    /** Why ok is false (kOk whenever ok is true, even on a miss). */
+    OpStatus status = OpStatus::kOk;
 };
 
 using GetCallback = std::function<void(const GetResult &)>;
 using PutCallback = std::function<void(bool ok)>;
+/** Typed put completion for admission-aware paths. */
+using PutStatusCallback = std::function<void(OpStatus)>;
 
 /**
  * Issues unique 64-bit block IDs. The production system runs a counter

@@ -8,6 +8,24 @@
 
 namespace sdf::net {
 
+namespace {
+
+/** Response size for a transport-generated deadline nack. */
+constexpr uint64_t kDropReplyBytes = 16;
+
+}  // namespace
+
+const char *
+RpcCodeName(RpcCode code)
+{
+    switch (code) {
+        case RpcCode::kOk: return "ok";
+        case RpcCode::kOverloaded: return "overloaded";
+        case RpcCode::kDeadlineExceeded: return "deadline_exceeded";
+    }
+    return "unknown";
+}
+
 Network::Network(sim::Simulator &sim, const NetworkSpec &spec,
                  uint32_t clients)
     : sim_(sim), spec_(spec), server_nic_(sim), server_cpu_(sim)
@@ -35,6 +53,12 @@ Network::Network(sim::Simulator &sim, const NetworkSpec &spec,
                           &rpc_stats_.failures);
         m.RegisterCounter(metric_prefix_ + ".rpc_late_responses",
                           &rpc_stats_.late_responses);
+        m.RegisterCounter(metric_prefix_ + ".rpc_overload_replies",
+                          &rpc_stats_.overload_replies);
+        m.RegisterCounter(metric_prefix_ + ".rpc_deadline_drops",
+                          &rpc_stats_.deadline_drops);
+        m.RegisterGauge(metric_prefix_ + ".service_time_multiplier",
+                        [this]() { return service_mult_; });
         m.RegisterCounter(metric_prefix_ + ".bulk_messages",
                           &bulk_messages_);
         m.RegisterCounter(metric_prefix_ + ".bulk_bytes", &bulk_bytes_);
@@ -60,7 +84,8 @@ Network::ClientToServer(uint32_t client, uint64_t bytes,
     client_nics_[client]->Submit(wire, nullptr);
     const TimeNs arrival = sim_.Now() + wire + spec_.one_way_delay;
     sim_.ScheduleAt(arrival, [this, at_server = std::move(at_server)]() mutable {
-        server_cpu_.Submit(spec_.server_per_message, std::move(at_server));
+        server_cpu_.Submit(Scaled(spec_.server_per_message),
+                           std::move(at_server));
     });
 }
 
@@ -69,10 +94,10 @@ Network::Push(uint32_t client, uint64_t bytes, sim::Callback delivered)
 {
     SDF_CHECK(client < client_nics_.size());
     ++messages_;
-    const auto worker_cost =
+    const auto worker_cost = Scaled(
         spec_.server_per_message +
         static_cast<TimeNs>(spec_.worker_per_byte_ns *
-                            static_cast<double>(bytes));
+                            static_cast<double>(bytes)));
     workers_[client]->Submit(worker_cost, [this, client, bytes,
                                            delivered = std::move(
                                                delivered)]() mutable {
@@ -103,7 +128,7 @@ Network::Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server)
             util::TransferTimeNs(bytes, spec_.server_nic_bytes_per_sec);
         server_nic_.Submit(srv_wire, [this, at_server = std::move(
                                                 at_server)]() mutable {
-            server_cpu_.Submit(spec_.server_per_message,
+            server_cpu_.Submit(Scaled(spec_.server_per_message),
                                std::move(at_server));
         });
     });
@@ -124,18 +149,19 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
 
     sim_.ScheduleAt(at_server, [this, client, handler = std::move(handler),
                                 delivered = std::move(delivered)]() mutable {
-        server_cpu_.Submit(spec_.server_per_message, [this, client,
-                                                      handler = std::move(handler),
-                                                      delivered = std::move(
-                                                          delivered)]() mutable {
+        server_cpu_.Submit(Scaled(spec_.server_per_message),
+                           [this, client,
+                            handler = std::move(handler),
+                            delivered = std::move(
+                                delivered)]() mutable {
             handler([this, client, delivered = std::move(delivered)](
                         uint64_t response_bytes) mutable {
                 // Response: payload handled on the connection's serving
                 // worker, then both NICs.
-                const auto payload_cpu =
+                const auto payload_cpu = Scaled(
                     spec_.server_per_message +
                     static_cast<TimeNs>(spec_.worker_per_byte_ns *
-                                        static_cast<double>(response_bytes));
+                                        static_cast<double>(response_bytes)));
                 workers_[client]->Submit(
                     payload_cpu,
                     [this, client, response_bytes,
@@ -202,6 +228,95 @@ Network::AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
                                 attempt]() mutable {
             AttemptRpc(client, request_bytes, std::move(handler),
                        std::move(done), attempt + 1);
+        });
+    });
+}
+
+void
+Network::RpcTyped(uint32_t client, uint64_t request_bytes, TimeNs deadline,
+                  TypedHandler handler, std::function<void(RpcCode)> done)
+{
+    AttemptTyped(
+        client, request_bytes, deadline, std::move(handler),
+        std::make_shared<std::function<void(RpcCode)>>(std::move(done)), 0);
+}
+
+void
+Network::AttemptTyped(uint32_t client, uint64_t request_bytes,
+                      TimeNs deadline, TypedHandler handler,
+                      std::shared_ptr<std::function<void(RpcCode)>> done,
+                      uint32_t attempt)
+{
+    // A request already past its deadline never hits the wire.
+    if (deadline != 0 && sim_.Now() >= deadline) {
+        ++rpc_stats_.failures;
+        sim_.Schedule(0, [done]() {
+            if (*done) (*done)(RpcCode::kDeadlineExceeded);
+        });
+        return;
+    }
+
+    // Same settled-flag race as AttemptRpc; the code shared_ptr carries
+    // the server's typed disposition back past the size-only reply path.
+    auto settled = std::make_shared<bool>(false);
+    auto code = std::make_shared<RpcCode>(RpcCode::kOk);
+    Handler plain = [this, deadline, handler,
+                     code](std::function<void(uint64_t)> reply) {
+        if (deadline != 0 && sim_.Now() > deadline) {
+            // Expired in flight or in the server queue: nack without
+            // touching the handler — the work would be wasted anyway.
+            ++rpc_stats_.deadline_drops;
+            *code = RpcCode::kDeadlineExceeded;
+            reply(kDropReplyBytes);
+            return;
+        }
+        handler(deadline,
+                [code, reply = std::move(reply)](uint64_t bytes,
+                                                 RpcCode c) mutable {
+                    *code = c;
+                    reply(bytes);
+                });
+    };
+    Rpc(client, request_bytes, std::move(plain),
+        [this, settled, code, done]() {
+            if (*settled) {
+                ++rpc_stats_.late_responses;
+                return;
+            }
+            *settled = true;
+            if (*code == RpcCode::kOverloaded) ++rpc_stats_.overload_replies;
+            if (*done) (*done)(*code);
+        });
+
+    // Per-attempt timer: the usual RPC timeout, clipped to the deadline.
+    TimeNs wait = spec_.rpc_timeout;
+    if (deadline != 0) {
+        const TimeNs remaining = deadline - sim_.Now();
+        if (wait == 0 || remaining < wait) wait = remaining;
+    }
+    if (wait == 0) return;
+
+    sim_.Schedule(wait, [this, client, request_bytes, deadline,
+                         handler = std::move(handler), done, settled,
+                         attempt]() mutable {
+        if (*settled) return;
+        *settled = true;
+        ++rpc_stats_.timeouts;
+        const TimeNs backoff = spec_.rpc_backoff_base << attempt;
+        const bool budget_left = attempt < spec_.rpc_max_retries;
+        const bool deadline_left =
+            deadline == 0 || sim_.Now() + backoff < deadline;
+        if (!budget_left || !deadline_left) {
+            ++rpc_stats_.failures;
+            if (*done) (*done)(RpcCode::kDeadlineExceeded);
+            return;
+        }
+        ++rpc_stats_.retries;
+        sim_.Schedule(backoff, [this, client, request_bytes, deadline,
+                                handler = std::move(handler), done,
+                                attempt]() mutable {
+            AttemptTyped(client, request_bytes, deadline, std::move(handler),
+                         std::move(done), attempt + 1);
         });
     });
 }

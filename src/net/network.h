@@ -56,14 +56,30 @@ struct NetworkSpec
     TimeNs rpc_backoff_base = util::MsToNs(1);
 };
 
-/** Client-side reliability counters for RpcWithRetry. */
+/** Client-side reliability counters for RpcWithRetry / RpcTyped. */
 struct RpcStats
 {
     uint64_t timeouts = 0;        ///< Attempts abandoned at the deadline.
     uint64_t retries = 0;         ///< Re-issued attempts.
     uint64_t failures = 0;        ///< Requests failed after all retries.
     uint64_t late_responses = 0;  ///< Responses that raced a timeout.
+    uint64_t overload_replies = 0;   ///< Typed kOverloaded responses seen.
+    uint64_t deadline_drops = 0;     ///< Requests expired before dispatch.
 };
+
+/**
+ * Typed outcome of an RPC. Distinguishes a server that shed the request
+ * under overload (back off, don't retry — the work was never queued) from
+ * a deadline that expired (the attempt may still complete server-side).
+ */
+enum class RpcCode : uint8_t
+{
+    kOk = 0,
+    kOverloaded,        ///< Server refused at admission; retrying is fuel on the fire.
+    kDeadlineExceeded,  ///< Deadline passed or the retry budget ran out.
+};
+
+const char *RpcCodeName(RpcCode code);
 
 /**
  * Request/response transport between N clients and one storage server.
@@ -76,6 +92,15 @@ class Network
   public:
     /** Handler: process a request, then call reply(response_bytes). */
     using Handler = std::function<void(std::function<void(uint64_t)> reply)>;
+
+    /** Typed reply channel: response size plus a disposition code. */
+    using TypedReply = std::function<void(uint64_t bytes, RpcCode code)>;
+    /**
+     * Typed handler: receives the request's absolute deadline (0 = none)
+     * so the server can shed work it cannot finish in time, and a typed
+     * reply channel for admission-control nacks.
+     */
+    using TypedHandler = std::function<void(TimeNs deadline, TypedReply reply)>;
 
     Network(sim::Simulator &sim, const NetworkSpec &spec, uint32_t clients);
     ~Network();
@@ -103,6 +128,33 @@ class Network
      */
     void RpcWithRetry(uint32_t client, uint64_t request_bytes,
                       Handler handler, std::function<void(bool ok)> done);
+
+    /**
+     * Typed variant of RpcWithRetry with deadline propagation. The
+     * absolute @p deadline (0 = none) rides with the request: the
+     * transport drops it server-side once expired (counted in
+     * deadline_drops), the handler sees it, and no retry is scheduled
+     * that could not complete before it. Retries fire only on timeouts;
+     * a typed kOverloaded reply settles immediately — a shed request
+     * must not be hammered back into the queue it was shed from. @p done
+     * receives kDeadlineExceeded when the retry budget or the deadline
+     * runs out.
+     */
+    void RpcTyped(uint32_t client, uint64_t request_bytes, TimeNs deadline,
+                  TypedHandler handler, std::function<void(RpcCode)> done);
+
+    /**
+     * Fail-slow injection knob: scales every server-side service time
+     * (CPU dispatch and per-byte worker cost) by @p m. 1.0 = healthy.
+     * Wire/NIC times are unaffected — a fail-slow node's links are fine,
+     * its compute is not.
+     */
+    void
+    SetServiceTimeMultiplier(double m)
+    {
+        service_mult_ = m < 0.0 ? 0.0 : m;
+    }
+    double service_time_multiplier() const { return service_mult_; }
 
     /**
      * One-way client -> server message; @p at_server fires when the
@@ -136,9 +188,21 @@ class Network
     void AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
                     std::shared_ptr<std::function<void(bool)>> done,
                     uint32_t attempt);
+    void AttemptTyped(uint32_t client, uint64_t request_bytes,
+                      TimeNs deadline, TypedHandler handler,
+                      std::shared_ptr<std::function<void(RpcCode)>> done,
+                      uint32_t attempt);
+    /** Server-side service time under the fail-slow multiplier. */
+    TimeNs
+    Scaled(TimeNs t) const
+    {
+        if (service_mult_ == 1.0) return t;
+        return static_cast<TimeNs>(static_cast<double>(t) * service_mult_);
+    }
 
     sim::Simulator &sim_;
     NetworkSpec spec_;
+    double service_mult_ = 1.0;
     std::vector<std::unique_ptr<sim::FifoResource>> client_nics_;
     /** One serving worker per client connection (slice thread). */
     std::vector<std::unique_ptr<sim::FifoResource>> workers_;

@@ -92,6 +92,14 @@ struct KvService
                        kv::PutCallback done)>
         put;
     std::function<void(uint64_t key, kv::GetCallback done)> get;
+    /**
+     * Typed put for admission-aware front doors (cluster router, client):
+     * the callback says *why* a write failed (overload/deadline/error).
+     * Optional — drivers that need it fall back to wrapping `put`.
+     */
+    std::function<void(uint64_t key, uint32_t value_size,
+                       kv::PutStatusCallback done)>
+        put_typed;
 };
 
 /** KvService over a local Store (no network). */
@@ -141,6 +149,56 @@ struct MixedRunResult
 MixedRunResult RunMixedLoad(sim::Simulator &sim, const KvService &svc,
                             const std::vector<uint64_t> &keys,
                             const MixedRunConfig &cfg);
+
+/** Parameters for the open-loop (arrival-process) driver. */
+struct OpenRunConfig
+{
+    /** Mean request arrival rate, ops/sec (Poisson process). */
+    double arrival_rate = 50000.0;
+    double read_fraction = 0.9;
+    uint32_t value_bytes = 4 * util::kKiB;
+    TimeNs duration = util::SecToNs(0.5);
+    uint64_t seed = 7;
+    uint64_t first_write_key = uint64_t{1} << 32;
+    /** Arrival-rate multiplier inside [storm_start, storm_end): models a
+     *  traffic storm. 1.0 (or an empty window) = steady load. */
+    double storm_factor = 1.0;
+    TimeNs storm_start = 0;
+    TimeNs storm_end = 0;
+};
+
+/** Outcome of an open-loop run. */
+struct OpenRunResult
+{
+    uint64_t issued = 0;      ///< Arrivals handed to the service.
+    uint64_t completed = 0;   ///< Callbacks that came back (all outcomes).
+    uint64_t ok_reads = 0;    ///< Found + delivered.
+    uint64_t ok_writes = 0;   ///< Durably acked.
+    uint64_t misses = 0;      ///< Clean read misses.
+    uint64_t shed_overloaded = 0;  ///< Typed kOverloaded outcomes.
+    uint64_t shed_deadline = 0;    ///< Typed kDeadlineExceeded outcomes.
+    uint64_t errors = 0;           ///< Untyped failures.
+    double offered_ops_per_sec = 0;  ///< issued / duration.
+    double goodput_ops_per_sec = 0;  ///< (ok_reads+ok_writes+misses) / duration.
+    double p50_ms = 0;   ///< Completed-op latency, all ops.
+    double p99_ms = 0;
+    double p999_ms = 0;
+    double read_p99_ms = 0;  ///< Successful reads only.
+    /** Keys whose Put was acked — the consistency-audit set. */
+    std::vector<uint64_t> acked_writes;
+};
+
+/**
+ * Open-loop Poisson load against any KvService: requests arrive on a
+ * seeded exponential clock regardless of how many are already in flight —
+ * the regime where overload happens. Inside the storm window the arrival
+ * rate is multiplied by cfg.storm_factor. Issue is fire-and-forget; the
+ * run drains all in-flight ops before returning. Deterministic for a
+ * given (service, keys, cfg).
+ */
+OpenRunResult RunOpenLoad(sim::Simulator &sim, const KvService &svc,
+                          const std::vector<uint64_t> &keys,
+                          const OpenRunConfig &cfg);
 
 }  // namespace sdf::workload
 

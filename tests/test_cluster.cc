@@ -19,6 +19,7 @@
 #include "cluster/cluster.h"
 #include "cluster/hash_ring.h"
 #include "fault/fault.h"
+#include "net/network.h"
 #include "obs/hub.h"
 #include "sdf/block_device.h"
 #include "sim/simulator.h"
@@ -392,6 +393,214 @@ TEST(Cluster, NodeDeathLosesNoAcknowledgedWrites)
     sim.Run();
     EXPECT_EQ(audited, r.acked_writes.size());
     EXPECT_EQ(lost, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Typed RPC transport (net::Network::RpcTyped)
+// ---------------------------------------------------------------------------
+
+net::NetworkSpec
+FastRpcSpec()
+{
+    net::NetworkSpec spec;
+    spec.rpc_timeout = util::MsToNs(2);
+    spec.rpc_max_retries = 2;
+    spec.rpc_backoff_base = util::UsToNs(100);
+    return spec;
+}
+
+TEST(RpcTyped, RetryExhaustionIsTypedDeadlineExceeded)
+{
+    sim::Simulator sim;
+    net::Network net(sim, FastRpcSpec(), 1);
+    // A server that swallows requests: every attempt must time out, and
+    // after the retry budget the caller gets a typed disposition, not a
+    // hang or a bare bool.
+    int handled = 0;
+    bool settled = false;
+    net::RpcCode code = net::RpcCode::kOk;
+    net.RpcTyped(
+        0, 512, 0,
+        [&](util::TimeNs, net::Network::TypedReply) { ++handled; },
+        [&](net::RpcCode c) {
+            settled = true;
+            code = c;
+        });
+    sim.Run();
+    EXPECT_TRUE(settled);
+    EXPECT_EQ(code, net::RpcCode::kDeadlineExceeded);
+    // First attempt + rpc_max_retries re-issues, every one abandoned.
+    EXPECT_EQ(handled, 3);
+    EXPECT_EQ(net.rpc_stats().timeouts, 3u);
+    EXPECT_EQ(net.rpc_stats().retries, 2u);
+    EXPECT_EQ(net.rpc_stats().failures, 1u);
+}
+
+TEST(RpcTyped, OverloadedReplySettlesWithoutRetry)
+{
+    sim::Simulator sim;
+    net::Network net(sim, FastRpcSpec(), 1);
+    // An admission nack is an answer, not a failure: retrying would hammer
+    // the very queue the server just shed from.
+    net::RpcCode code = net::RpcCode::kOk;
+    net.RpcTyped(
+        0, 512, 0,
+        [&](util::TimeNs, net::Network::TypedReply reply) {
+            reply(64, net::RpcCode::kOverloaded);
+        },
+        [&](net::RpcCode c) { code = c; });
+    sim.Run();
+    EXPECT_EQ(code, net::RpcCode::kOverloaded);
+    EXPECT_EQ(net.rpc_stats().overload_replies, 1u);
+    EXPECT_EQ(net.rpc_stats().retries, 0u);
+    EXPECT_EQ(net.rpc_stats().timeouts, 0u);
+}
+
+TEST(RpcTyped, ExpiredDeadlineIsDroppedBeforeTheHandler)
+{
+    sim::Simulator sim;
+    net::Network net(sim, FastRpcSpec(), 1);
+    // Deadline shorter than the one-way propagation delay: the request
+    // expires in flight, so the transport drops it server-side without
+    // running the handler — the work would be wasted anyway.
+    int handled = 0;
+    net::RpcCode code = net::RpcCode::kOk;
+    net.RpcTyped(
+        0, 512, sim.Now() + util::UsToNs(10),
+        [&](util::TimeNs, net::Network::TypedReply reply) {
+            ++handled;
+            reply(64, net::RpcCode::kOk);
+        },
+        [&](net::RpcCode c) { code = c; });
+    sim.Run();
+    EXPECT_EQ(handled, 0);
+    EXPECT_EQ(code, net::RpcCode::kDeadlineExceeded);
+    EXPECT_EQ(net.rpc_stats().deadline_drops, 1u);
+    // No retry can beat a deadline that already passed.
+    EXPECT_EQ(net.rpc_stats().retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and the fail-slow breaker
+// ---------------------------------------------------------------------------
+
+TEST(Cluster, AdmissionCapShedsWithTypedOverload)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig cc = SmallCluster(2, 2);
+    cc.node.admission_cap = 2;
+    cluster::Cluster cl(sim, cc);
+
+    // Preload serially — one outstanding op never trips a cap of 2.
+    const uint64_t keys = 12;
+    uint64_t loaded = 0;
+    std::function<void(uint64_t)> load = [&](uint64_t k) {
+        if (k > keys) return;
+        cl.router().Put(k, 16 * util::kKiB, [&, k](bool ok) {
+            loaded += ok;
+            load(k + 1);
+        });
+    };
+    load(1);
+    sim.Run();
+    ASSERT_EQ(loaded, keys);
+    // Push the values to flash: a memtable read settles in zero simulated
+    // time, so only device-backed reads can stack up past the cap.
+    cl.FlushAll();
+    sim.Run();
+
+    // Flood one node far past its cap with direct reads (no failover, so
+    // the shed is visible instead of healed by another replica).
+    uint64_t served = 0, shed = 0, other = 0;
+    for (int i = 0; i < 80; ++i) {
+        cl.router().GetAt(0, 1 + (i % keys), {},
+                          [&](const kv::GetResult &r) {
+                              if (r.ok) {
+                                  ++served;
+                              } else if (r.status ==
+                                         kv::OpStatus::kOverloaded) {
+                                  ++shed;
+                              } else {
+                                  ++other;
+                              }
+                          });
+    }
+    sim.Run();
+    // Every request got an answer: served or a typed refusal, no hangs.
+    EXPECT_EQ(served + shed + other, 80u);
+    EXPECT_EQ(other, 0u);
+    EXPECT_GT(served, 0u);
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(cl.node(0).admission().shed_overload, shed);
+    EXPECT_GT(cl.node(0).admission().admitted, 0u);
+    EXPECT_LE(cl.node(0).admission().peak_inflight, 2u);
+}
+
+TEST(Cluster, BreakerDemotesFailSlowNodeAndRecovers)
+{
+    sim::Simulator sim;
+    cluster::ClusterConfig cc = SmallCluster(3, 2);
+    cc.breaker.enabled = true;
+    cc.breaker.min_samples = 16;
+    cc.breaker.alpha = 0.3;
+    // The router samples the whole RPC round trip, and the (unscaled)
+    // wire delay dilutes the storage slowdown at this light closed-loop
+    // load; 2x observed is already a badly degraded node.
+    cc.breaker.trip_factor = 2.0;
+    cc.breaker.reset_factor = 1.3;
+    cluster::Cluster cl(sim, cc);
+
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 1; k <= 60; ++k) {
+        keys.push_back(k);
+        cl.router().Put(k, 16 * util::kKiB, [](bool) {});
+    }
+    sim.Run();
+    cl.FlushAll();
+    sim.Run();
+
+    // Slow down whichever node is primary for the first key: that key's
+    // reads walk the victim first unless the breaker demotes it.
+    const uint64_t victim_key = keys.front();
+    const uint32_t victim = cl.router().ReplicaNodes(victim_key).front();
+
+    cl.node(victim).SetFailSlow(12.0);
+    // Mixed closed-loop traffic: reads show the demotion working, writes
+    // keep sampling the demoted node (they still replicate to it) so the
+    // breaker can notice when it heals — demoted reads never would.
+    auto drive = [&](int ops) {
+        int next = 0;
+        std::function<void()> step = [&]() {
+            if (next >= ops) return;
+            const uint64_t key = keys[next % keys.size()];
+            if (next++ % 4 == 0) {
+                cl.router().Put(key, 16 * util::kKiB,
+                                [&](bool) { step(); });
+            } else {
+                cl.router().Get(key, [&](const kv::GetResult &) { step(); });
+            }
+        };
+        for (int s = 0; s < 4; ++s) step();
+        sim.Run();
+    };
+    drive(300);
+
+    EXPECT_GE(cl.router().breaker().stats().trips, 1u);
+    EXPECT_TRUE(cl.router().breaker().IsOpen(victim));
+    // Demotion reorders reads away from the slow node but keeps it as a
+    // last resort — its data stays reachable.
+    const auto order = cl.router().ReadOrder(victim_key);
+    ASSERT_GE(order.size(), 2u);
+    EXPECT_NE(order.front(), victim);
+    EXPECT_EQ(order.back(), victim);
+    EXPECT_GT(cl.router().breaker().stats().reroutes, 0u);
+
+    // Health returns -> hysteresis closes the breaker again.
+    cl.node(victim).SetFailSlow(1.0);
+    drive(300);
+    EXPECT_GE(cl.router().breaker().stats().resets, 1u);
+    EXPECT_FALSE(cl.router().breaker().IsOpen(victim));
+    EXPECT_EQ(cl.router().ReadOrder(victim_key).front(), victim);
 }
 
 }  // namespace

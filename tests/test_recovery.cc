@@ -4,8 +4,9 @@
  * patch-footer recovery + recovery scan), membership-epoch handling in
  * the replication engine, the rebalancer's ownership-delta computation
  * (golden vnode-diff), anti-entropy redundancy repair, HashRing
- * membership edge cases, and a seeded chaos schedule with a full
- * consistency audit.
+ * membership edge cases, and a seeded chaos schedule — node stops and
+ * restarts interleaved with overload bursts past the admission cap and
+ * fail-slow pulses — with a full consistency audit.
  */
 #include <gtest/gtest.h>
 
@@ -484,10 +485,13 @@ struct ChaosEvent
         kStopNode,
         kRestartNode,
         kAntiEntropy,
+        kOverloadBurst,   ///< Open-loop read burst past the admission cap.
+        kFailSlowPulse,   ///< One node serves slow for a batch, then heals.
     };
     Kind kind;
-    uint32_t node = 0;   ///< For stop/restart.
-    uint32_t count = 0;  ///< For put/get batches.
+    uint32_t node = 0;    ///< For stop/restart/fail-slow.
+    uint32_t count = 0;   ///< For put/get batches and bursts.
+    double factor = 1.0;  ///< Fail-slow service-time multiplier.
 };
 
 const char *
@@ -499,6 +503,8 @@ ChaosKindName(ChaosEvent::Kind k)
       case ChaosEvent::kStopNode: return "stop";
       case ChaosEvent::kRestartNode: return "restart";
       case ChaosEvent::kAntiEntropy: return "anti-entropy";
+      case ChaosEvent::kOverloadBurst: return "burst";
+      case ChaosEvent::kFailSlowPulse: return "failslow";
     }
     return "?";
 }
@@ -526,19 +532,29 @@ MakeChaosSchedule(uint64_t seed, uint32_t nodes, uint32_t steps)
     for (uint32_t s = 0; s < steps; ++s) {
         const uint32_t roll = static_cast<uint32_t>(rng() % 100);
         ChaosEvent e;
-        if (roll < 45) {
+        if (roll < 30) {
             e.kind = ChaosEvent::kPutBatch;
             e.count = 2 + static_cast<uint32_t>(rng() % 4);
-        } else if (roll < 70) {
+        } else if (roll < 50) {
             e.kind = ChaosEvent::kGetBatch;
             e.count = 2 + static_cast<uint32_t>(rng() % 6);
-        } else if (roll < 85 && live.size() >= 2) {
+        } else if (roll < 62) {
+            e.kind = ChaosEvent::kOverloadBurst;
+            e.count = 48 + static_cast<uint32_t>(rng() % 48);
+        } else if (roll < 74) {
+            e.kind = ChaosEvent::kFailSlowPulse;
+            auto it = live.begin();
+            std::advance(it, rng() % live.size());
+            e.node = *it;
+            e.factor = 2.0 + static_cast<double>(rng() % 7);
+            e.count = 4 + static_cast<uint32_t>(rng() % 6);
+        } else if (roll < 86 && live.size() >= 2) {
             e.kind = ChaosEvent::kStopNode;
             auto it = live.begin();
             std::advance(it, rng() % live.size());
             e.node = *it;
             live.erase(e.node);
-        } else if (roll < 95 && live.size() < nodes) {
+        } else if (roll < 96 && live.size() < nodes) {
             e.kind = ChaosEvent::kRestartNode;
             std::vector<uint32_t> down;
             for (uint32_t n = 0; n < nodes; ++n) {
@@ -564,6 +580,8 @@ ChaosScheduleText(uint64_t seed, const std::vector<ChaosEvent> &schedule)
         if (e.kind == ChaosEvent::kStopNode ||
             e.kind == ChaosEvent::kRestartNode) {
             os << "(" << e.node << ")";
+        } else if (e.kind == ChaosEvent::kFailSlowPulse) {
+            os << "(" << e.node << ",x" << e.factor << "," << e.count << ")";
         } else if (e.kind != ChaosEvent::kAntiEntropy) {
             os << "(" << e.count << ")";
         }
@@ -571,13 +589,20 @@ ChaosScheduleText(uint64_t seed, const std::vector<ChaosEvent> &schedule)
     return os.str();
 }
 
-/** @return an empty string on success, else the failure description. */
+/** @return an empty string on success, else the failure description.
+ *  Adds the run's admission sheds to @p shed_total (proof the bursts
+ *  actually pressed against the cap, not just queued politely). */
 std::string
-RunChaosSchedule(uint64_t seed, const std::vector<ChaosEvent> &schedule)
+RunChaosSchedule(uint64_t seed, const std::vector<ChaosEvent> &schedule,
+                 uint64_t *shed_total = nullptr)
 {
     const uint32_t kNodes = 3;
     sim::Simulator sim;
-    cluster::Cluster cl(sim, SmallCluster(kNodes, 2));
+    cluster::ClusterConfig cc = SmallCluster(kNodes, 2);
+    // Real admission control so overload bursts actually shed — but roomy
+    // enough that the closed-loop audits (4 streams) never trip it.
+    cc.node.admission_cap = 32;
+    cluster::Cluster cl(sim, cc);
     std::mt19937_64 rng(seed ^ 0x5DEECE66DULL);
 
     // Preload a base population.
@@ -620,6 +645,31 @@ RunChaosSchedule(uint64_t seed, const std::vector<ChaosEvent> &schedule)
             cl.anti_entropy().Run();
             sim.Run();
             break;
+          case ChaosEvent::kOverloadBurst:
+            // Flush first so reads cost device time, then arrive all at
+            // once, far past the per-node admission cap. Outcomes are
+            // typed (many are kOverloaded) and deliberately unchecked: a
+            // shed read must be a refusal, never corruption — which the
+            // final audit is what verifies.
+            cl.FlushAll();
+            sim.Run();
+            for (uint32_t i = 0; i < e.count && !acked_keys.empty(); ++i) {
+                cl.router().Get(acked_keys[rng() % acked_keys.size()],
+                                [](const kv::GetResult &) {});
+            }
+            sim.Run();
+            break;
+          case ChaosEvent::kFailSlowPulse:
+            // The node keeps answering, just e.factor slower, while a
+            // batch of reads runs against it; then it heals.
+            cl.node(e.node).SetFailSlow(e.factor);
+            for (uint32_t i = 0; i < e.count && !acked_keys.empty(); ++i) {
+                cl.router().Get(acked_keys[rng() % acked_keys.size()],
+                                [](const kv::GetResult &) {});
+            }
+            sim.Run();
+            cl.node(e.node).SetFailSlow(1.0);
+            break;
         }
         // Invariant: the membership never empties.
         if (cl.router().node_count() == 0) return "membership emptied";
@@ -656,6 +706,11 @@ RunChaosSchedule(uint64_t seed, const std::vector<ChaosEvent> &schedule)
     };
     for (int s = 0; s < 4; ++s) step();
     sim.Run();
+    if (shed_total != nullptr) {
+        for (uint32_t n = 0; n < kNodes; ++n) {
+            *shed_total += cl.node(n).admission().shed_overload;
+        }
+    }
     if (lost != 0 || wrong_size != 0) {
         return std::to_string(lost) + " keys lost, " +
                std::to_string(wrong_size) + " wrong sizes (of " +
@@ -666,13 +721,19 @@ RunChaosSchedule(uint64_t seed, const std::vector<ChaosEvent> &schedule)
 
 TEST(Chaos, HundredSeededSchedulesLoseNothing)
 {
+    uint64_t shed_total = 0;
     for (uint64_t seed = 1; seed <= 100; ++seed) {
         const std::vector<ChaosEvent> schedule =
             MakeChaosSchedule(seed, 3, 12);
-        const std::string failure = RunChaosSchedule(seed, schedule);
+        const std::string failure =
+            RunChaosSchedule(seed, schedule, &shed_total);
         ASSERT_EQ(failure, "")
             << failure << "\nreplay with: " << ChaosScheduleText(seed, schedule);
     }
+    // Across 100 schedules the overload bursts must have hit real
+    // admission control somewhere — otherwise this suite never actually
+    // mixed sheds with stops, restarts and fail-slow windows.
+    EXPECT_GT(shed_total, 0u);
 }
 
 }  // namespace

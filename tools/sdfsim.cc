@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "client/kv_client.h"
 #include "cluster/cluster.h"
 #include "cluster/rebalancer.h"
 #include "fault_common.h"
@@ -71,6 +72,19 @@ struct Options
     int64_t kill_node = -1;          // >=0: kill that node's device mid-run.
     int64_t restart_node = -1;       // >=0: stop + restart that node mid-run.
     bool rebalance = false;          // Heal placement after --kill-node.
+
+    // Overload workload (--workload=overload).
+    double arrival_rate = 50000.0;   // Open-loop arrivals/sec.
+    double storm = 2.0;              // Arrival multiplier in the storm window.
+    int64_t fail_slow_node = -1;     // >=0: that node serves slower mid-run.
+    double fail_slow_factor = 4.0;   // Service-time multiplier for it.
+    bool hedge = true;               // Hedged reads at the client.
+    uint32_t window = 64;            // Client outstanding ops per node.
+    uint32_t coalesce = 8;           // Max reads per batched RPC.
+    double deadline_ms = 5.0;        // Per-op deadline; 0 = none.
+    uint32_t queue_cap = 256;        // Client pending queue per node.
+    uint32_t admission_cap = 128;    // Server inflight cap per node.
+    bool breaker = true;             // Fail-slow circuit breaker.
 
     // Observability exports (--stats-json/--stats-csv/--trace).
     bench::ObsCli obs;
@@ -123,6 +137,20 @@ PrintHelp()
         "  --rebalance          with --kill-node: declare the node dead and\n"
         "                       run anti-entropy to restore redundancy\n"
         "  --keys=<n>           keys preloaded via the router (default 300)\n"
+        "\n"
+        "overload (--workload=overload):\n"
+        "  --arrival-rate=<f>   open-loop arrivals/sec (default 50000)\n"
+        "  --storm=<f>          arrival multiplier in the middle third of\n"
+        "                       the run (default 2.0; 1.0 = no storm)\n"
+        "  --fail-slow-node=<n> that node serves slower for the middle third\n"
+        "  --fail-slow-factor=<f>  its service-time multiplier (default 4)\n"
+        "  --hedge / --no-hedge    hedged reads at the client (default on)\n"
+        "  --window=<n>         client outstanding ops per node (default 64)\n"
+        "  --coalesce=<n>       max reads per batched RPC (default 8)\n"
+        "  --deadline-ms=<f>    per-op deadline, 0 = none (default 5)\n"
+        "  --queue-cap=<n>      client pending queue per node (default 256)\n"
+        "  --admission-cap=<n>  server inflight cap per node (default 128)\n"
+        "  --no-breaker         disable the fail-slow circuit breaker\n"
         "\n");
     std::puts(bench::ObsCli::HelpText());
     std::puts(
@@ -221,6 +249,30 @@ ParseArgs(int argc, char **argv, Options &opt)
             opt.restart_node = std::stoll(val);
         } else if (key == "--rebalance") {
             opt.rebalance = true;
+        } else if (key == "--arrival-rate") {
+            opt.arrival_rate = std::stod(val);
+        } else if (key == "--storm") {
+            opt.storm = std::stod(val);
+        } else if (key == "--fail-slow-node") {
+            opt.fail_slow_node = std::stoll(val);
+        } else if (key == "--fail-slow-factor") {
+            opt.fail_slow_factor = std::stod(val);
+        } else if (key == "--hedge") {
+            opt.hedge = true;
+        } else if (key == "--no-hedge") {
+            opt.hedge = false;
+        } else if (key == "--window") {
+            opt.window = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--coalesce") {
+            opt.coalesce = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--deadline-ms") {
+            opt.deadline_ms = std::stod(val);
+        } else if (key == "--queue-cap") {
+            opt.queue_cap = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--admission-cap") {
+            opt.admission_cap = static_cast<uint32_t>(std::stoul(val));
+        } else if (key == "--no-breaker") {
+            opt.breaker = false;
         } else if (!opt.obs.TryFlag(key, val)) {
             std::fprintf(stderr, "unknown flag: %s (try --help)\n",
                          key.c_str());
@@ -710,6 +762,214 @@ RunCluster(Options &opt)
     return lost == 0 && under_replicated == 0 ? 0 : 1;
 }
 
+/**
+ * --workload=overload: open-loop Poisson traffic through the async client
+ * front door, with an optional mid-run arrival storm and one fail-slow
+ * node. Exercises the whole defense stack: client windows + coalescing +
+ * hedged reads, server admission control, deadline propagation, and the
+ * fail-slow circuit breaker. Exits nonzero if any acked write is lost.
+ */
+int
+RunOverload(Options &opt)
+{
+    sim::Simulator sim;
+    InstallHub(opt, sim);
+
+    cluster::ClusterConfig cc;
+    cc.nodes = opt.nodes;
+    cc.replication = opt.replication;
+    cc.node.kv.stack.backend =
+        opt.device == "huawei"  ? testbed::Backend::kHuaweiGen3
+        : opt.device == "intel" ? testbed::Backend::kIntel320
+                                : testbed::Backend::kBaiduSdf;
+    cc.node.kv.stack.ssd_through_block_layer = true;
+    cc.node.kv.stack.capacity_scale = opt.scale;
+    cc.node.kv.stack.tune_sdf = [&opt](core::SdfConfig &dc) {
+        ApplyErrorOverrides(dc, opt);
+    };
+    cc.node.kv.store.slice_count = opt.slices;
+    cc.node.admission_cap = opt.admission_cap;
+    cc.breaker.enabled = opt.breaker;
+    cluster::Cluster cl(sim, cc);
+
+    // Small values: open-loop overload is a request-rate experiment, not a
+    // bandwidth one.
+    const uint32_t value_bytes =
+        (opt.value_explicit ? opt.value_kib : 4) * util::kKiB;
+    uint64_t loaded = 0;
+    std::vector<uint64_t> keys;
+    for (uint32_t k = 0; k < opt.keys; ++k) {
+        const uint64_t key = k + 1;
+        keys.push_back(key);
+        cl.router().Put(key, value_bytes,
+                        [&loaded](bool ok) { loaded += ok ? 1 : 0; });
+    }
+    sim.Run();
+    cl.FlushAll();
+    sim.Run();
+    if (loaded != opt.keys) {
+        std::fprintf(stderr, "preload: only %llu/%u keys acked\n",
+                     static_cast<unsigned long long>(loaded), opt.keys);
+        return 1;
+    }
+
+    const util::TimeNs load_start = sim.Now();
+    const util::TimeNs dur = util::SecToNs(opt.duration);
+
+    // Fail-slow through the fault plan so the scenario is replayable: the
+    // injector's sink delivers the multiplier to the node and restores it
+    // when the window (the middle third of the run) ends.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (opt.fail_slow_node >= 0) {
+        const auto victim = static_cast<uint32_t>(opt.fail_slow_node);
+        if (victim >= cl.node_count()) {
+            std::fprintf(stderr, "--fail-slow-node=%u: no such node\n",
+                         victim);
+            return 1;
+        }
+        fault::FaultEvent e;
+        e.when = load_start + dur / 3;
+        e.kind = fault::FaultKind::kFailSlow;
+        e.device = victim;
+        e.duration = dur / 3;
+        e.magnitude = opt.fail_slow_factor;
+        injector = std::make_unique<fault::FaultInjector>(
+            sim, cl.SdfDevices(), fault::FaultPlan({e}),
+            [&cl](uint32_t node, double m) {
+                if (node < cl.node_count()) cl.node(node).SetFailSlow(m);
+            });
+    }
+
+    client::KvClientConfig kc;
+    kc.window_per_node = opt.window;
+    kc.queue_cap = opt.queue_cap;
+    kc.batch_max = opt.coalesce;
+    kc.deadline = opt.deadline_ms > 0 ? util::MsToNs(opt.deadline_ms) : 0;
+    kc.hedge_reads = opt.hedge;
+    client::KvClient client(sim, cl.router(), kc);
+
+    workload::OpenRunConfig oc;
+    oc.arrival_rate = opt.arrival_rate;
+    oc.read_fraction = opt.read_fraction;
+    oc.value_bytes = value_bytes;
+    oc.duration = dur;
+    oc.seed = opt.seed;
+    oc.storm_factor = opt.storm;
+    oc.storm_start = dur / 3;
+    oc.storm_end = 2 * dur / 3;
+    const workload::OpenRunResult r =
+        workload::RunOpenLoad(sim, client.Service(), keys, oc);
+
+    std::printf("overload: %u nodes, R=%u, %.0f arrivals/s "
+                "(storm x%.1f in the middle third), value %u KiB\n",
+                opt.nodes, opt.replication, opt.arrival_rate, opt.storm,
+                value_bytes / static_cast<uint32_t>(util::kKiB));
+    std::printf("offered %.0f ops/s, goodput %.0f ops/s "
+                "(%llu issued, %llu completed)\n",
+                r.offered_ops_per_sec, r.goodput_ops_per_sec,
+                static_cast<unsigned long long>(r.issued),
+                static_cast<unsigned long long>(r.completed));
+    std::printf("outcomes: %llu reads ok, %llu writes acked, %llu misses, "
+                "%llu shed overloaded, %llu shed deadline, %llu errors\n",
+                static_cast<unsigned long long>(r.ok_reads),
+                static_cast<unsigned long long>(r.ok_writes),
+                static_cast<unsigned long long>(r.misses),
+                static_cast<unsigned long long>(r.shed_overloaded),
+                static_cast<unsigned long long>(r.shed_deadline),
+                static_cast<unsigned long long>(r.errors));
+    std::printf("latency: p50 %.3f ms, p99 %.3f ms, p99.9 %.3f ms "
+                "(read p99 %.3f ms)\n",
+                r.p50_ms, r.p99_ms, r.p999_ms, r.read_p99_ms);
+
+    const client::ClientStats &cs = client.stats();
+    const client::HedgeStats &hs = client.hedge_stats();
+    std::printf("client: %llu queued, %llu shed at the front door, "
+                "%llu batches carrying %llu reads, %llu fallback walks\n",
+                static_cast<unsigned long long>(cs.queued),
+                static_cast<unsigned long long>(cs.shed_queue_full),
+                static_cast<unsigned long long>(cs.batches),
+                static_cast<unsigned long long>(cs.batched_gets),
+                static_cast<unsigned long long>(cs.fallback_walks));
+    std::printf("hedge: %llu launched, %llu wins, %llu losses, "
+                "%llu cancelled (threshold now %.3f ms)\n",
+                static_cast<unsigned long long>(hs.launched),
+                static_cast<unsigned long long>(hs.wins),
+                static_cast<unsigned long long>(hs.losses),
+                static_cast<unsigned long long>(hs.cancelled),
+                static_cast<double>(client.HedgeThreshold()) / 1e6);
+
+    uint64_t admitted = 0, shed = 0;
+    util::TablePrinter table("admission per node");
+    table.SetHeader({"node", "admitted", "shed", "peak inflight"});
+    for (uint32_t n = 0; n < cl.node_count(); ++n) {
+        const cluster::StorageNode::AdmissionStats &as =
+            cl.node(n).admission();
+        admitted += as.admitted;
+        shed += as.shed_overload;
+        table.AddRow({std::to_string(n), std::to_string(as.admitted),
+                      std::to_string(as.shed_overload),
+                      std::to_string(as.peak_inflight)});
+    }
+    table.Print();
+    const cluster::FailSlowBreaker::Stats &bs = cl.router().breaker().stats();
+    std::printf("breaker: %llu trips, %llu resets, %llu reroutes, "
+                "%u open now\n",
+                static_cast<unsigned long long>(bs.trips),
+                static_cast<unsigned long long>(bs.resets),
+                static_cast<unsigned long long>(bs.reroutes),
+                cl.router().breaker().open_count());
+
+    // Every write the client acked must still be readable: overload may
+    // shed, but it must never lose. Closed-loop so the audit itself cannot
+    // congest the cluster.
+    uint64_t lost = 0, audited = 0;
+    size_t next = 0;
+    std::function<void()> audit_step = [&]() {
+        if (next >= r.acked_writes.size()) return;
+        const uint64_t key = r.acked_writes[next++];
+        cl.router().Get(key, [&, key](const kv::GetResult &res) {
+            ++audited;
+            if (!res.ok || !res.found) {
+                ++lost;
+                if (lost <= 10) {
+                    std::fprintf(stderr, "lost acked key %llu\n",
+                                 static_cast<unsigned long long>(key));
+                }
+            }
+            audit_step();
+        });
+    };
+    for (uint32_t s = 0; s < 8; ++s) audit_step();
+    sim.Run();
+    std::printf("consistency audit: %llu acked writes, %llu lost\n",
+                static_cast<unsigned long long>(audited),
+                static_cast<unsigned long long>(lost));
+
+    AddCommonMeta(opt);
+    opt.obs.AddMeta("nodes", std::to_string(opt.nodes));
+    opt.obs.AddMeta("replication", std::to_string(opt.replication));
+    opt.obs.AddMeta("arrival_rate", std::to_string(opt.arrival_rate));
+    opt.obs.AddMeta("storm", std::to_string(opt.storm));
+    opt.obs.AddMeta("hedge", opt.hedge ? "1" : "0");
+    opt.obs.AddDerived("result.offered_ops_per_sec", r.offered_ops_per_sec);
+    opt.obs.AddDerived("result.goodput_ops_per_sec", r.goodput_ops_per_sec);
+    opt.obs.AddDerived("result.p99_ms", r.p99_ms);
+    opt.obs.AddDerived("result.read_p99_ms", r.read_p99_ms);
+    opt.obs.AddDerived("result.shed_overloaded",
+                       static_cast<double>(r.shed_overloaded));
+    opt.obs.AddDerived("result.shed_deadline",
+                       static_cast<double>(r.shed_deadline));
+    opt.obs.AddDerived("result.hedge_launched",
+                       static_cast<double>(hs.launched));
+    opt.obs.AddDerived("result.hedge_wins", static_cast<double>(hs.wins));
+    opt.obs.AddDerived("result.admission_shed", static_cast<double>(shed));
+    opt.obs.AddDerived("result.breaker_trips", static_cast<double>(bs.trips));
+    opt.obs.AddDerived("result.lost_acked_writes",
+                       static_cast<double>(lost));
+    if (const int rc = opt.obs.Export(); rc != 0) return rc;
+    return lost == 0 ? 0 : 1;
+}
+
 int
 RunKv(Options &opt)
 {
@@ -771,6 +1031,7 @@ main(int argc, char **argv)
 
     if (opt.workload == "faults") return sdf::RunFaults(opt);
     if (opt.workload == "cluster") return sdf::RunCluster(opt);
+    if (opt.workload == "overload") return sdf::RunOverload(opt);
     if (opt.workload.rfind("kv", 0) == 0 || opt.workload == "scan") {
         return sdf::RunKv(opt);
     }
