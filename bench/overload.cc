@@ -111,8 +111,9 @@ struct RunOutcome
 };
 
 RunOutcome
-RunOnce(double rate, double storm, int64_t fail_slow_node,
-        double fail_slow_factor, bool hedge, bool breaker)
+RunOnce(const std::string &label, double rate, double storm,
+        int64_t fail_slow_node, double fail_slow_factor, bool hedge,
+        bool breaker)
 {
     sim::Simulator sim;
     bench::BindObs(sim);
@@ -155,6 +156,10 @@ RunOnce(double rate, double storm, int64_t fail_slow_node,
     oc.storm_start = dur / 3;
     oc.storm_end = 2 * dur / 3;
 
+    // Each configuration gets its own labelled series segment, so a
+    // --stats-series export shows every run's storm timeline separately.
+    bench::GlobalObs().StartSeries(sim, label, dur);
+
     RunOutcome out;
     out.r = workload::RunOpenLoad(sim, client.Service(), keys, oc);
     out.cs = client.stats();
@@ -180,7 +185,8 @@ RunStormSweep(bench::ObsCli &obs)
     bool all_typed = true;
     for (double mult : {0.5, 1.0, 2.0}) {
         const RunOutcome out =
-            RunOnce(kBaseRate * mult, 2.0, -1, 1.0, true, true);
+            RunOnce("storm.x" + util::TablePrinter::Num(mult, 1),
+                    kBaseRate * mult, 2.0, -1, 1.0, true, true);
         table.AddRow({util::TablePrinter::Num(out.r.offered_ops_per_sec, 0),
                       util::TablePrinter::Num(out.r.goodput_ops_per_sec, 0),
                       std::to_string(out.r.shed_overloaded),
@@ -233,9 +239,12 @@ RunFailSlow(bench::ObsCli &obs)
     // fail-slow is a latency fault, and conflating it with saturation
     // would let the admission path take credit for the hedge's work.
     const double rate = 25000.0;
-    const RunOutcome unhedged = RunOnce(rate, 1.0, 1, 6.0, false, false);
-    const RunOutcome hedged = RunOnce(rate, 1.0, 1, 6.0, true, false);
-    const RunOutcome full = RunOnce(rate, 1.0, 1, 6.0, true, true);
+    const RunOutcome unhedged =
+        RunOnce("failslow.unhedged", rate, 1.0, 1, 6.0, false, false);
+    const RunOutcome hedged =
+        RunOnce("failslow.hedged", rate, 1.0, 1, 6.0, true, false);
+    const RunOutcome full =
+        RunOnce("failslow.hedge_breaker", rate, 1.0, 1, 6.0, true, true);
     auto add = [&table](const char *name, const RunOutcome &o) {
         table.AddRow({name, util::TablePrinter::Num(o.r.read_p99_ms, 2),
                       util::TablePrinter::Num(o.r.p999_ms, 2),

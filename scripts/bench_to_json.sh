@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Regenerate the machine-readable perf snapshot (BENCH_pr7.json by default)
+# Regenerate the machine-readable perf snapshot (BENCH_pr8.json by default)
 # from a fixed set of sdfsim runs with --stats-json. Every run is on the
 # simulated clock with a fixed seed, so the snapshot is deterministic and
 # diffs meaningfully across PRs: counters, per-stage latency means, and
 # derived throughput for the canonical workloads, including the open-loop
 # overload runs (storm goodput, typed sheds, hedge/breaker accounting).
+# The overload runs also capture --stats-series windowed timelines, which
+# are merged into the snapshot under each run's "series" key so the storm
+# and fail-slow windows are diffable across PRs too.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 
 cmake -B build -S . > /dev/null
 cmake --build build -j --target sdfsim > /dev/null
@@ -25,6 +28,15 @@ run() {
     ./build/tools/sdfsim "$@" --stats-json="$tmp/$name.json" > /dev/null
 }
 
+# Time-axis runs additionally export the windowed series.
+run_series() {
+    local name="$1"
+    shift
+    echo "bench_to_json: $name (+series)"
+    ./build/tools/sdfsim "$@" --stats-json="$tmp/$name.json" \
+        --stats-series="$tmp/$name.series.json" > /dev/null
+}
+
 # The paper's canonical operating points (capacity-scaled).
 run sdf_seqread_8m   --device=sdf --workload=seqread  --request=8m --duration=1
 run sdf_randread_8k  --device=sdf --workload=randread --request=8k --duration=0.5
@@ -34,8 +46,8 @@ run conv_write_8m    --device=huawei --workload=write --request=8m --duration=0.
 run cluster_3n_r2    --workload=cluster --nodes=3 --replication=2 --duration=0.5
 run cluster_restart  --workload=cluster --nodes=4 --replication=2 --duration=0.5 --restart-node=1
 run cluster_rebal    --workload=cluster --nodes=4 --replication=2 --duration=0.5 --kill-node=0 --rebalance
-run overload_storm   --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=60000 --storm=2.0
-run overload_failslow --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=20000 --fail-slow-node=1 --fail-slow-factor=4
+run_series overload_storm   --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=60000 --storm=2.0
+run_series overload_failslow --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=20000 --fail-slow-node=1 --fail-slow-factor=4
 
 python3 - "$out" "$tmp" <<'EOF'
 import json
@@ -45,9 +57,16 @@ import sys
 out_path, tmp = sys.argv[1], sys.argv[2]
 runs = {}
 for fn in sorted(os.listdir(tmp)):
+    if fn.endswith(".series.json"):
+        continue
     if fn.endswith(".json"):
+        name = fn[:-5]
         with open(os.path.join(tmp, fn)) as f:
-            runs[fn[:-5]] = json.load(f)
+            runs[name] = json.load(f)
+        series_fn = os.path.join(tmp, name + ".series.json")
+        if os.path.exists(series_fn):
+            with open(series_fn) as f:
+                runs[name]["series"] = json.load(f)["series"]
 doc = {"generated_by": "scripts/bench_to_json.sh", "runs": runs}
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)

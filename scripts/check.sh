@@ -54,15 +54,23 @@ echo "== recovery smoke =="
 
 echo "== overload smoke =="
 # Open-loop storm through the client front door: nonzero exit on any
-# lost acked write; storms, sheds and hedges stay seed-deterministic.
+# lost acked write; storms, sheds, hedges, the distributed trace and the
+# windowed series all stay seed-deterministic (byte-identical exports).
 ./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
     --duration=0.2 --arrival-rate=60000 --storm=2.0 \
-    --stats-json="$obs_tmp/o1.json" > /dev/null
+    --stats-json="$obs_tmp/o1.json" --trace="$obs_tmp/o1.trace.json" \
+    --stats-series="$obs_tmp/o1.series.json" > /dev/null
 ./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
     --duration=0.2 --arrival-rate=60000 --storm=2.0 \
-    --stats-json="$obs_tmp/o2.json" > /dev/null
+    --stats-json="$obs_tmp/o2.json" --trace="$obs_tmp/o2.trace.json" \
+    --stats-series="$obs_tmp/o2.series.json" > /dev/null
 cmp "$obs_tmp/o1.json" "$obs_tmp/o2.json"  # Same seed => byte-identical.
-python3 tools/validate_stats.py "$obs_tmp/o1.json"
+cmp "$obs_tmp/o1.trace.json" "$obs_tmp/o2.trace.json"
+cmp "$obs_tmp/o1.series.json" "$obs_tmp/o2.series.json"
+# Cluster critical-path tiling (client.path.*) + window contiguity.
+python3 tools/validate_stats.py "$obs_tmp/o1.json" \
+    --trace="$obs_tmp/o1.trace.json" --series="$obs_tmp/o1.series.json" \
+    --require-op=client.path.get --require-op=client.path.put
 # One fail-slow node mid-run; hedged reads + breaker route around it.
 ./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
     --duration=0.2 --fail-slow-node=1 --fail-slow-factor=4 > /dev/null

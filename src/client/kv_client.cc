@@ -54,7 +54,45 @@ KvClient::KvClient(sim::Simulator &sim, cluster::ClusterRouter &router,
         });
         m.RegisterHistogram(metric_prefix_ + ".read_latency_ns",
                             [this]() { return &read_lat_.histogram(); });
+        m.RegisterHistogram(metric_prefix_ + ".op_latency_ns",
+                            [this]() { return &op_lat_.histogram(); });
+        if (hub->trace() != nullptr) {
+            trace_ = hub->trace();
+            trace_track_ = trace_->RegisterTrack("cluster", "client");
+        }
     }
+}
+
+void
+KvClient::BeginPath(PendingOp &op)
+{
+    if (hub_ == nullptr) return;
+    op.trace.trace_id = next_trace_id_++;
+    op.span = std::make_shared<obs::IoSpan>();
+    op.span->Start(sim_.Now());
+    // The submit-side host work is instantaneous in the model; the op
+    // waits in the client queue/window until dispatch.
+    op.span->Enter(obs::Stage::kClientQueue, sim_.Now());
+}
+
+void
+KvClient::EmitClientEvent(const char *name, TimeNs start, uint64_t trace_id)
+{
+    if (trace_ == nullptr || trace_id == 0) return;
+    trace_->Complete(trace_track_, name, start, sim_.Now() - start,
+                     trace_id);
+}
+
+void
+KvClient::FinishPath(const std::shared_ptr<obs::IoSpan> &span,
+                     const char *name, const char *stat_op,
+                     uint64_t trace_id)
+{
+    if (!span) return;
+    span->Finish(sim_.Now());
+    hub_->stages().Record(stat_op, *span);
+    op_lat_.Record(span->total_ns());
+    EmitClientEvent(name, span->start_ns(), trace_id);
 }
 
 KvClient::~KvClient()
@@ -100,6 +138,7 @@ KvClient::Put(uint64_t key, uint32_t value_size, PutDone done)
     op.key = key;
     op.value_size = value_size;
     op.put_done = std::move(done);
+    BeginPath(op);
     Submit(order.front(), std::move(op));
 }
 
@@ -121,6 +160,7 @@ KvClient::Get(uint64_t key, GetDone done)
     PendingOp op;
     op.key = key;
     op.get_done = std::move(done);
+    BeginPath(op);
     Submit(order.front(), std::move(op));
 }
 
@@ -134,7 +174,12 @@ KvClient::Submit(uint32_t node, PendingOp op)
         // before this request costs anyone else anything.
         ++stats_.shed_queue_full;
         ++stats_.overloaded;
-        sim_.Schedule(0, [op = std::move(op)]() {
+        sim_.Schedule(0, [this, op = std::move(op)]() {
+            // A client-side shed still settles the span: its whole (tiny)
+            // lifetime is client_queue time, and the tiling stays exact.
+            FinishPath(op.span, op.is_put ? "put" : "get",
+                       op.is_put ? "client.path.put" : "client.path.get",
+                       op.trace.trace_id);
             if (op.is_put) {
                 if (op.put_done) op.put_done(kv::OpStatus::kOverloaded);
             } else if (op.get_done) {
@@ -194,9 +239,14 @@ KvClient::DispatchPut(uint32_t node, PendingOp op)
     ++q.inflight;
     kv::OpContext ctx;
     ctx.deadline = DeadlineFromNow();
+    ctx.trace = op.trace;
+    ctx.path = op.span;
+    // Dispatch closes the client-queue segment; the request is on the wire.
+    if (op.span) op.span->Enter(obs::Stage::kRpcWire, sim_.Now());
     router_.PutTyped(
         op.key, op.value_size,
-        [this, node, done = std::move(op.put_done)](kv::OpStatus s) {
+        [this, node, span = op.span, trace_id = op.trace.trace_id,
+         done = std::move(op.put_done)](kv::OpStatus s) {
             switch (s) {
                 case kv::OpStatus::kOk: ++stats_.ok; break;
                 case kv::OpStatus::kOverloaded: ++stats_.overloaded; break;
@@ -205,6 +255,7 @@ KvClient::DispatchPut(uint32_t node, PendingOp op)
                     break;
                 case kv::OpStatus::kError: ++stats_.errors; break;
             }
+            FinishPath(span, "put", "client.path.put", trace_id);
             ReleaseSlot(node);
             if (done) done(s);
         },
@@ -231,12 +282,20 @@ KvClient::DispatchGets(uint32_t node, std::vector<PendingOp> ops)
         op->t0 = sim_.Now();
         op->deadline = ctx.deadline;
         op->done = std::move(p.get_done);
+        op->trace = p.trace;
+        op->span = std::move(p.span);
+        // Every member's queue segment ends at dispatch. Only the first
+        // member's span rides the RPC (single writer); the rest spend the
+        // round trip in rpc_wire — coarse but still a correct tiling.
+        if (op->span) op->span->Enter(obs::Stage::kRpcWire, sim_.Now());
         if (hedge_after != 0) {
             op->hedge_timer = sim_.Schedule(
                 hedge_after, [this, op]() { LaunchHedge(op); });
         }
         recs.push_back(std::move(op));
     }
+    ctx.trace = recs.front()->trace;
+    ctx.path = recs.front()->span;
 
     if (recs.size() == 1) {
         auto op = recs.front();
@@ -284,6 +343,10 @@ KvClient::OnPrimaryResult(const std::shared_ptr<GetOp> &op,
     ++stats_.fallback_walks;
     kv::OpContext ctx;
     ctx.deadline = op->deadline;
+    ctx.trace = op->trace;
+    // The primary RPC has settled, so the walk takes over as the span's
+    // (single) writer; its hops extend the same timeline.
+    ctx.path = op->span;
     router_.Get(
         op->key,
         [this, op](const kv::GetResult &walked) {
@@ -311,10 +374,21 @@ KvClient::LaunchHedge(const std::shared_ptr<GetOp> &op)
     if (target == op->node) return;  // No second replica to hedge at.
     op->hedged = true;
     ++hedge_.launched;
+    // From here the parent is racing its own duplicate: attribute the
+    // remaining wait to hedge_wait, not to the primary's wire time.
+    if (op->span) op->span->Enter(obs::Stage::kHedgeWait, sim_.Now());
     kv::OpContext ctx;
     ctx.deadline = op->deadline;
+    // The duplicate shares the parent's trace id (and names it as parent)
+    // but carries no span: the parent owns the one timeline.
+    ctx.trace.trace_id = op->trace.trace_id;
+    ctx.trace.parent_span = op->trace.trace_id;
+    const TimeNs t_hedge = sim_.Now();
     router_.GetAt(target, op->key, ctx,
-                  [this, op](const kv::GetResult &res) {
+                  [this, op, t_hedge](const kv::GetResult &res) {
+                      // The hedge attempt's own lifetime, win or lose.
+                      EmitClientEvent("hedge", t_hedge,
+                                      op->trace.trace_id);
                       if (op->settled) return;
                       // Only a served value settles via the hedge; a miss
                       // or failure is not authoritative for one replica.
@@ -342,6 +416,7 @@ KvClient::Settle(const std::shared_ptr<GetOp> &op, const kv::GetResult &res,
         }
     }
     if (res.ok) read_lat_.Record(sim_.Now() - op->t0);
+    FinishPath(op->span, "get", "client.path.get", op->trace.trace_id);
     CountOutcome(res);
     // The window slot belongs to the primary RPC, not this op — it was
     // released when that RPC returned.

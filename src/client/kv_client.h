@@ -33,6 +33,9 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "sim/simulator.h"
 #include "util/latency_recorder.h"
 #include "util/units.h"
@@ -146,6 +149,8 @@ class KvClient
         uint32_t value_size = 0;
         PutDone put_done;
         GetDone get_done;
+        obs::TraceContext trace;           ///< Distributed-trace identity.
+        std::shared_ptr<obs::IoSpan> span; ///< Critical-path timeline.
     };
 
     /** One read in flight; shared by primary, hedge and fallback paths. */
@@ -159,6 +164,8 @@ class KvClient
         bool hedged = false;     ///< Hedge request actually launched.
         sim::EventId hedge_timer = sim::kInvalidEvent;
         GetDone done;
+        obs::TraceContext trace;
+        std::shared_ptr<obs::IoSpan> span;
     };
 
     struct NodeQueue
@@ -179,6 +186,15 @@ class KvClient
                 bool from_hedge);
     void CountOutcome(const kv::GetResult &res);
     TimeNs DeadlineFromNow() const;
+    /** Start the op's trace identity + critical-path span (hub only). */
+    void BeginPath(PendingOp &op);
+    /** Finish @p span, fold it into `client.path.<op>`, emit the client
+     *  track event. Safe on null spans (no hub). */
+    void FinishPath(const std::shared_ptr<obs::IoSpan> &span,
+                    const char *name, const char *stat_op,
+                    uint64_t trace_id);
+    /** Complete-event on the client track; no-op unless tracing. */
+    void EmitClientEvent(const char *name, TimeNs start, uint64_t trace_id);
 
     sim::Simulator &sim_;
     cluster::ClusterRouter &router_;
@@ -187,8 +203,15 @@ class KvClient
     ClientStats stats_;
     HedgeStats hedge_;
     util::LatencyRecorder read_lat_;
+    /** All settled front-door ops (puts + gets); feeds windowed series. */
+    util::LatencyRecorder op_lat_;
+    /** Deterministic trace-id source: ids are handed out in submit order,
+     *  so same-seed runs produce byte-identical traces. */
+    uint64_t next_trace_id_ = 1;
 
     obs::Hub *hub_ = nullptr;
+    obs::TraceSink *trace_ = nullptr;
+    int32_t trace_track_ = -1;
     std::string metric_prefix_;
 };
 

@@ -75,7 +75,21 @@ StorageNode::StorageNode(sim::Simulator &sim, uint32_t id,
         m.RegisterGauge(admission_prefix_ + ".inflight", [this]() {
             return static_cast<double>(inflight_);
         });
+        if (hub->trace() != nullptr) {
+            trace_ = hub->trace();
+            trace_track_ = trace_->RegisterTrack(
+                "cluster", "node" + std::to_string(id));
+        }
     }
+}
+
+void
+StorageNode::EmitServerEvent(const char *name, util::TimeNs start,
+                             uint64_t trace_id)
+{
+    if (trace_ == nullptr || trace_id == 0) return;
+    trace_->Complete(trace_track_, name, start, sim_.Now() - start,
+                     trace_id);
 }
 
 StorageNode::~StorageNode()
@@ -247,33 +261,43 @@ StorageNode::Endpoint()
         const uint32_t client = next_client_++ % clients_;
         net_->RpcTyped(
             client, uint64_t{value_size} + kRpcHeaderBytes, ctx.deadline,
-            [this, key, value_size, payload](
+            [this, key, value_size, payload, span = ctx.path,
+             trace_id = ctx.trace.trace_id](
                 util::TimeNs /*deadline*/, net::Network::TypedReply reply) {
                 // A stopped process doesn't answer: the request just dies
                 // and the client times out + fails over.
                 if (!running_) return;
+                const util::TimeNs t0 = sim_.Now();
                 if (!Admit()) {
                     // Shed before any storage work: a fast typed nack the
                     // caller must not blindly retry.
+                    EmitServerEvent("server.put", t0, trace_id);
                     reply(kNackBytes, net::RpcCode::kOverloaded);
                     return;
                 }
                 const uint64_t inc = incarnation_;
-                const util::TimeNs t0 = sim_.Now();
+                if (span) span->Enter(obs::Stage::kStorage, t0);
                 // Re-puts from RPC retries are idempotent: the LSM just
                 // writes the same (key, size) again.
                 store().Put(
                     key, value_size,
-                    [this, inc, t0, reply = std::move(reply)](bool ok) {
+                    [this, inc, t0, span, trace_id,
+                     reply = std::move(reply)](bool ok) {
                         Release(inc);
+                        if (span) {
+                            span->Enter(obs::Stage::kServerHandle,
+                                        sim_.Now());
+                        }
                         // Only a durable put acks; a storage failure stays
                         // silent so the client times out and retries
                         // (and the engine eventually fails over). The same
                         // goes for an ack racing a Stop(): the process died
                         // before replying.
                         if (ok && running_) {
-                            Slowed(t0, [this, reply]() {
+                            Slowed(t0, [this, reply, t0, trace_id]() {
                                 if (running_) {
+                                    EmitServerEvent("server.put", t0,
+                                                    trace_id);
                                     reply(kAckBytes, net::RpcCode::kOk);
                                 }
                             });
@@ -283,27 +307,34 @@ StorageNode::Endpoint()
             },
             [done = std::move(done)](net::RpcCode code) {
                 if (done) done(CodeToStatus(code));
-            });
+            },
+            ctx.path);
     };
     ep.get = [this](uint64_t key, kv::GetCallback done, kv::OpContext ctx) {
         const uint32_t client = next_client_++ % clients_;
         auto res = std::make_shared<kv::GetResult>();
         net_->RpcTyped(
             client, kRpcHeaderBytes, ctx.deadline,
-            [this, key, res](util::TimeNs /*deadline*/,
-                             net::Network::TypedReply reply) {
+            [this, key, res, span = ctx.path,
+             trace_id = ctx.trace.trace_id](util::TimeNs /*deadline*/,
+                                            net::Network::TypedReply reply) {
                 if (!running_) return;
+                const util::TimeNs t0 = sim_.Now();
                 if (!Admit()) {
+                    EmitServerEvent("server.get", t0, trace_id);
                     reply(kNackBytes, net::RpcCode::kOverloaded);
                     return;
                 }
                 const uint64_t inc = incarnation_;
-                const util::TimeNs t0 = sim_.Now();
-                store().Get(key, [this, inc, res, t0,
+                if (span) span->Enter(obs::Stage::kStorage, t0);
+                store().Get(key, [this, inc, res, t0, span, trace_id,
                                   reply = std::move(reply)](
                                      const kv::GetResult &r) {
                     Release(inc);
                     if (!running_) return;
+                    if (span) {
+                        span->Enter(obs::Stage::kServerHandle, sim_.Now());
+                    }
                     *res = r;
                     // Failures/misses reply fast (small nack) so the
                     // router fails over to the next replica immediately
@@ -312,8 +343,11 @@ StorageNode::Endpoint()
                         r.ok && r.found
                             ? uint64_t{r.value_size} + kRpcHeaderBytes
                             : kNackBytes;
-                    Slowed(t0, [this, reply, bytes]() {
-                        if (running_) reply(bytes, net::RpcCode::kOk);
+                    Slowed(t0, [this, reply, bytes, t0, trace_id]() {
+                        if (running_) {
+                            EmitServerEvent("server.get", t0, trace_id);
+                            reply(bytes, net::RpcCode::kOk);
+                        }
                     });
                 });
             },
@@ -326,7 +360,8 @@ StorageNode::Endpoint()
                 } else {
                     done(*res);
                 }
-            });
+            },
+            ctx.path);
     };
     return ep;
 }
@@ -342,17 +377,20 @@ StorageNode::BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
     const size_t n = keys.size();
     net_->RpcTyped(
         client, request_bytes, ctx.deadline,
-        [this, keys = std::move(keys), results](
+        [this, keys = std::move(keys), results, span = ctx.path,
+         trace_id = ctx.trace.trace_id](
             util::TimeNs /*deadline*/, net::Network::TypedReply reply) {
             if (!running_) return;
+            const util::TimeNs t0 = sim_.Now();
             // The whole batch costs one admission slot: coalescing is how
             // a client *reduces* pressure, so it must not multiply it.
             if (!Admit()) {
+                EmitServerEvent("server.batch_get", t0, trace_id);
                 reply(kNackBytes, net::RpcCode::kOverloaded);
                 return;
             }
             const uint64_t inc = incarnation_;
-            const util::TimeNs t0 = sim_.Now();
+            if (span) span->Enter(obs::Stage::kStorage, t0);
             results->assign(keys.size(), kv::GetResult{});
             auto remaining = std::make_shared<size_t>(keys.size());
             auto shared_reply = std::make_shared<net::Network::TypedReply>(
@@ -360,12 +398,16 @@ StorageNode::BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
             for (size_t i = 0; i < keys.size(); ++i) {
                 store().Get(
                     keys[i],
-                    [this, inc, i, t0, results, remaining,
+                    [this, inc, i, t0, results, remaining, span, trace_id,
                      shared_reply](const kv::GetResult &r) {
                         (*results)[i] = r;
                         if (--*remaining > 0) return;
                         Release(inc);
                         if (!running_) return;
+                        if (span) {
+                            span->Enter(obs::Stage::kServerHandle,
+                                        sim_.Now());
+                        }
                         uint64_t bytes = kRpcHeaderBytes;
                         for (const kv::GetResult &res : *results) {
                             bytes += res.ok && res.found
@@ -373,8 +415,11 @@ StorageNode::BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
                                                kRpcHeaderBytes
                                          : kNackBytes;
                         }
-                        Slowed(t0, [this, shared_reply, bytes]() {
+                        Slowed(t0, [this, shared_reply, bytes, t0,
+                                    trace_id]() {
                             if (running_) {
+                                EmitServerEvent("server.batch_get", t0,
+                                                trace_id);
                                 (*shared_reply)(bytes, net::RpcCode::kOk);
                             }
                         });
@@ -392,7 +437,8 @@ StorageNode::BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
             } else {
                 done(*results);
             }
-        });
+        },
+        ctx.path);
 }
 
 void

@@ -191,6 +191,11 @@ class StorageNode
   private:
     /** Admission check at the RPC dispatcher; counts the decision. */
     bool Admit();
+    /** Emit a server-side trace event on this node's track: the handler
+     *  occupancy from @p start to now, tagged with the request's
+     *  distributed trace id (0 or tracing off = no-op). */
+    void EmitServerEvent(const char *name, util::TimeNs start,
+                         uint64_t trace_id);
     /** Release an admission slot taken in incarnation @p inc (no-op if
      *  the process restarted meanwhile — the slot died with it). */
     void Release(uint64_t inc);
@@ -225,6 +230,9 @@ class StorageNode
     obs::Hub *hub_ = nullptr;       ///< Metrics registration (see obs/hub.h).
     std::string metric_prefix_;
     std::string admission_prefix_;
+    /** This node's Perfetto track ("cluster"/"node<N>"); null when off. */
+    obs::TraceSink *trace_ = nullptr;
+    int32_t trace_track_ = -1;
 };
 
 /**

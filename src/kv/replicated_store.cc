@@ -77,6 +77,10 @@ ReplicationEngine::PutTyped(uint64_t key, uint32_t value_size,
                 }
             },
             payload, ctx);
+        // Only the first replica's RPC writes the request's critical-path
+        // span; a second concurrent writer would corrupt the timeline.
+        // Later replicas keep the trace identity but no span.
+        ctx.path = nullptr;
     }
 }
 

@@ -16,6 +16,9 @@
 #include <memory>
 #include <vector>
 
+#include "obs/span.h"
+#include "obs/trace_context.h"
+
 namespace sdf::kv {
 
 /** A key-value record as it flows through memtables and patches. */
@@ -73,10 +76,21 @@ WorseStatus(OpStatus a, OpStatus b)
  * Per-operation context threaded from the front door down to the RPC
  * layer. `deadline` is an absolute simulated time; 0 means none — the
  * transport's own timeout/retry ladder still bounds the attempt.
+ *
+ * `trace` is the distributed-trace identity (0 = untraced) every layer
+ * tags its trace events with, and `path` is the request's critical-path
+ * span: the layer that currently owns the request marks milestones on it
+ * (client queue, wire, admission, storage, ...) and the segments tile the
+ * client-observed latency exactly. The span has a single writer at a
+ * time — fan-out paths (put replication, hedges, batch members past the
+ * first) strip `path` and keep only `trace`, so duplicates stay linked
+ * in the trace without two writers corrupting one timeline.
  */
 struct OpContext
 {
     uint64_t deadline = 0;  ///< util::TimeNs; absolute, 0 = no deadline.
+    obs::TraceContext trace;
+    std::shared_ptr<obs::IoSpan> path;
 };
 
 /** Completion of a Get: found + size (+ data when payloads are on). */

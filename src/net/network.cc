@@ -113,7 +113,8 @@ Network::Push(uint32_t client, uint64_t bytes, sim::Callback delivered)
 }
 
 void
-Network::Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server)
+Network::Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server,
+              std::shared_ptr<obs::IoSpan> span)
 {
     SDF_CHECK(client < client_nics_.size());
     ++bulk_messages_;
@@ -122,21 +123,28 @@ Network::Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server)
         util::TransferTimeNs(bytes, spec_.client_nic_bytes_per_sec);
     client_nics_[client]->Submit(cli_wire, nullptr);
     const TimeNs arrival = sim_.Now() + cli_wire + spec_.one_way_delay;
-    sim_.ScheduleAt(arrival, [this, bytes,
-                              at_server = std::move(at_server)]() mutable {
+    if (span) span->Enter(obs::Stage::kAdmission, arrival);
+    sim_.ScheduleAt(arrival, [this, bytes, at_server = std::move(at_server),
+                              span = std::move(span)]() mutable {
         const TimeNs srv_wire =
             util::TransferTimeNs(bytes, spec_.server_nic_bytes_per_sec);
-        server_nic_.Submit(srv_wire, [this, at_server = std::move(
-                                                at_server)]() mutable {
-            server_cpu_.Submit(Scaled(spec_.server_per_message),
-                               std::move(at_server));
+        server_nic_.Submit(srv_wire, [this, at_server = std::move(at_server),
+                                      span = std::move(span)]() mutable {
+            server_cpu_.Submit(
+                Scaled(spec_.server_per_message),
+                [at_server = std::move(at_server),
+                 span = std::move(span), this]() mutable {
+                    if (span)
+                        span->Enter(obs::Stage::kServerHandle, sim_.Now());
+                    at_server();
+                });
         });
     });
 }
 
 void
 Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
-             sim::Callback delivered)
+             sim::Callback delivered, std::shared_ptr<obs::IoSpan> span)
 {
     SDF_CHECK(client < client_nics_.size());
     ++messages_;
@@ -146,16 +154,22 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
         util::TransferTimeNs(request_bytes, spec_.client_nic_bytes_per_sec);
     client_nics_[client]->Submit(req_wire, nullptr);
     const TimeNs at_server = sim_.Now() + req_wire + spec_.one_way_delay;
+    // The arrival time is known now; the span clamps it monotonic.
+    if (span) span->Enter(obs::Stage::kAdmission, at_server);
 
     sim_.ScheduleAt(at_server, [this, client, handler = std::move(handler),
-                                delivered = std::move(delivered)]() mutable {
+                                delivered = std::move(delivered),
+                                span = std::move(span)]() mutable {
         server_cpu_.Submit(Scaled(spec_.server_per_message),
                            [this, client,
                             handler = std::move(handler),
-                            delivered = std::move(
-                                delivered)]() mutable {
-            handler([this, client, delivered = std::move(delivered)](
+                            delivered = std::move(delivered),
+                            span = std::move(span)]() mutable {
+            if (span) span->Enter(obs::Stage::kServerHandle, sim_.Now());
+            handler([this, client, delivered = std::move(delivered),
+                     span = std::move(span)](
                         uint64_t response_bytes) mutable {
+                if (span) span->Enter(obs::Stage::kRpcWire, sim_.Now());
                 // Response: payload handled on the connection's serving
                 // worker, then both NICs.
                 const auto payload_cpu = Scaled(
@@ -234,18 +248,20 @@ Network::AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
 
 void
 Network::RpcTyped(uint32_t client, uint64_t request_bytes, TimeNs deadline,
-                  TypedHandler handler, std::function<void(RpcCode)> done)
+                  TypedHandler handler, std::function<void(RpcCode)> done,
+                  std::shared_ptr<obs::IoSpan> span)
 {
     AttemptTyped(
         client, request_bytes, deadline, std::move(handler),
-        std::make_shared<std::function<void(RpcCode)>>(std::move(done)), 0);
+        std::make_shared<std::function<void(RpcCode)>>(std::move(done)), 0,
+        std::move(span));
 }
 
 void
 Network::AttemptTyped(uint32_t client, uint64_t request_bytes,
                       TimeNs deadline, TypedHandler handler,
                       std::shared_ptr<std::function<void(RpcCode)>> done,
-                      uint32_t attempt)
+                      uint32_t attempt, std::shared_ptr<obs::IoSpan> span)
 {
     // A request already past its deadline never hits the wire.
     if (deadline != 0 && sim_.Now() >= deadline) {
@@ -286,7 +302,8 @@ Network::AttemptTyped(uint32_t client, uint64_t request_bytes,
             *settled = true;
             if (*code == RpcCode::kOverloaded) ++rpc_stats_.overload_replies;
             if (*done) (*done)(*code);
-        });
+        },
+        std::move(span));
 
     // Per-attempt timer: the usual RPC timeout, clipped to the deadline.
     TimeNs wait = spec_.rpc_timeout;
@@ -315,8 +332,11 @@ Network::AttemptTyped(uint32_t client, uint64_t request_bytes,
         sim_.Schedule(backoff, [this, client, request_bytes, deadline,
                                 handler = std::move(handler), done,
                                 attempt]() mutable {
+            // Retries carry no span: the first attempt owns the timeline
+            // (its server side may still be running), and a settle's
+            // Finish() makes any late milestone a no-op.
             AttemptTyped(client, request_bytes, deadline, std::move(handler),
-                         std::move(done), attempt + 1);
+                         std::move(done), attempt + 1, nullptr);
         });
     });
 }

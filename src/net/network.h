@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.h"
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
 
@@ -112,9 +113,17 @@ class Network
      * Send a request of @p request_bytes from @p client; the server runs
      * @p handler; @p delivered fires at the client when the full response
      * has arrived.
+     *
+     * When @p span is non-null the transport marks the request's
+     * critical-path milestones on it: kAdmission when the request reaches
+     * the server (closing the caller's kRpcWire segment), kServerHandle
+     * when the dispatch CPU grants and the handler runs, and kRpcWire
+     * again the moment the handler replies — so the server queue, the
+     * handler, and the reply transfer each land in their own segment.
      */
     void Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
-             sim::Callback delivered);
+             sim::Callback delivered,
+             std::shared_ptr<obs::IoSpan> span = {});
 
     /**
      * Rpc with client-side fault tolerance: each attempt is abandoned
@@ -141,7 +150,8 @@ class Network
      * runs out.
      */
     void RpcTyped(uint32_t client, uint64_t request_bytes, TimeNs deadline,
-                  TypedHandler handler, std::function<void(RpcCode)> done);
+                  TypedHandler handler, std::function<void(RpcCode)> done,
+                  std::shared_ptr<obs::IoSpan> span = {});
 
     /**
      * Fail-slow injection knob: scales every server-side service time
@@ -173,9 +183,12 @@ class Network
      * Bulk transfer into the server (rebalance/anti-entropy streaming):
      * charges both NICs for the full payload and one CPU dispatch, but no
      * per-item worker cost — the receiver ingests the stream in batches.
-     * @p at_server fires when the payload has fully arrived.
+     * @p at_server fires when the payload has fully arrived. A non-null
+     * @p span gets kAdmission marked at wire arrival and kServerHandle
+     * when the ingest dispatch runs.
      */
-    void Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server);
+    void Bulk(uint32_t client, uint64_t bytes, sim::Callback at_server,
+              std::shared_ptr<obs::IoSpan> span = {});
 
     uint64_t messages() const { return messages_; }
     uint64_t bytes_to_clients() const { return bytes_to_clients_; }
@@ -191,7 +204,7 @@ class Network
     void AttemptTyped(uint32_t client, uint64_t request_bytes,
                       TimeNs deadline, TypedHandler handler,
                       std::shared_ptr<std::function<void(RpcCode)>> done,
-                      uint32_t attempt);
+                      uint32_t attempt, std::shared_ptr<obs::IoSpan> span);
     /** Server-side service time under the fail-slow multiplier. */
     TimeNs
     Scaled(TimeNs t) const

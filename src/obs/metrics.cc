@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/assert.h"
+
 namespace sdf::obs {
 
 namespace {
@@ -47,22 +49,49 @@ CaptureHistogram(const MetricsRegistry::HistogramFn &fn)
 
 }  // namespace
 
-void
+RegisterStatus
 MetricsRegistry::RegisterCounter(const std::string &path, CounterFn fn)
 {
-    counters_[path] = std::move(fn);
+    if (!counters_.emplace(path, std::move(fn)).second)
+        return RefuseDuplicate(path);
+    return RegisterStatus::kOk;
 }
 
-void
+RegisterStatus
 MetricsRegistry::RegisterGauge(const std::string &path, GaugeFn fn)
 {
-    gauges_[path] = std::move(fn);
+    if (!gauges_.emplace(path, std::move(fn)).second)
+        return RefuseDuplicate(path);
+    return RegisterStatus::kOk;
 }
 
-void
+RegisterStatus
 MetricsRegistry::RegisterHistogram(const std::string &path, HistogramFn fn)
 {
-    histograms_[path] = std::move(fn);
+    if (!histograms_.emplace(path, std::move(fn)).second)
+        return RefuseDuplicate(path);
+    return RegisterStatus::kOk;
+}
+
+RegisterStatus
+MetricsRegistry::RefuseDuplicate(const std::string &path)
+{
+#ifndef NDEBUG
+    SDF_PANIC(("duplicate metric registration: " + path).c_str());
+#endif
+    (void)path;
+    ++duplicates_refused_;
+    return RegisterStatus::kDuplicatePath;
+}
+
+std::map<std::string, const util::Histogram *>
+MetricsRegistry::LiveHistograms() const
+{
+    std::map<std::string, const util::Histogram *> out;
+    for (const auto &[path, fn] : histograms_) {
+        if (const util::Histogram *h = fn(); h != nullptr) out[path] = h;
+    }
+    return out;
 }
 
 void

@@ -39,6 +39,16 @@ struct HistogramStats
     double p999 = 0.0;
 };
 
+/** Outcome of a Register* call. */
+enum class RegisterStatus : uint8_t
+{
+    kOk,
+    /** Path already live: the first registration is kept, the new source
+     *  refused. Silent shadowing would make two components fight over one
+     *  exported name; debug builds abort instead. */
+    kDuplicatePath,
+};
+
 /** Registry of named metric sources, snapshot-able at any simulated time. */
 class MetricsRegistry
 {
@@ -47,21 +57,27 @@ class MetricsRegistry
     using GaugeFn = std::function<double()>;
     using HistogramFn = std::function<const util::Histogram *()>;
 
-    /** Monotonic counter source under @p path (last registration wins). */
-    void RegisterCounter(const std::string &path, CounterFn fn);
+    /**
+     * Monotonic counter source under @p path. A path may hold one live
+     * source at a time: re-registering while the first is still live is a
+     * bug (two components fighting over one exported name) and fails
+     * loudly — abort in debug builds, `kDuplicatePath` (first source kept)
+     * in release builds. Unregistered (retired) paths may be reused.
+     */
+    RegisterStatus RegisterCounter(const std::string &path, CounterFn fn);
 
     /** Convenience: counter backed directly by a component's field. */
-    void
+    RegisterStatus
     RegisterCounter(const std::string &path, const uint64_t *value)
     {
-        RegisterCounter(path, [value]() { return *value; });
+        return RegisterCounter(path, [value]() { return *value; });
     }
 
     /** Floating-point gauge source (ratios, utilizations). */
-    void RegisterGauge(const std::string &path, GaugeFn fn);
+    RegisterStatus RegisterGauge(const std::string &path, GaugeFn fn);
 
     /** Histogram source (latency/size distributions). */
-    void RegisterHistogram(const std::string &path, HistogramFn fn);
+    RegisterStatus RegisterHistogram(const std::string &path, HistogramFn fn);
 
     /**
      * Remove @p prefix itself and every metric under "<prefix>.". Called by
@@ -104,6 +120,18 @@ class MetricsRegistry
         return counters_.size() + gauges_.size() + histograms_.size();
     }
 
+    /** Duplicate registrations refused so far (release builds). */
+    uint64_t duplicates_refused() const { return duplicates_refused_; }
+
+    /**
+     * Live histogram sources as raw pointers, for consumers that need the
+     * full distribution rather than summary stats (the series recorder
+     * diffs consecutive copies to get per-window percentiles). Sources
+     * returning null are omitted. Pointers are only valid until the owning
+     * component unregisters its prefix.
+     */
+    std::map<std::string, const util::Histogram *> LiveHistograms() const;
+
     /** Values of every registered source at the moment of the call. */
     struct Snapshot
     {
@@ -115,11 +143,15 @@ class MetricsRegistry
     Snapshot Take() const;
 
   private:
+    /** Debug: abort. Release: count and keep the first registration. */
+    RegisterStatus RefuseDuplicate(const std::string &path);
+
     std::map<std::string, CounterFn> counters_;
     std::map<std::string, GaugeFn> gauges_;
     std::map<std::string, HistogramFn> histograms_;
     std::map<std::string, uint32_t> instance_counts_;
     std::vector<std::string> scopes_;  ///< Active PushScope stack.
+    uint64_t duplicates_refused_ = 0;
     /** Final values of unregistered sources; live sources shadow them. */
     Snapshot retired_;
 };

@@ -4,10 +4,13 @@
  * the bench suite, sdfsim, and the examples. Header-only so a binary only
  * pays for it when it links nothing else from obs.
  *
- * Flags: --stats-json=<path>, --stats-csv=<path>, --trace=<path> and
- * --trace-limit=<n>. When any export is requested the helper owns an
- * obs::Hub ready to install on a Simulator (before device construction);
- * otherwise hub() stays null and the run is unchanged.
+ * Flags: --stats-json=<path>, --stats-csv=<path>, --trace=<path>,
+ * --trace-limit=<n>, --stats-series=<path> and --series-interval-ms=<f>.
+ * When any export is requested the helper owns an obs::Hub ready to
+ * install on a Simulator (before device construction); otherwise hub()
+ * stays null and the run is unchanged. Workloads with a time axis call
+ * StartSeries(sim, label, horizon) once their load phase begins; the call
+ * is inert unless --stats-series was given.
  */
 #ifndef SDF_OBS_OBS_CLI_H
 #define SDF_OBS_OBS_CLI_H
@@ -17,7 +20,9 @@
 #include <string>
 
 #include "obs/hub.h"
+#include "obs/series.h"
 #include "sim/simulator.h"
+#include "util/units.h"
 
 namespace sdf::obs {
 
@@ -33,6 +38,9 @@ class ObsCli
         else if (key == "--stats-csv") stats_csv_ = val;
         else if (key == "--trace") trace_path_ = val;
         else if (key == "--trace-limit") trace_limit_ = std::stoull(val);
+        else if (key == "--stats-series") series_path_ = val;
+        else if (key == "--series-interval-ms")
+            series_interval_ = util::MsToNs(std::stod(val));
         else return false;
         return true;
     }
@@ -57,7 +65,7 @@ class ObsCli
     enabled() const
     {
         return !stats_json_.empty() || !stats_csv_.empty() ||
-               !trace_path_.empty();
+               !trace_path_.empty() || !series_path_.empty();
     }
 
     /** The hub to install with sim.set_hub(), or null when disabled. */
@@ -68,8 +76,30 @@ class ObsCli
         if (!hub_) {
             hub_ = std::make_unique<obs::Hub>();
             if (!trace_path_.empty()) hub_->EnableTrace(trace_limit_);
+            // Registered whether or not tracing is on (it reads 0 when
+            // off) so a --trace run exports the same stats document as a
+            // run without it.
+            obs::Hub *h = hub_.get();
+            h->metrics().RegisterCounter("obs.trace.dropped", [h]() {
+                return h->trace() != nullptr ? h->trace()->dropped() : 0;
+            });
         }
         return hub_.get();
+    }
+
+    /**
+     * Begin the windowed time series for the load phase starting now and
+     * lasting @p horizon. No-op unless --stats-series was requested. Safe
+     * to call once per run in a multi-run bench; each call opens a new
+     * labelled segment in the exported document.
+     */
+    void
+    StartSeries(sim::Simulator &sim, const std::string &label,
+                util::TimeNs horizon)
+    {
+        if (series_path_.empty()) return;
+        series_.Start(sim, hub()->metrics(), label, series_interval_,
+                      horizon);
     }
 
     void AddMeta(const std::string &k, const std::string &v) { meta_[k] = v; }
@@ -104,6 +134,10 @@ class ObsCli
                                  h.trace()->dropped()));
             }
         }
+        if (!series_path_.empty() && !series_.WriteJson(series_path_)) {
+            std::fprintf(stderr, "cannot write %s\n", series_path_.c_str());
+            rc = 1;
+        }
         return rc;
     }
 
@@ -114,7 +148,10 @@ class ObsCli
                "  --stats-json=<file>  export metrics+stage stats as JSON\n"
                "  --stats-csv=<file>   same document as key,value CSV\n"
                "  --trace=<file>       Perfetto/chrome://tracing JSON trace\n"
-               "  --trace-limit=<n>    trace event cap (default 1048576)\n";
+               "  --trace-limit=<n>    trace event cap (default 1048576);\n"
+               "                       overflow is counted, not silent\n"
+               "  --stats-series=<file>      windowed time-series JSON\n"
+               "  --series-interval-ms=<f>   window width (default 50 ms)\n";
     }
 
   private:
@@ -122,6 +159,9 @@ class ObsCli
     std::string stats_csv_;
     std::string trace_path_;
     size_t trace_limit_ = obs::TraceSink::kDefaultMaxEvents;
+    std::string series_path_;
+    util::TimeNs series_interval_ = util::MsToNs(50.0);
+    obs::SeriesRecorder series_;
     std::unique_ptr<obs::Hub> hub_;
     obs::MetaMap meta_;
     obs::DerivedMap derived_;

@@ -1,0 +1,173 @@
+#include "obs/series.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sdf::obs {
+
+namespace {
+
+/** Same fixed format as the stats exporter: byte-identical across runs. */
+std::string
+Num(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+HistogramStats
+StatsOf(const util::Histogram &h)
+{
+    HistogramStats s;
+    s.count = h.count();
+    s.min = h.min();
+    s.max = h.max();
+    s.mean = h.Mean();
+    s.p50 = h.Percentile(50);
+    s.p99 = h.Percentile(99);
+    s.p999 = h.Percentile(99.9);
+    return s;
+}
+
+}  // namespace
+
+void
+SeriesRecorder::Start(sim::Simulator &sim, MetricsRegistry &metrics,
+                      const std::string &label, TimeNs interval,
+                      TimeNs horizon)
+{
+    if (interval <= 0 || horizon <= 0) return;
+    Segment seg;
+    seg.label = label;
+    seg.interval = interval;
+    segments_.push_back(std::move(seg));
+
+    window_start_ = sim.Now();
+    prev_ = metrics.Take();
+    prev_hists_.clear();
+    for (const auto &[path, h] : metrics.LiveHistograms())
+        prev_hists_.emplace(path, *h);
+
+    ScheduleNext(sim, metrics, segments_.size() - 1,
+                 sim.Now() + horizon);
+}
+
+void
+SeriesRecorder::ScheduleNext(sim::Simulator &sim, MetricsRegistry &metrics,
+                             size_t segment, TimeNs horizon_end)
+{
+    const TimeNs interval = segments_[segment].interval;
+    const TimeNs when = std::min(window_start_ + interval, horizon_end);
+    sim.ScheduleAt(when, [this, &sim, &metrics, segment, horizon_end]() {
+        Tick(sim, metrics, segment, horizon_end);
+    });
+}
+
+void
+SeriesRecorder::Tick(sim::Simulator &sim, MetricsRegistry &metrics,
+                     size_t segment, TimeNs horizon_end)
+{
+    // A Start() for a newer segment supersedes this chain (bench binaries
+    // run several configurations; only the latest segment ticks).
+    if (segment + 1 != segments_.size()) return;
+
+    const TimeNs now = sim.Now();
+    Window w;
+    w.start_ns = window_start_;
+    w.end_ns = now;
+
+    const MetricsRegistry::Snapshot snap = metrics.Take();
+    for (const auto &[path, v] : snap.counters) {
+        const auto it = prev_.counters.find(path);
+        const uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+        if (v > before) w.counters[path] = v - before;
+    }
+    w.gauges = snap.gauges;
+
+    std::map<std::string, util::Histogram> cur_hists;
+    for (const auto &[path, h] : metrics.LiveHistograms())
+        cur_hists.emplace(path, *h);
+    for (const auto &[path, cur] : cur_hists) {
+        const auto it = prev_hists_.find(path);
+        const util::Histogram d = it == prev_hists_.end()
+                                      ? cur
+                                      : util::Histogram::Delta(it->second, cur);
+        if (d.count() > 0) w.histograms[path] = StatsOf(d);
+    }
+
+    segments_[segment].windows.push_back(std::move(w));
+    prev_ = snap;
+    prev_hists_ = std::move(cur_hists);
+    window_start_ = now;
+    if (now < horizon_end) ScheduleNext(sim, metrics, segment, horizon_end);
+}
+
+std::string
+SeriesRecorder::ToJson() const
+{
+    std::string out;
+    out.reserve(1024 + window_count() * 512);
+    out += "{\n \"series\": [";
+    bool first_seg = true;
+    for (const Segment &seg : segments_) {
+        if (!first_seg) out += ",";
+        first_seg = false;
+        out += "\n  {\n   \"label\": \"" + seg.label + "\",";
+        out += "\n   \"interval_ns\": " + std::to_string(seg.interval) + ",";
+        out += "\n   \"windows\": [";
+        bool first_win = true;
+        for (const Window &w : seg.windows) {
+            if (!first_win) out += ",";
+            first_win = false;
+            out += "\n    {\"start_ns\": " + std::to_string(w.start_ns);
+            out += ", \"end_ns\": " + std::to_string(w.end_ns);
+            out += ",\n     \"counters\": {";
+            bool first = true;
+            for (const auto &[k, v] : w.counters) {
+                if (!first) out += ", ";
+                first = false;
+                out += "\"" + k + "\": " + std::to_string(v);
+            }
+            out += "},\n     \"gauges\": {";
+            first = true;
+            for (const auto &[k, v] : w.gauges) {
+                if (!first) out += ", ";
+                first = false;
+                out += "\"" + k + "\": " + Num(v);
+            }
+            out += "},\n     \"histograms\": {";
+            first = true;
+            for (const auto &[k, h] : w.histograms) {
+                if (!first) out += ", ";
+                first = false;
+                out += "\"" + k + "\": {\"count\": " +
+                       std::to_string(h.count);
+                out += ", \"mean\": " + Num(h.mean);
+                out += ", \"p50\": " + Num(h.p50);
+                out += ", \"p99\": " + Num(h.p99);
+                out += ", \"p999\": " + Num(h.p999);
+                out += "}";
+            }
+            out += "}}";
+        }
+        out += first_win ? "]" : "\n   ]";
+        out += "\n  }";
+    }
+    out += first_seg ? "]" : "\n ]";
+    out += "\n}\n";
+    return out;
+}
+
+bool
+SeriesRecorder::WriteJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string json = ToJson();
+    const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    return n == json.size() && closed;
+}
+
+}  // namespace sdf::obs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Windowed time-series metrics on the simulated clock.
+ *
+ * An end-of-run stats export smears a storm, a breaker trip, and the
+ * recovery after it into one aggregate. The SeriesRecorder answers
+ * "when": started on a Simulator with a fixed interval and a horizon, it
+ * snapshots the metrics registry at every window boundary and stores
+ * per-window *deltas* — counter increments, gauge values at the window's
+ * end, and windowed histogram percentiles obtained by diffing consecutive
+ * copies of each live histogram (util::Histogram::Delta). A storm's shed
+ * burst therefore lands in exactly the windows it happened in, and a
+ * breaker trip shows as the `cluster.breaker.open_nodes` gauge stepping
+ * up in one window and back down later.
+ *
+ * The tick chain is horizon-bounded: the recorder schedules the next tick
+ * only while inside [start, start + horizon], so a drained simulator
+ * still reaches queue-empty and `sim.Run()` terminates. Everything is
+ * driven by the simulated clock and rendered with fixed number formats,
+ * so same-seed runs export byte-identical series.
+ */
+#ifndef SDF_OBS_SERIES_H
+#define SDF_OBS_SERIES_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "util/histogram.h"
+#include "util/units.h"
+
+namespace sdf::obs {
+
+using util::TimeNs;
+
+/** Records per-window metric deltas; one segment per Start() call. */
+class SeriesRecorder
+{
+  public:
+    /** One window's worth of change, [start_ns, end_ns) on the sim clock. */
+    struct Window
+    {
+        TimeNs start_ns = 0;
+        TimeNs end_ns = 0;
+        /** Counter increments inside the window (zero deltas omitted). */
+        std::map<std::string, uint64_t> counters;
+        /** Gauge values sampled at the window's end. */
+        std::map<std::string, double> gauges;
+        /** Stats of the samples recorded inside the window only. */
+        std::map<std::string, HistogramStats> histograms;
+    };
+
+    /** All windows of one Start() call (one run / one labelled phase). */
+    struct Segment
+    {
+        std::string label;
+        TimeNs interval = 0;
+        std::vector<Window> windows;
+    };
+
+    /**
+     * Begin a new segment: tick every @p interval from now until
+     * `now + horizon` (the final window is clipped to the horizon).
+     * @p sim and @p metrics must outlive the run. Calling Start again
+     * (the bench binaries run several configurations per process) closes
+     * the previous segment and opens a new one.
+     */
+    void Start(sim::Simulator &sim, MetricsRegistry &metrics,
+               const std::string &label, TimeNs interval, TimeNs horizon);
+
+    const std::vector<Segment> &segments() const { return segments_; }
+
+    size_t
+    window_count() const
+    {
+        size_t n = 0;
+        for (const Segment &s : segments_) n += s.windows.size();
+        return n;
+    }
+
+    /** Deterministic JSON document (`{"series": [...]}`). */
+    std::string ToJson() const;
+
+    /** Serialize to @p path. @return false on I/O error. */
+    bool WriteJson(const std::string &path) const;
+
+  private:
+    void Tick(sim::Simulator &sim, MetricsRegistry &metrics, size_t segment,
+              TimeNs horizon_end);
+    void ScheduleNext(sim::Simulator &sim, MetricsRegistry &metrics,
+                      size_t segment, TimeNs horizon_end);
+
+    std::vector<Segment> segments_;
+    // State of the segment currently ticking (one at a time).
+    MetricsRegistry::Snapshot prev_;
+    std::map<std::string, util::Histogram> prev_hists_;
+    TimeNs window_start_ = 0;
+};
+
+}  // namespace sdf::obs
+
+#endif  // SDF_OBS_SERIES_H

@@ -17,6 +17,12 @@ StageName(Stage s)
       case Stage::kInterrupt: return "interrupt";
       case Stage::kHostComplete: return "host_complete";
       case Stage::kDevice: return "device";
+      case Stage::kClientQueue: return "client_queue";
+      case Stage::kRpcWire: return "rpc_wire";
+      case Stage::kAdmission: return "admission";
+      case Stage::kServerHandle: return "server_handle";
+      case Stage::kStorage: return "storage";
+      case Stage::kHedgeWait: return "hedge_wait";
       case Stage::kCount: break;
     }
     return "?";

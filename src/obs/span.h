@@ -52,6 +52,16 @@ enum class Stage : uint8_t
     kInterrupt,     ///< Completion waiting for the coalesced interrupt.
     kHostComplete,  ///< Host software stack, completion side.
     kDevice,        ///< Uninstrumented device interior (conventional SSD).
+    // Cluster-level stages: one request's life across RPC hops, marked by
+    // the client front door, the transport, and the storage node. They tile
+    // the client-observed end-to-end latency the same way the device stages
+    // above tile a device request (DESIGN.md §13).
+    kClientQueue,   ///< Waiting in the client submit queue / window.
+    kRpcWire,       ///< On the wire: request + reply NIC/link transfer.
+    kAdmission,     ///< Server-side dispatch queue up to the admission gate.
+    kServerHandle,  ///< Server handler bookkeeping + fail-slow deferral.
+    kStorage,       ///< The node-local storage operation itself.
+    kHedgeWait,     ///< Parent request waiting on a launched hedge.
     kCount
 };
 

@@ -46,7 +46,9 @@ TraceSink::ToJson() const
 {
     std::string out;
     out.reserve(128 + events_.size() * 96 + tracks_.size() * 160);
-    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    out += "{\"displayTimeUnit\":\"ns\",\"dropped_events\":";
+    out += std::to_string(dropped_);
+    out += ",\"traceEvents\":[\n";
     bool first = true;
     auto sep = [&]() {
         if (!first) out += ",\n";
@@ -82,6 +84,9 @@ TraceSink::ToJson() const
         AppendUs(out, e.start);
         out += ",\"dur\":";
         AppendUs(out, e.dur);
+        if (e.trace_id != 0) {
+            out += ",\"args\":{\"trace\":" + std::to_string(e.trace_id) + "}";
+        }
         out += "}";
     }
     out += "\n]}\n";

@@ -49,28 +49,6 @@ class TraceSink
     int32_t RegisterTrack(const std::string &process,
                           const std::string &thread);
 
-    /** Record a complete ("X") event of @p dur starting at @p start. */
-    void
-    Complete(int32_t track, const char *name, TimeNs start, TimeNs dur)
-    {
-        if (events_.size() >= max_events_) {
-            ++dropped_;
-            return;
-        }
-        events_.push_back(Event{name, start, dur, track});
-    }
-
-    /** Serialize all events to @p path. @return false on I/O error. */
-    bool WriteJson(const std::string &path) const;
-
-    /** Serialize to a string (tests, in-memory validation). */
-    std::string ToJson() const;
-
-    size_t events() const { return events_.size(); }
-    size_t tracks() const { return tracks_.size(); }
-    uint64_t dropped() const { return dropped_; }
-
-  private:
     struct Track
     {
         std::string process;
@@ -85,8 +63,47 @@ class TraceSink
         TimeNs start;
         TimeNs dur;
         int32_t track;
+        uint64_t trace_id;  ///< Distributed-request id; 0 = untagged.
     };
 
+    /**
+     * Record a complete ("X") event of @p dur starting at @p start. A
+     * nonzero @p trace_id tags the event with its distributed request
+     * (exported as `args.trace`), linking e.g. a hedge duplicate on one
+     * node's track to its parent on the client track.
+     */
+    void
+    Complete(int32_t track, const char *name, TimeNs start, TimeNs dur,
+             uint64_t trace_id = 0)
+    {
+        if (events_.size() >= max_events_) {
+            ++dropped_;
+            return;
+        }
+        events_.push_back(Event{name, start, dur, track, trace_id});
+    }
+
+    /** Serialize all events to @p path. @return false on I/O error. */
+    bool WriteJson(const std::string &path) const;
+
+    /** Serialize to a string (tests, in-memory validation). */
+    std::string ToJson() const;
+
+    size_t events() const { return events_.size(); }
+    size_t tracks() const { return tracks_.size(); }
+    uint64_t dropped() const { return dropped_; }
+
+    /** Recorded events in order (tests: trace-id linkage assertions). */
+    const std::vector<Event> &event_list() const { return events_; }
+
+    /** Track metadata for a handle returned by RegisterTrack. */
+    const Track &
+    track_info(int32_t track) const
+    {
+        return tracks_[static_cast<size_t>(track)];
+    }
+
+  private:
     std::vector<Track> tracks_;
     std::map<std::string, uint32_t> pids_;           ///< process -> pid.
     std::map<std::string, int32_t> track_by_name_;   ///< "proc/thread" -> idx.

@@ -85,6 +85,37 @@ Histogram::Merge(const Histogram &other)
     sum_sq_ += other.sum_sq_;
 }
 
+Histogram
+Histogram::Delta(const Histogram &prev, const Histogram &cur)
+{
+    if (prev.count_ == 0) return cur;
+    if (cur.count_ < prev.count_ ||
+        prev.buckets_.size() > cur.buckets_.size()) {
+        return cur;
+    }
+    Histogram d;
+    d.buckets_.assign(cur.buckets_.size(), 0);
+    bool any = false;
+    size_t lo = 0, hi = 0;
+    for (size_t i = 0; i < cur.buckets_.size(); ++i) {
+        const uint64_t p = i < prev.buckets_.size() ? prev.buckets_[i] : 0;
+        if (cur.buckets_[i] < p) return cur;
+        d.buckets_[i] = cur.buckets_[i] - p;
+        if (d.buckets_[i] != 0) {
+            if (!any) lo = i;
+            hi = i;
+            any = true;
+        }
+    }
+    d.count_ = cur.count_ - prev.count_;
+    if (!any || d.count_ == 0) return Histogram();
+    d.sum_ = cur.sum_ - prev.sum_;
+    d.sum_sq_ = cur.sum_sq_ - prev.sum_sq_;
+    d.min_ = BucketLow(lo);
+    d.max_ = BucketHigh(hi) - 1;
+    return d;
+}
+
 void
 Histogram::Reset()
 {

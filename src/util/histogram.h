@@ -27,6 +27,16 @@ class Histogram
     /** Merge another histogram into this one. */
     void Merge(const Histogram &other);
 
+    /**
+     * Distribution of the samples added to @p cur after @p prev was copied
+     * from it — bucket-wise subtraction, the primitive behind windowed
+     * time-series percentiles (copy at window start, diff at window end).
+     * min/max are approximated by the bounds of the lowest/highest
+     * non-empty delta bucket. If @p cur does not contain @p prev (it was
+     * Reset or replaced in between), @p cur is returned unchanged.
+     */
+    static Histogram Delta(const Histogram &prev, const Histogram &cur);
+
     /** Remove all samples. */
     void Reset();
 

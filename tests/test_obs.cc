@@ -200,6 +200,55 @@ TEST(TraceSink, CapCountsDroppedEvents)
     EXPECT_EQ(sink.dropped(), 1u);
 }
 
+TEST(TraceSink, ExportReportsDroppedEvents)
+{
+    // A capped trace must say so in the document itself, not only on
+    // stderr: a tool reading the file sees how much is missing.
+    obs::TraceSink sink(2);
+    const int32_t t = sink.RegisterTrack("flash", "ch00.bus");
+    sink.Complete(t, "a", 0, 1);
+    sink.Complete(t, "b", 1, 1);
+    EXPECT_NE(sink.ToJson().find("\"dropped_events\":0"),
+              std::string::npos);
+    sink.Complete(t, "c", 2, 1);
+    sink.Complete(t, "d", 3, 1);
+    EXPECT_NE(sink.ToJson().find("\"dropped_events\":2"),
+              std::string::npos);
+}
+
+TEST(TraceSink, TraceIdsExportAsFlowArgs)
+{
+    obs::TraceSink sink;
+    const int32_t t = sink.RegisterTrack("cluster", "client");
+    sink.Complete(t, "get", 0, 1000, /*trace_id=*/42);
+    sink.Complete(t, "untraced", 2000, 1000);  // No args block.
+    const std::string json = sink.ToJson();
+    EXPECT_NE(json.find("\"args\":{\"trace\":42}"), std::string::npos);
+    EXPECT_EQ(json.find("\"args\":{\"trace\":0}"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DuplicatePathIsRefusedKeepingFirst)
+{
+#ifdef NDEBUG
+    obs::MetricsRegistry reg;
+    uint64_t first = 7, second = 99;
+    EXPECT_EQ(reg.RegisterCounter("dup.count", &first),
+              obs::RegisterStatus::kOk);
+    EXPECT_EQ(reg.RegisterCounter("dup.count", &second),
+              obs::RegisterStatus::kDuplicatePath);
+    EXPECT_EQ(reg.duplicates_refused(), 1u);
+    // The first registration stays live; the usurper is ignored.
+    EXPECT_EQ(reg.Take().counters.at("dup.count"), 7u);
+    // A retired path may be reused (scoped benches rebuild components).
+    reg.UnregisterPrefix("dup");
+    EXPECT_EQ(reg.RegisterCounter("dup.count", &second),
+              obs::RegisterStatus::kOk);
+    EXPECT_EQ(reg.Take().counters.at("dup.count"), 99u);
+#else
+    GTEST_SKIP() << "debug builds abort on duplicate registration";
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: instrumented SDF run
 // ---------------------------------------------------------------------------

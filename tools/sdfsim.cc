@@ -629,6 +629,7 @@ RunCluster(Options &opt)
     mc.duration = util::SecToNs(opt.duration);
     mc.seed = opt.seed;
     const workload::KvService svc = cl.Service();
+    opt.obs.StartSeries(sim, "mixed", mc.duration);
     const workload::MixedRunResult r =
         workload::RunMixedLoad(sim, svc, keys, mc);
 
@@ -857,6 +858,10 @@ RunOverload(Options &opt)
     oc.storm_factor = opt.storm;
     oc.storm_start = dur / 3;
     oc.storm_end = 2 * dur / 3;
+    // Windowed metrics over the load phase (no-op without --stats-series):
+    // the storm and the breaker trip land in their own windows instead of
+    // being smeared into the end-of-run aggregate.
+    opt.obs.StartSeries(sim, "overload", dur);
     const workload::OpenRunResult r =
         workload::RunOpenLoad(sim, client.Service(), keys, oc);
 

@@ -4,13 +4,22 @@
 Checks that a --stats-json document is well-formed and that its core
 invariant holds: for every operation class, the per-stage latency means
 sum to the end-to-end mean (within a tolerance; the cut-point span
-construction makes it exact up to float rounding). Optionally validates a
---trace export: parses as JSON, has traceEvents, and carries at least the
-expected number of per-channel tracks.
+construction makes it exact up to float rounding). This covers the
+cluster critical path too: client.path.get / client.path.put segments
+(client_queue, rpc_wire, admission, server_handle, storage, hedge_wait)
+must tile the client-observed end-to-end latency across RPC hops exactly
+like the device stages tile a device request. Optionally validates a
+--trace export (parses as JSON, has traceEvents and a dropped_events
+count, carries the expected per-channel tracks) and a --series export
+(windows are monotone, contiguous, and no wider than the interval).
 
 Usage:
     validate_stats.py STATS.json [--trace=TRACE.json] [--channels=N]
+                      [--series=SERIES.json] [--require-op=OP]...
                       [--tolerance=0.01]
+
+--require-op fails unless stages.OP is present with count > 0 (used by
+check.sh to prove the cluster path attribution actually ran).
 
 Exit status 0 when every check passes; 1 with a message per failure.
 """
@@ -31,13 +40,17 @@ def fail(msg):
     return 1
 
 
-def check_stats(path, tolerance):
+def check_stats(path, tolerance, require_ops=()):
     rc = 0
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
         return fail("%s: %s" % (path, e))
+
+    for op in require_ops:
+        if op not in doc.get("stages", {}):
+            rc |= fail("%s: required stage op %r is missing" % (path, op))
 
     for key in REQUIRED_TOP_KEYS:
         if key not in doc:
@@ -89,6 +102,9 @@ def check_trace(path, channels):
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         return fail("%s: no traceEvents" % path)
+    # A capped sink must report how much it left out, in-band.
+    if not isinstance(doc.get("dropped_events"), int):
+        rc |= fail("%s: missing integer dropped_events field" % path)
 
     thread_names = set()
     for ev in events:
@@ -111,14 +127,68 @@ def check_trace(path, channels):
     return rc
 
 
+def check_series(path):
+    rc = 0
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail("%s: %s" % (path, e))
+
+    segments = doc.get("series")
+    if not isinstance(segments, list) or not segments:
+        return fail("%s: no series segments" % path)
+    total_windows = 0
+    for seg in segments:
+        label = seg.get("label", "?")
+        interval = seg.get("interval_ns", 0)
+        if interval <= 0:
+            rc |= fail("%s: segment %r has interval_ns %s"
+                       % (path, label, interval))
+            continue
+        windows = seg.get("windows", [])
+        prev_end = None
+        for i, w in enumerate(windows):
+            start, end = w.get("start_ns"), w.get("end_ns")
+            if start is None or end is None or start >= end:
+                rc |= fail("%s: %s window %d has bad bounds [%s, %s)"
+                           % (path, label, i, start, end))
+                continue
+            # Windows tile the segment: monotone, contiguous, and never
+            # wider than the tick interval (the last one may be clipped).
+            if prev_end is not None and start != prev_end:
+                rc |= fail("%s: %s window %d starts at %d, previous "
+                           "ended at %d (gap/overlap)"
+                           % (path, label, i, start, prev_end))
+            if end - start > interval:
+                rc |= fail("%s: %s window %d spans %d ns > interval %d"
+                           % (path, label, i, end - start, interval))
+            prev_end = end
+            for name, v in w.get("counters", {}).items():
+                if not isinstance(v, int) or v < 0:
+                    rc |= fail("%s: %s window %d counter %s = %r"
+                               % (path, label, i, name, v))
+        total_windows += len(windows)
+    if rc == 0:
+        print("validate_stats: %s: ok (%d segments, %d windows)"
+              % (path, len(segments), total_windows))
+    return rc
+
+
 def main(argv):
     stats_path = None
     trace_path = None
+    series_path = None
+    require_ops = []
     channels = 0
     tolerance = 0.01
     for arg in argv[1:]:
         if arg.startswith("--trace="):
             trace_path = arg.split("=", 1)[1]
+        elif arg.startswith("--series="):
+            series_path = arg.split("=", 1)[1]
+        elif arg.startswith("--require-op="):
+            require_ops.append(arg.split("=", 1)[1])
         elif arg.startswith("--channels="):
             channels = int(arg.split("=", 1)[1])
         elif arg.startswith("--tolerance="):
@@ -132,9 +202,11 @@ def main(argv):
         print(__doc__)
         return 2
 
-    rc = check_stats(stats_path, tolerance)
+    rc = check_stats(stats_path, tolerance, require_ops)
     if trace_path is not None:
         rc |= check_trace(trace_path, channels)
+    if series_path is not None:
+        rc |= check_series(series_path)
     if rc == 0:
         print("validate_stats: PASS")
     return rc
