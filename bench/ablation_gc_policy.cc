@@ -61,8 +61,10 @@ Run(ssd::GcPolicy policy, double hot_fraction)
                                        : rng.NextBelow(pages);
                 stack.Issue(
                     [&, p, page](sim::Callback d) {
+                        auto dp =
+                            std::make_shared<sim::Callback>(std::move(d));
                         device.Write(p * page, page,
-                                     [d = std::move(d)](bool) { d(); });
+                                     [dp](bool) { (*dp)(); });
                     },
                     [&, page, done = std::move(done)]() {
                         if (measuring) bytes += page;

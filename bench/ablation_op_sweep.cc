@@ -77,7 +77,7 @@ RunMixed(double op)
                          rng.NextExponential(1e9 / ingest_per_sec)),
                      submit_write);
     };
-    sim.Schedule(0, submit_write);
+    sim.Post(submit_write);
     // Four sequential readers of 128 KB.
     auto cursor = std::make_shared<uint64_t>(0);
     const uint64_t req = 128 * util::kKiB;
@@ -87,8 +87,9 @@ RunMixed(double op)
                 const uint64_t off = (*cursor)++ * req % (cap - req);
                 stack.Issue(
                     [&, off, req](sim::Callback d) {
-                        device.Read(off, req,
-                                    [d = std::move(d)](bool) { d(); });
+                        auto dp =
+                            std::make_shared<sim::Callback>(std::move(d));
+                        device.Read(off, req, [dp](bool) { (*dp)(); });
                     },
                     [&, done = std::move(done)]() {
                         if (measuring) read_bytes += req;

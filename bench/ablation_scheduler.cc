@@ -44,9 +44,10 @@ RunPlacement(blocklayer::PlacementPolicy policy, double skew)
                 } else {
                     id += rng.NextBelow(channels);  // Uniform remainder.
                 }
-                layer.Put(id, [&, done = std::move(done)](bool ok) {
+                auto dp = std::make_shared<sim::Callback>(std::move(done));
+                layer.Put(id, [&, dp](bool ok) {
                     if (ok && measuring) bytes += 8 * util::kMiB;
-                    done();
+                    (*dp)();
                 });
             }));
     }

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Event-engine microbenchmark: wall-clock events/sec for the calendar
+ * queue vs the reference heap engine, over the four load shapes that
+ * dominate real runs:
+ *
+ *  - mixed_schedule: self-rescheduling actors with delays spanning the
+ *    current bucket, the wheel, and the overflow heap;
+ *  - cancel_heavy: the hedge-timer pattern — most scheduled events are
+ *    cancelled before they fire;
+ *  - self_post: completion-ring chains (the batched-completion seam);
+ *  - cluster_replay: FifoResource pipelines shaped like the cluster's
+ *    NIC -> CPU -> worker RPC chains.
+ *
+ * Prints a comparison table; --json=<path> additionally writes the raw
+ * numbers for scripts/bench_to_json.sh to embed in the PR snapshot.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/fifo_resource.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace sdf {
+namespace {
+
+using sim::EngineKind;
+using sim::Simulator;
+using util::TimeNs;
+
+/** Wall-clock seconds consumed by @p fn. */
+template <typename Fn>
+double
+Timed(Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Self-rescheduling actor: fires, draws a new delay, reschedules. */
+struct MixedActor
+{
+    Simulator *sim;
+    util::Rng *rng;
+    uint64_t *remaining;
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0) return;
+        --*remaining;
+        // 1/16 of delays land past the calendar window (overflow heap);
+        // the rest spread over the wheel and the current bucket.
+        const uint64_t draw = rng->NextBelow(16);
+        const TimeNs d =
+            draw == 0 ? static_cast<TimeNs>(100000000 + rng->NextBelow(100000000))
+                      : static_cast<TimeNs>(rng->NextBelow(2000000));
+        sim->Schedule(d, MixedActor{sim, rng, remaining});
+    }
+};
+
+double
+MixedSchedule(EngineKind kind, uint64_t events)
+{
+    Simulator sim(kind);
+    util::Rng rng(42);
+    uint64_t remaining = events;
+    const double secs = Timed([&]() {
+        for (int i = 0; i < 16384; ++i) {
+            MixedActor{&sim, &rng, &remaining}();
+        }
+        sim.Run();
+    });
+    return static_cast<double>(sim.events_processed()) / secs;
+}
+
+/** Hedge-timer pattern: schedule four, cancel three, fire one. */
+struct CancelActor
+{
+    Simulator *sim;
+    util::Rng *rng;
+    uint64_t *remaining;
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0) return;
+        --*remaining;
+        sim::EventId doomed[3];
+        for (auto &id : doomed) {
+            id = sim->Schedule(
+                static_cast<TimeNs>(1000 + rng->NextBelow(1000000)),
+                []() {});
+        }
+        sim->Schedule(static_cast<TimeNs>(rng->NextBelow(100000)),
+                      CancelActor{sim, rng, remaining});
+        for (const auto id : doomed) sim->Cancel(id);
+    }
+};
+
+double
+CancelHeavy(EngineKind kind, uint64_t events)
+{
+    Simulator sim(kind);
+    util::Rng rng(43);
+    uint64_t remaining = events;
+    const double secs = Timed([&]() {
+        for (int i = 0; i < 4096; ++i) {
+            CancelActor{&sim, &rng, &remaining}();
+        }
+        sim.Run();
+    });
+    return static_cast<double>(sim.events_processed()) / secs;
+}
+
+/** Completion-ring chain: each posted callback posts its successor. */
+struct PostActor
+{
+    Simulator *sim;
+    uint64_t *remaining;
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0) return;
+        --*remaining;
+        sim->Post(PostActor{sim, remaining});
+    }
+};
+
+double
+SelfPost(EngineKind kind, uint64_t events)
+{
+    Simulator sim(kind);
+    uint64_t remaining = events;
+    const double secs = Timed([&]() {
+        for (int i = 0; i < 64; ++i) {
+            PostActor{&sim, &remaining}();
+        }
+        sim.Run();
+    });
+    return static_cast<double>(sim.events_processed()) / secs;
+}
+
+/** Closed-loop RPC chain through NIC -> CPU -> worker FIFOs. */
+struct ChainActor
+{
+    Simulator *sim;
+    sim::FifoResource *nic;
+    sim::FifoResource *cpu;
+    sim::FifoResource *worker;
+    uint64_t *remaining;
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0) return;
+        --*remaining;
+        const ChainActor next = *this;
+        nic->Submit(500, [next]() {
+            next.cpu->Submit(2000, [next]() {
+                next.worker->Submit(1500, [next]() { next(); });
+            });
+        });
+    }
+};
+
+double
+ClusterReplay(EngineKind kind, uint64_t chains)
+{
+    Simulator sim(kind);
+    sim::FifoResource nic(sim);
+    sim::FifoResource cpu(sim);
+    sim::FifoResource worker(sim);
+    uint64_t remaining = chains;
+    const double secs = Timed([&]() {
+        for (int i = 0; i < 256; ++i) {
+            ChainActor{&sim, &nic, &cpu, &worker, &remaining}();
+        }
+        sim.Run();
+    });
+    return static_cast<double>(sim.events_processed()) / secs;
+}
+
+struct Row
+{
+    const char *name;
+    double heap_eps;
+    double calendar_eps;
+};
+
+}  // namespace
+}  // namespace sdf
+
+int
+main(int argc, char **argv)
+{
+    using namespace sdf;
+
+    std::string json_path;
+    uint64_t scale = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            scale = 8;  // CI-friendly: ~1/8 of the default event budget.
+        }
+    }
+
+    const uint64_t kMixed = 4000000 / scale;
+    const uint64_t kCancel = 1000000 / scale;
+    const uint64_t kPost = 8000000 / scale;
+    const uint64_t kChains = 1000000 / scale;
+
+    std::printf("sim_engine: calendar queue vs reference heap\n\n");
+
+    std::vector<Row> rows;
+    // Warm each scenario once at 1/8 budget so page faults and slab
+    // growth don't land inside the measured pass.
+    (void)MixedSchedule(EngineKind::kHeap, kMixed / 8);
+    (void)MixedSchedule(EngineKind::kCalendar, kMixed / 8);
+    rows.push_back(Row{"mixed_schedule",
+                       MixedSchedule(EngineKind::kHeap, kMixed),
+                       MixedSchedule(EngineKind::kCalendar, kMixed)});
+    rows.push_back(Row{"cancel_heavy",
+                       CancelHeavy(EngineKind::kHeap, kCancel),
+                       CancelHeavy(EngineKind::kCalendar, kCancel)});
+    rows.push_back(Row{"self_post", SelfPost(EngineKind::kHeap, kPost),
+                       SelfPost(EngineKind::kCalendar, kPost)});
+    rows.push_back(Row{"cluster_replay",
+                       ClusterReplay(EngineKind::kHeap, kChains),
+                       ClusterReplay(EngineKind::kCalendar, kChains)});
+
+    util::TablePrinter table("events/sec (wall clock)");
+    table.SetHeader({"Scenario", "heap M/s", "calendar M/s", "speedup"});
+    for (const Row &r : rows) {
+        table.AddRow({r.name, util::TablePrinter::Num(r.heap_eps / 1e6, 2),
+                      util::TablePrinter::Num(r.calendar_eps / 1e6, 2),
+                      util::TablePrinter::Num(r.calendar_eps / r.heap_eps, 2) +
+                          "x"});
+    }
+    table.Print();
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n \"scenarios\": {\n");
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            std::fprintf(f,
+                         "  \"%s\": {\"heap_events_per_sec\": %.0f, "
+                         "\"calendar_events_per_sec\": %.0f, "
+                         "\"speedup\": %.3f}%s\n",
+                         r.name, r.heap_eps, r.calendar_eps,
+                         r.calendar_eps / r.heap_eps,
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, " }\n}\n");
+        std::fclose(f);
+    }
+    return 0;
+}

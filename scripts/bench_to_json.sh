@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate the machine-readable perf snapshot (BENCH_pr8.json by default)
+# Regenerate the machine-readable perf snapshot (BENCH_pr9.json by default)
 # from a fixed set of sdfsim runs with --stats-json. Every run is on the
 # simulated clock with a fixed seed, so the snapshot is deterministic and
 # diffs meaningfully across PRs: counters, per-stage latency means, and
@@ -7,16 +7,19 @@
 # overload runs (storm goodput, typed sheds, hedge/breaker accounting).
 # The overload runs also capture --stats-series windowed timelines, which
 # are merged into the snapshot under each run's "series" key so the storm
-# and fail-slow windows are diffable across PRs too.
+# and fail-slow windows are diffable across PRs too. The bench/sim_engine
+# microbench (calendar queue vs reference heap, wall-clock events/sec) is
+# embedded under the "sim_engine" key — the one intentionally
+# non-deterministic section, since it measures the real machine.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 
 cmake -B build -S . > /dev/null
-cmake --build build -j --target sdfsim > /dev/null
+cmake --build build -j --target sdfsim --target sim_engine > /dev/null
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -49,6 +52,9 @@ run cluster_rebal    --workload=cluster --nodes=4 --replication=2 --duration=0.5
 run_series overload_storm   --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=60000 --storm=2.0
 run_series overload_failslow --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=20000 --fail-slow-node=1 --fail-slow-factor=4
 
+echo "bench_to_json: sim_engine microbench"
+./build/bench/sim_engine --json="$tmp/sim_engine.bench.json" > /dev/null
+
 python3 - "$out" "$tmp" <<'EOF'
 import json
 import os
@@ -57,7 +63,7 @@ import sys
 out_path, tmp = sys.argv[1], sys.argv[2]
 runs = {}
 for fn in sorted(os.listdir(tmp)):
-    if fn.endswith(".series.json"):
+    if fn.endswith(".series.json") or fn.endswith(".bench.json"):
         continue
     if fn.endswith(".json"):
         name = fn[:-5]
@@ -68,6 +74,8 @@ for fn in sorted(os.listdir(tmp)):
             with open(series_fn) as f:
                 runs[name]["series"] = json.load(f)["series"]
 doc = {"generated_by": "scripts/bench_to_json.sh", "runs": runs}
+with open(os.path.join(tmp, "sim_engine.bench.json")) as f:
+    doc["sim_engine"] = json.load(f)
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)
     f.write("\n")

@@ -75,6 +75,26 @@ python3 tools/validate_stats.py "$obs_tmp/o1.json" \
 ./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
     --duration=0.2 --fail-slow-node=1 --fail-slow-factor=4 > /dev/null
 
+echo "== engine cross-check (heap vs calendar) =="
+# The two event engines must produce byte-identical runs: same seed, same
+# dispatch order, same stats/trace/series exports. The overload workload
+# exercises every scheduling path (device, network retry ladders, client
+# hedges, completion ring), so it is the cross-check workload of record.
+for eng in heap calendar; do
+    ./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
+        --duration=0.2 --arrival-rate=60000 --storm=2.0 --engine="$eng" \
+        --stats-json="$obs_tmp/x-$eng.json" \
+        --trace="$obs_tmp/x-$eng.trace.json" \
+        --stats-series="$obs_tmp/x-$eng.series.json" > /dev/null
+    ./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
+        --duration=0.3 --engine="$eng" \
+        --stats-json="$obs_tmp/xc-$eng.json" > /dev/null
+done
+cmp "$obs_tmp/x-heap.json" "$obs_tmp/x-calendar.json"
+cmp "$obs_tmp/x-heap.trace.json" "$obs_tmp/x-calendar.trace.json"
+cmp "$obs_tmp/x-heap.series.json" "$obs_tmp/x-calendar.series.json"
+cmp "$obs_tmp/xc-heap.json" "$obs_tmp/xc-calendar.json"
+
 echo "== warnings-as-errors build =="
 cmake -B build-werror -S . -DSDF_WERROR=ON > /dev/null
 cmake --build build-werror -j
@@ -96,5 +116,10 @@ cmake --build build-asan -j
     --duration=0.2 --arrival-rate=60000 --storm=2.0 > /dev/null
 ./build-asan/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
     --duration=0.2 --fail-slow-node=1 --no-breaker > /dev/null
+# Both engines under the sanitizers (ctest above runs the default
+# calendar engine; this covers the reference heap path too).
+./build-asan/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
+    --duration=0.2 --arrival-rate=60000 --storm=2.0 --engine=heap \
+    > /dev/null
 
 echo "All checks passed."

@@ -9,9 +9,9 @@ namespace sdf::blocklayer {
 
 BlockLayer::BlockLayer(sim::Simulator &sim, core::BlockDevice &device,
                        const BlockLayerConfig &config)
-    : sim_(sim), device_(device), config_(config)
+    : sim_(sim), device_(device), config_(config),
+      channels_(device.channel_count())
 {
-    channels_.resize(device.channel_count());
     for (auto &ch : channels_) {
         for (uint32_t u = 0; u < device.units_per_channel(); ++u)
             ch.clean_units.push_back(u);
@@ -57,8 +57,7 @@ BlockLayer::Fail(IoCallback done, core::IoError error)
 {
     ++stats_.failed_ops;
     if (done) {
-        sim_.Schedule(0,
-                      [done = std::move(done), error]() { done(error); });
+        sim_.Post([done = std::move(done), error]() { done(error); });
     }
 }
 

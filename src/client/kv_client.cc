@@ -68,7 +68,7 @@ KvClient::BeginPath(PendingOp &op)
 {
     if (hub_ == nullptr) return;
     op.trace.trace_id = next_trace_id_++;
-    op.span = std::make_shared<obs::IoSpan>();
+    op.span = sim::MakePooledShared<obs::IoSpan>(span_pool_);
     op.span->Start(sim_.Now());
     // The submit-side host work is instantaneous in the model; the op
     // waits in the client queue/window until dispatch.
@@ -128,7 +128,7 @@ KvClient::Put(uint64_t key, uint32_t value_size, PutDone done)
     const std::vector<uint32_t> order = router_.ReadOrder(key);
     if (order.empty()) {
         ++stats_.errors;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(kv::OpStatus::kError);
         });
         return;
@@ -149,7 +149,7 @@ KvClient::Get(uint64_t key, GetDone done)
     const std::vector<uint32_t> order = router_.ReadOrder(key);
     if (order.empty()) {
         ++stats_.errors;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             kv::GetResult res;
             res.ok = false;
             res.status = kv::OpStatus::kError;
@@ -174,7 +174,7 @@ KvClient::Submit(uint32_t node, PendingOp op)
         // before this request costs anyone else anything.
         ++stats_.shed_queue_full;
         ++stats_.overloaded;
-        sim_.Schedule(0, [this, op = std::move(op)]() {
+        sim_.Post([this, op = std::move(op)]() {
             // A client-side shed still settles the span: its whole (tiny)
             // lifetime is client_queue time, and the tiling stays exact.
             FinishPath(op.span, op.is_put ? "put" : "get",
@@ -276,7 +276,7 @@ KvClient::DispatchGets(uint32_t node, std::vector<PendingOp> ops)
     recs.reserve(ops.size());
     const TimeNs hedge_after = HedgeThreshold();
     for (PendingOp &p : ops) {
-        auto op = std::make_shared<GetOp>();
+        auto op = sim::MakePooledShared<GetOp>(get_op_pool_);
         op->key = p.key;
         op->node = node;
         op->t0 = sim_.Now();

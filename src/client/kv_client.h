@@ -36,6 +36,7 @@
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
+#include "sim/pool.h"
 #include "sim/simulator.h"
 #include "util/latency_recorder.h"
 #include "util/units.h"
@@ -199,6 +200,12 @@ class KvClient
     sim::Simulator &sim_;
     cluster::ClusterRouter &router_;
     KvClientConfig cfg_;
+    /** Per-request allocation pools: every get allocates one GetOp record
+     *  and (under a hub) one IoSpan timeline — both on the hot path.
+     *  Declared before the queues so outstanding pooled pointers drain
+     *  back before the pools are torn down. */
+    sim::BlockPool get_op_pool_;
+    sim::BlockPool span_pool_;
     std::vector<NodeQueue> queues_;
     ClientStats stats_;
     HedgeStats hedge_;

@@ -179,7 +179,7 @@ StorageNode::Restart(sim::Callback done)
         if (done) done();
     };
     if (scan.empty()) {
-        sim_.Schedule(0, std::move(finish));
+        sim_.Post(std::move(finish));
         return;
     }
     auto remaining = std::make_shared<size_t>(scan.size());
@@ -210,7 +210,7 @@ StorageNode::StreamIn(uint64_t key, uint32_t value_size,
                       std::shared_ptr<std::vector<uint8_t>> payload)
 {
     if (!running_) {
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(false);
         });
         return;
@@ -232,7 +232,7 @@ void
 StorageNode::StreamOut(uint64_t key, kv::GetCallback done)
 {
     if (!running_) {
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             kv::GetResult dead;
             dead.ok = false;
             done(dead);

@@ -149,7 +149,7 @@ Rebalancer::StartPass(sim::Callback done)
     last_moves_ = delta;
     queue_.assign(delta.begin(), delta.end());
     if (queue_.empty()) {
-        sim_.Schedule(0, [this]() { FinishPass(); });
+        sim_.Post([this]() { FinishPass(); });
         return;
     }
     Pump();

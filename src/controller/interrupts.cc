@@ -77,16 +77,20 @@ InterruptCoalescer::Fire(uint32_t group_idx)
 void
 InterruptCoalescer::GlobalFire()
 {
-    // Level 2 (Virtex-5): one MSI for everything pending.
+    // Level 2 (Virtex-5): one MSI for everything pending. The whole batch
+    // is handed to the completion ring as a single posted event — one
+    // dispatch step drains every coalesced completion, mirroring how the
+    // host ISR walks the merged completion queue in one pass.
     if (global_pending_.empty()) return;
     ++interrupts_;
     cpu_time_ += config_.cpu_cost_per_interrupt;
     global_batches_ = 0;
-    std::vector<sim::Callback> batch;
-    batch.swap(global_pending_);
-    for (auto &cb : batch) {
-        if (cb) cb();
-    }
+    sim_.Post([batch = std::move(global_pending_)]() {
+        for (const auto &cb : batch) {
+            if (cb) cb();
+        }
+    });
+    global_pending_.clear();
 }
 
 double

@@ -104,7 +104,7 @@ class ClosedLoopActor
     Start()
     {
         running_ = true;
-        sim_.Schedule(0, [this]() { Iterate(); });
+        sim_.Post([this]() { Iterate(); });
     }
 
     /** Stop after the in-flight iteration completes. */

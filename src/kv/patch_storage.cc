@@ -25,9 +25,12 @@ ThroughStack(host::IoStack *stack,
     auto st = std::make_shared<core::IoStatus>(core::IoError::kWriteFailed);
     stack->Issue(
         [op = std::move(op), st](sim::Callback d) {
-            op([st, d = std::move(d)](core::IoStatus status) {
+            // PatchCallback is a copyable std::function; box the move-only
+            // stack completion so the adapter closure stays copyable.
+            auto dp = std::make_shared<sim::Callback>(std::move(d));
+            op([st, dp](core::IoStatus status) {
                 *st = status;
-                d();
+                (*dp)();
             });
         },
         [st, done = std::move(done)]() {

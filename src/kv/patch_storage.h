@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "blocklayer/block_layer.h"
+#include "sim/callback.h"
 #include "host/io_stack.h"
 #include "ssd/conventional_ssd.h"
 
@@ -28,7 +29,7 @@ namespace sdf::kv {
  * to a replica) from a dead channel or plain congestion. Callables taking
  * bool still work: IoStatus converts to bool (true == ok).
  */
-using PatchCallback = std::function<void(core::IoStatus)>;
+using PatchCallback = sim::Func<void(core::IoStatus)>;
 
 /** Abstract home for immutable fixed-size patches. */
 class PatchStorage

@@ -44,7 +44,7 @@ ReplicationEngine::PutTyped(uint64_t key, uint32_t value_size,
         // Every node that could hold the key is out of the membership.
         ++stats_.no_replica_rejects;
         ++stats_.put_failures;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(OpStatus::kError);
         });
         return;
@@ -53,13 +53,15 @@ ReplicationEngine::PutTyped(uint64_t key, uint32_t value_size,
     auto remaining = std::make_shared<uint32_t>(r);
     auto successes = std::make_shared<uint32_t>(0);
     auto worst = std::make_shared<OpStatus>(OpStatus::kOk);
+    // All replicas' acks join on the move-only `done`; park it in one
+    // shared box every branch can reach.
+    auto done_box = std::make_shared<PutStatusCallback>(std::move(done));
     for (uint32_t i = 0; i < r; ++i) {
         const uint32_t replica = order[i];
         SDF_CHECK(replica < endpoints_.size());
         endpoints_[replica].put(
             key, value_size,
-            [this, remaining, successes, worst,
-             done = i + 1 == r ? std::move(done) : done](OpStatus s) mutable {
+            [this, remaining, successes, worst, done_box](OpStatus s) {
                 if (s == OpStatus::kOk) {
                     ++*successes;
                 } else {
@@ -68,12 +70,13 @@ ReplicationEngine::PutTyped(uint64_t key, uint32_t value_size,
                 }
                 if (--*remaining > 0) return;
                 if (*successes > 0) {
-                    if (done) done(OpStatus::kOk);
+                    if (*done_box) (*done_box)(OpStatus::kOk);
                     return;
                 }
                 ++stats_.put_failures;
-                if (done) {
-                    done(*worst == OpStatus::kOk ? OpStatus::kError : *worst);
+                if (*done_box) {
+                    (*done_box)(*worst == OpStatus::kOk ? OpStatus::kError
+                                                        : *worst);
                 }
             },
             payload, ctx);
@@ -93,7 +96,7 @@ ReplicationEngine::Get(uint64_t key, GetCallback done, OpContext ctx)
     if (order->empty()) {
         ++stats_.no_replica_rejects;
         ++stats_.failed_reads;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) {
                 GetResult res;
                 res.ok = false;

@@ -174,7 +174,7 @@ void
 Slice::PutItem(KvItem item, PutCallback done)
 {
     if (item.StorageCharge() > mem_.capacity_bytes()) {
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(false);
         });
         return;
@@ -336,7 +336,7 @@ Slice::Get(uint64_t key, GetCallback done)
         r.value_size = item.value_size;
         r.payload = item.payload;
         if (item.tombstone) ++stats_.gets_not_found;
-        sim_.Schedule(0, [done = std::move(done), r]() { done(r); });
+        sim_.Post([done = std::move(done), r]() { done(r); });
     };
 
     if (const KvItem *m = mem_.Lookup(key)) {
@@ -350,7 +350,7 @@ Slice::Get(uint64_t key, GetCallback done)
     auto idx = index_.find(key);
     if (idx == index_.end() || idx->second.tombstone) {
         ++stats_.gets_not_found;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             done(GetResult{false, true, 0, nullptr});
         });
         return;
@@ -364,7 +364,7 @@ Slice::DoStorageGet(uint64_t key, GetCallback done, int attempts)
     auto it = index_.find(key);
     if (it == index_.end() || it->second.tombstone) {
         ++stats_.gets_not_found;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             done(GetResult{false, true, 0, nullptr});
         });
         return;

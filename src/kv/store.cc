@@ -70,13 +70,16 @@ FsView::PutFile(std::string_view path, uint64_t size, PutCallback done)
     const uint32_t segments = std::max(SegmentCount(size), 1u);
     auto remaining = std::make_shared<uint32_t>(segments);
     auto all_ok = std::make_shared<bool>(true);
+    auto done_box = std::make_shared<PutCallback>(std::move(done));
     for (uint32_t i = 0; i < segments; ++i) {
         const uint64_t seg_size =
             std::min<uint64_t>(segment_bytes_, size - uint64_t{i} * segment_bytes_);
         store_.Put(SegmentKey(path, i), static_cast<uint32_t>(seg_size),
-                   [remaining, all_ok, done](bool ok) mutable {
+                   [remaining, all_ok, done_box](bool ok) {
                        if (!ok) *all_ok = false;
-                       if (--*remaining == 0 && done) done(*all_ok);
+                       if (--*remaining == 0 && *done_box) {
+                           (*done_box)(*all_ok);
+                       }
                    });
     }
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/span.h"
+#include "sim/callback.h"
 #include "obs/trace_context.h"
 
 namespace sdf::kv {
@@ -104,10 +105,10 @@ struct GetResult
     OpStatus status = OpStatus::kOk;
 };
 
-using GetCallback = std::function<void(const GetResult &)>;
-using PutCallback = std::function<void(bool ok)>;
+using GetCallback = sim::Func<void(const GetResult &)>;
+using PutCallback = sim::Func<void(bool ok)>;
 /** Typed put completion for admission-aware paths. */
-using PutStatusCallback = std::function<void(OpStatus)>;
+using PutStatusCallback = sim::Func<void(OpStatus)>;
 
 /**
  * Issues unique 64-bit block IDs. The production system runs a counter

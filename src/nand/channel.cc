@@ -127,6 +127,12 @@ void
 Channel::CompleteAt(util::TimeNs when, OpCallback done, OpStatus status)
 {
     if (!done) return;
+    // Same-time completions (validation failures, dead channels) ride the
+    // completion ring instead of paying for a timed-queue slot.
+    if (when == sim_.Now()) {
+        sim_.Post([done = std::move(done), status]() { done(status); });
+        return;
+    }
     sim_.ScheduleAt(when, [done = std::move(done), status]() { done(status); });
 }
 

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "nand/geometry.h"
+#include "sim/callback.h"
 
 namespace sdf::nand {
 
@@ -81,7 +82,7 @@ IsOk(OpStatus s)
 const char *OpStatusName(OpStatus s);
 
 /** Completion callback for asynchronous NAND operations. */
-using OpCallback = std::function<void(OpStatus)>;
+using OpCallback = sim::Func<void(OpStatus)>;
 
 }  // namespace sdf::nand
 

@@ -149,6 +149,11 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
     SDF_CHECK(client < client_nics_.size());
     ++messages_;
 
+    // The reply channel handed to the handler is a copyable std::function,
+    // so the move-only delivered callback rides in a pooled shared box.
+    auto boxed = sim::MakePooledShared<sim::Callback>(delivered_pool_,
+                                                      std::move(delivered));
+
     // Request: client NIC -> wire -> server NIC -> server CPU dispatch.
     const TimeNs req_wire =
         util::TransferTimeNs(request_bytes, spec_.client_nic_bytes_per_sec);
@@ -158,15 +163,15 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
     if (span) span->Enter(obs::Stage::kAdmission, at_server);
 
     sim_.ScheduleAt(at_server, [this, client, handler = std::move(handler),
-                                delivered = std::move(delivered),
+                                boxed = std::move(boxed),
                                 span = std::move(span)]() mutable {
         server_cpu_.Submit(Scaled(spec_.server_per_message),
                            [this, client,
                             handler = std::move(handler),
-                            delivered = std::move(delivered),
+                            boxed = std::move(boxed),
                             span = std::move(span)]() mutable {
             if (span) span->Enter(obs::Stage::kServerHandle, sim_.Now());
-            handler([this, client, delivered = std::move(delivered),
+            handler([this, client, boxed,
                      span = std::move(span)](
                         uint64_t response_bytes) mutable {
                 if (span) span->Enter(obs::Stage::kRpcWire, sim_.Now());
@@ -179,7 +184,7 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
                 workers_[client]->Submit(
                     payload_cpu,
                     [this, client, response_bytes,
-                     delivered = std::move(delivered)]() mutable {
+                     boxed = std::move(boxed)]() mutable {
                         bytes_to_clients_ += response_bytes;
                         const TimeNs srv_wire = util::TransferTimeNs(
                             response_bytes, spec_.server_nic_bytes_per_sec);
@@ -189,7 +194,7 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
                             response_bytes, spec_.client_nic_bytes_per_sec);
                         client_nics_[client]->SubmitAfter(
                             srv_done + spec_.one_way_delay, cli_wire,
-                            std::move(delivered));
+                            [boxed = std::move(boxed)]() { (*boxed)(); });
                     });
             });
         });
@@ -198,28 +203,29 @@ Network::Rpc(uint32_t client, uint64_t request_bytes, Handler handler,
 
 void
 Network::RpcWithRetry(uint32_t client, uint64_t request_bytes,
-                      Handler handler, std::function<void(bool ok)> done)
+                      Handler handler, sim::Func<void(bool ok)> done)
 {
     AttemptRpc(client, request_bytes, std::move(handler),
-               std::make_shared<std::function<void(bool)>>(std::move(done)),
+               sim::MakePooledShared<sim::Func<void(bool)>>(
+                   done_bool_pool_, std::move(done)),
                0);
 }
 
 void
 Network::AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
-                    std::shared_ptr<std::function<void(bool)>> done,
+                    std::shared_ptr<sim::Func<void(bool)>> done,
                     uint32_t attempt)
 {
-    // Both the response and the timeout race on this flag; whichever
+    // Both the response and the timeout race on this record; whichever
     // fires second becomes a no-op, so no event cancellation is needed
     // and the schedule stays deterministic.
-    auto settled = std::make_shared<bool>(false);
+    auto settled = sim::MakePooledShared<Settle>(settle_pool_);
     Rpc(client, request_bytes, handler, [this, settled, done]() {
-        if (*settled) {
+        if (settled->settled) {
             ++rpc_stats_.late_responses;
             return;
         }
-        *settled = true;
+        settled->settled = true;
         if (*done) (*done)(true);
     });
     if (spec_.rpc_timeout == 0) return;
@@ -227,8 +233,8 @@ Network::AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
     sim_.Schedule(spec_.rpc_timeout, [this, client, request_bytes,
                                       handler = std::move(handler), done,
                                       settled, attempt]() mutable {
-        if (*settled) return;
-        *settled = true;
+        if (settled->settled) return;
+        settled->settled = true;
         ++rpc_stats_.timeouts;
         if (attempt >= spec_.rpc_max_retries) {
             ++rpc_stats_.failures;
@@ -248,60 +254,60 @@ Network::AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
 
 void
 Network::RpcTyped(uint32_t client, uint64_t request_bytes, TimeNs deadline,
-                  TypedHandler handler, std::function<void(RpcCode)> done,
+                  TypedHandler handler, sim::Func<void(RpcCode)> done,
                   std::shared_ptr<obs::IoSpan> span)
 {
-    AttemptTyped(
-        client, request_bytes, deadline, std::move(handler),
-        std::make_shared<std::function<void(RpcCode)>>(std::move(done)), 0,
-        std::move(span));
+    AttemptTyped(client, request_bytes, deadline, std::move(handler),
+                 sim::MakePooledShared<sim::Func<void(RpcCode)>>(
+                     done_typed_pool_, std::move(done)),
+                 0, std::move(span));
 }
 
 void
 Network::AttemptTyped(uint32_t client, uint64_t request_bytes,
                       TimeNs deadline, TypedHandler handler,
-                      std::shared_ptr<std::function<void(RpcCode)>> done,
+                      std::shared_ptr<sim::Func<void(RpcCode)>> done,
                       uint32_t attempt, std::shared_ptr<obs::IoSpan> span)
 {
     // A request already past its deadline never hits the wire.
     if (deadline != 0 && sim_.Now() >= deadline) {
         ++rpc_stats_.failures;
-        sim_.Schedule(0, [done]() {
+        sim_.Post([done]() {
             if (*done) (*done)(RpcCode::kDeadlineExceeded);
         });
         return;
     }
 
-    // Same settled-flag race as AttemptRpc; the code shared_ptr carries
-    // the server's typed disposition back past the size-only reply path.
-    auto settled = std::make_shared<bool>(false);
-    auto code = std::make_shared<RpcCode>(RpcCode::kOk);
+    // Same settled-record race as AttemptRpc; the record also carries the
+    // server's typed disposition back past the size-only reply path.
+    auto settled = sim::MakePooledShared<Settle>(settle_pool_);
     Handler plain = [this, deadline, handler,
-                     code](std::function<void(uint64_t)> reply) {
+                     settled](std::function<void(uint64_t)> reply) {
         if (deadline != 0 && sim_.Now() > deadline) {
             // Expired in flight or in the server queue: nack without
             // touching the handler — the work would be wasted anyway.
             ++rpc_stats_.deadline_drops;
-            *code = RpcCode::kDeadlineExceeded;
+            settled->code = RpcCode::kDeadlineExceeded;
             reply(kDropReplyBytes);
             return;
         }
         handler(deadline,
-                [code, reply = std::move(reply)](uint64_t bytes,
-                                                 RpcCode c) mutable {
-                    *code = c;
+                [settled, reply = std::move(reply)](uint64_t bytes,
+                                                    RpcCode c) mutable {
+                    settled->code = c;
                     reply(bytes);
                 });
     };
     Rpc(client, request_bytes, std::move(plain),
-        [this, settled, code, done]() {
-            if (*settled) {
+        [this, settled, done]() {
+            if (settled->settled) {
                 ++rpc_stats_.late_responses;
                 return;
             }
-            *settled = true;
-            if (*code == RpcCode::kOverloaded) ++rpc_stats_.overload_replies;
-            if (*done) (*done)(*code);
+            settled->settled = true;
+            if (settled->code == RpcCode::kOverloaded)
+                ++rpc_stats_.overload_replies;
+            if (*done) (*done)(settled->code);
         },
         std::move(span));
 
@@ -316,8 +322,8 @@ Network::AttemptTyped(uint32_t client, uint64_t request_bytes,
     sim_.Schedule(wait, [this, client, request_bytes, deadline,
                          handler = std::move(handler), done, settled,
                          attempt]() mutable {
-        if (*settled) return;
-        *settled = true;
+        if (settled->settled) return;
+        settled->settled = true;
         ++rpc_stats_.timeouts;
         const TimeNs backoff = spec_.rpc_backoff_base << attempt;
         const bool budget_left = attempt < spec_.rpc_max_retries;

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "obs/span.h"
+#include "sim/callback.h"
 #include "sim/fifo_resource.h"
+#include "sim/pool.h"
 #include "sim/simulator.h"
 
 namespace sdf::obs {
@@ -136,7 +138,7 @@ class Network
      * response is discarded.
      */
     void RpcWithRetry(uint32_t client, uint64_t request_bytes,
-                      Handler handler, std::function<void(bool ok)> done);
+                      Handler handler, sim::Func<void(bool ok)> done);
 
     /**
      * Typed variant of RpcWithRetry with deadline propagation. The
@@ -150,7 +152,7 @@ class Network
      * runs out.
      */
     void RpcTyped(uint32_t client, uint64_t request_bytes, TimeNs deadline,
-                  TypedHandler handler, std::function<void(RpcCode)> done,
+                  TypedHandler handler, sim::Func<void(RpcCode)> done,
                   std::shared_ptr<obs::IoSpan> span = {});
 
     /**
@@ -198,12 +200,20 @@ class Network
     const RpcStats &rpc_stats() const { return rpc_stats_; }
 
   private:
+    /** Per-attempt settle record (the response/timeout race flag plus the
+     *  server's typed disposition); pooled — one per RPC attempt. */
+    struct Settle
+    {
+        bool settled = false;
+        RpcCode code = RpcCode::kOk;
+    };
+
     void AttemptRpc(uint32_t client, uint64_t request_bytes, Handler handler,
-                    std::shared_ptr<std::function<void(bool)>> done,
+                    std::shared_ptr<sim::Func<void(bool)>> done,
                     uint32_t attempt);
     void AttemptTyped(uint32_t client, uint64_t request_bytes,
                       TimeNs deadline, TypedHandler handler,
-                      std::shared_ptr<std::function<void(RpcCode)>> done,
+                      std::shared_ptr<sim::Func<void(RpcCode)>> done,
                       uint32_t attempt, std::shared_ptr<obs::IoSpan> span);
     /** Server-side service time under the fail-slow multiplier. */
     TimeNs
@@ -216,6 +226,16 @@ class Network
     sim::Simulator &sim_;
     NetworkSpec spec_;
     double service_mult_ = 1.0;
+    /**
+     * Hot-path allocation pools (declared before anything that can hold a
+     * pooled pointer, so they are destroyed last). One pool per pooled
+     * type: the RPC settle record, the delivered-callback box the reply
+     * std::function shares, and the retry ladders' done-callback boxes.
+     */
+    sim::BlockPool settle_pool_;
+    sim::BlockPool delivered_pool_;
+    sim::BlockPool done_bool_pool_;
+    sim::BlockPool done_typed_pool_;
     std::vector<std::unique_ptr<sim::FifoResource>> client_nics_;
     /** One serving worker per client connection (slice thread). */
     std::vector<std::unique_ptr<sim::FifoResource>> workers_;

@@ -16,6 +16,7 @@
 #define SDF_OBS_OBS_CLI_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -41,6 +42,21 @@ class ObsCli
         else if (key == "--stats-series") series_path_ = val;
         else if (key == "--series-interval-ms")
             series_interval_ = util::MsToNs(std::stod(val));
+        else if (key == "--engine") {
+            // Selects the event-queue implementation process-wide; every
+            // default-constructed Simulator picks it up. Deliberately NOT
+            // recorded in the exported meta: same-seed runs on either
+            // engine must produce byte-identical documents (DESIGN.md §14).
+            sim::EngineKind kind;
+            if (!sim::ParseEngineName(val.c_str(), &kind)) {
+                std::fprintf(stderr,
+                             "--engine=%s: unknown engine "
+                             "(heap|calendar)\n",
+                             val.c_str());
+                std::exit(2);
+            }
+            sim::SetDefaultEngine(kind);
+        }
         else return false;
         return true;
     }
@@ -151,7 +167,9 @@ class ObsCli
                "  --trace-limit=<n>    trace event cap (default 1048576);\n"
                "                       overflow is counted, not silent\n"
                "  --stats-series=<file>      windowed time-series JSON\n"
-               "  --series-interval-ms=<f>   window width (default 50 ms)\n";
+               "  --series-interval-ms=<f>   window width (default 50 ms)\n"
+               "  --engine=<heap|calendar>   event-queue engine (default\n"
+               "                             calendar; heap = reference)\n";
     }
 
   private:

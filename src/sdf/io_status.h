@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/callback.h"
+
 namespace sdf::core {
 
 /** Why an I/O operation failed (kOk when it did not). */
@@ -59,7 +61,7 @@ struct IoStatus
 };
 
 /** Completion callback for device and block-layer operations. */
-using IoCallback = std::function<void(IoStatus)>;
+using IoCallback = sim::Func<void(IoStatus)>;
 
 }  // namespace sdf::core
 

@@ -289,7 +289,7 @@ SdfDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
     if (!ValidUnit(channel, unit) || length == 0 || offset % page != 0 ||
         length % page != 0 || offset + length > unit_bytes_) {
         ++stats_.contract_violations;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(IoError::kContractViolation);
         });
         return;
@@ -401,7 +401,7 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
     if (!ValidUnit(channel, unit) ||
         channels_[channel].units[unit] != UnitState::kErased) {
         ++stats_.contract_violations;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(IoError::kContractViolation);
         });
         return;
@@ -436,11 +436,15 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
 
                 auto remaining = std::make_shared<uint32_t>(planes * ppb);
                 auto write_st = std::make_shared<IoStatus>();
-                auto finish = [this, channel, remaining, write_st, span,
-                               done = std::move(done)]() mutable {
-                    if (--*remaining > 0) return;
-                    Complete(channel, std::move(done), *write_st, span);
-                };
+                // Joined from planes*ppb program completions: the join
+                // closure owns the move-only `done`, so it lives behind one
+                // shared allocation and each branch holds a reference.
+                auto finish = std::make_shared<sim::Callback>(
+                    [this, channel, remaining, write_st, span,
+                     done = std::move(done)]() mutable {
+                        if (--*remaining > 0) return;
+                        Complete(channel, std::move(done), *write_st, span);
+                    });
 
                 // Interleave planes page-by-page so all four program
                 // pipelines stay fed (§2.3: 2 MB striping within a unit).
@@ -455,14 +459,14 @@ SdfDevice::WriteUnit(uint32_t channel, uint32_t unit, IoCallback done,
                                  : nullptr;
                         flash_->channel(channel).ProgramPage(
                             nand::PageAddr{plane, block, p},
-                            [finish, write_st](nand::OpStatus status) mutable {
+                            [finish, write_st](nand::OpStatus status) {
                                 if (!nand::IsOk(status) && write_st->ok()) {
                                     *write_st =
                                         status == nand::OpStatus::kChannelDead
                                             ? IoError::kChannelDead
                                             : IoError::kWriteFailed;
                                 }
-                                finish();
+                                (*finish)();
                             },
                             payload);
                     }
@@ -477,7 +481,7 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
 {
     if (!ValidUnit(channel, unit)) {
         ++stats_.contract_violations;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(IoError::kContractViolation);
         });
         return;
@@ -486,7 +490,7 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
         // Not a software bug: the unit was lost to wear-out. Report it as
         // such so hosts can distinguish "stop using this" from "you
         // violated the contract".
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(IoError::kUnitDead);
         });
         return;
@@ -507,15 +511,16 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
 
         auto remaining = std::make_shared<uint32_t>(planes);
         auto st = std::make_shared<IoStatus>();
-        auto finish = [this, channel, unit, remaining, st, span,
-                       done = std::move(done)]() mutable {
-            if (--*remaining > 0) return;
-            ChannelEngine &ce3 = channels_[channel];
-            if (st->ok() && ce3.units[unit] != UnitState::kDead) {
-                ce3.units[unit] = UnitState::kErased;
-            }
-            Complete(channel, std::move(done), *st, span);
-        };
+        auto finish = std::make_shared<sim::Callback>(
+            [this, channel, unit, remaining, st, span,
+             done = std::move(done)]() mutable {
+                if (--*remaining > 0) return;
+                ChannelEngine &ce3 = channels_[channel];
+                if (st->ok() && ce3.units[unit] != UnitState::kDead) {
+                    ce3.units[unit] = UnitState::kErased;
+                }
+                Complete(channel, std::move(done), *st, span);
+            });
 
         for (uint32_t plane = 0; plane < planes; ++plane) {
             PlaneEngine &pe = ce2.planes[plane];
@@ -528,11 +533,11 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
                         ce2.units[unit] = UnitState::kDead;
                         ++stats_.units_lost;
                     }
-                    sim_.Schedule(0, finish);
+                    sim_.Post([finish]() { (*finish)(); });
                     continue;
                 }
                 pe.map->Set(unit, pe.free_pool.Allocate());
-                sim_.Schedule(0, finish);
+                sim_.Post([finish]() { (*finish)(); });
                 continue;
             }
             ++stats_.physical_block_erases;
@@ -563,7 +568,7 @@ SdfDevice::EraseUnit(uint32_t channel, uint32_t unit, IoCallback done,
                             *st = IoError::kUnitDead;
                         }
                     }
-                    finish();
+                    (*finish)();
                 });
         }
     });
@@ -575,7 +580,7 @@ SdfDevice::ScanUnit(uint32_t channel, uint32_t unit, double selectivity,
 {
     if (!ValidUnit(channel, unit) || selectivity < 0.0 || selectivity > 1.0) {
         ++stats_.contract_violations;
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             if (done) done(false, 0);
         });
         return;

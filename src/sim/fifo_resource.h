@@ -38,11 +38,7 @@ class FifoResource
         const TimeNs end = start + service_time;
         busy_time_ += service_time;
         free_at_ = end;
-        ++outstanding_;
-        sim_.ScheduleAt(end, [this, done = std::move(done)]() {
-            --outstanding_;
-            if (done) done();
-        });
+        Complete(end, std::move(done));
         return end;
     }
 
@@ -58,11 +54,7 @@ class FifoResource
         const TimeNs end = start + service_time;
         busy_time_ += service_time;
         free_at_ = end;
-        ++outstanding_;
-        sim_.ScheduleAt(end, [this, done = std::move(done)]() {
-            --outstanding_;
-            if (done) done();
-        });
+        Complete(end, std::move(done));
         return end;
     }
 
@@ -70,10 +62,7 @@ class FifoResource
     TimeNs free_at() const { return free_at_; }
 
     /** True if work is queued or in service. */
-    bool Busy() const { return outstanding_ > 0; }
-
-    /** Submissions not yet completed. */
-    uint64_t outstanding() const { return outstanding_; }
+    bool Busy() const { return free_at_ > sim_.Now(); }
 
     /** Accumulated service time (for utilization accounting). */
     TimeNs busy_time() const { return busy_time_; }
@@ -88,10 +77,29 @@ class FifoResource
     }
 
   private:
+    /**
+     * Completion dispatch. The callback goes to the engine as-is — no
+     * bookkeeping wrapper, so a Callback-in-Callback nesting (which can
+     * never fit any inline buffer) is avoided and the common completion
+     * stays allocation-free. Zero-cost work on an idle resource is done
+     * *now* and rides the completion ring (no queue slot).
+     */
+    void
+    Complete(TimeNs end, Callback done)
+    {
+        if (end == sim_.Now()) {
+            if (done) sim_.Post(std::move(done));
+            return;
+        }
+        // Null completions still take a timed marker event: Run() must
+        // advance the clock past this resource's horizon (utilization and
+        // duration accounting depend on it).
+        sim_.ScheduleAt(end, std::move(done));
+    }
+
     Simulator &sim_;
     TimeNs free_at_ = 0;
     TimeNs busy_time_ = 0;
-    uint64_t outstanding_ = 0;
 };
 
 }  // namespace sdf::sim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Object pools for per-request allocations on the simulation hot path.
+ *
+ * A cluster run makes millions of short-lived allocations: RPC settle
+ * records, per-read GetOp state, IoSpan timelines. Each one is a
+ * malloc/free pair on the critical path plus cache pollution from the
+ * allocator's metadata. BlockPool recycles fixed-size blocks through a
+ * free list carved out of slab allocations; PoolAllocator adapts it to
+ * `std::allocate_shared`, so even the shared_ptr control block and the
+ * payload land in one pooled block.
+ */
+#ifndef SDF_SIM_POOL_H
+#define SDF_SIM_POOL_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sdf::sim {
+
+/**
+ * Recycles raw blocks of one fixed size (fixed at first Alloc). Blocks
+ * come from slab allocations of kSlabBlocks at a time; freed blocks go on
+ * an embedded free list. Not thread-safe — like the simulator itself.
+ *
+ * The slab storage is shared-owned: every PoolAllocator (and thus every
+ * pooled shared_ptr control block) co-owns it, so an allocation may
+ * outlive the pool object itself. This matters at teardown — a pending
+ * simulator event can hold a pooled shared_ptr whose pool (e.g. inside
+ * net::Network) is destroyed before the Simulator; the slabs stay alive
+ * until the last outstanding block returns.
+ */
+class BlockPool
+{
+  public:
+    static constexpr size_t kSlabBlocks = 64;
+
+    /** Slab storage + free list; kept alive by outstanding allocations. */
+    struct State
+    {
+        void *
+        Alloc(size_t bytes)
+        {
+            bytes = bytes < sizeof(void *) ? sizeof(void *) : bytes;
+            if (block_size == 0) block_size = bytes;
+            SDF_CHECK_MSG(bytes == block_size,
+                          "BlockPool serves exactly one block size");
+            if (free_list == nullptr) Grow();
+            void *p = free_list;
+            free_list = *static_cast<void **>(p);
+            return p;
+        }
+
+        void
+        Free(void *p) noexcept
+        {
+            *static_cast<void **>(p) = free_list;
+            free_list = p;
+        }
+
+        void
+        Grow()
+        {
+            // operator new guarantees max_align_t alignment; rounding the
+            // stride up keeps every block in the slab on that boundary.
+            const size_t stride =
+                (block_size + alignof(std::max_align_t) - 1) &
+                ~(alignof(std::max_align_t) - 1);
+            slabs.emplace_back(static_cast<unsigned char *>(
+                ::operator new(stride * kSlabBlocks)));
+            unsigned char *base = slabs.back().get();
+            for (size_t i = 0; i < kSlabBlocks; ++i) Free(base + i * stride);
+        }
+
+        struct Deleter
+        {
+            void
+            operator()(unsigned char *p) const noexcept
+            {
+                ::operator delete(p);
+            }
+        };
+
+        size_t block_size = 0;
+        void *free_list = nullptr;  ///< Intrusive list through the blocks.
+        std::vector<std::unique_ptr<unsigned char, Deleter>> slabs;
+    };
+
+    BlockPool() : state_(std::make_shared<State>()) {}
+    BlockPool(const BlockPool &) = delete;
+    BlockPool &operator=(const BlockPool &) = delete;
+
+    void *Alloc(size_t bytes) { return state_->Alloc(bytes); }
+    void Free(void *p) noexcept { state_->Free(p); }
+
+    /** Blocks handed out across the pool's lifetime (slab occupancy). */
+    size_t capacity() const { return state_->slabs.size() * kSlabBlocks; }
+
+    const std::shared_ptr<State> &state() const { return state_; }
+
+  private:
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Minimal allocator over a BlockPool for `std::allocate_shared`: the
+ * combined control-block+payload node is the pool's one block size, so a
+ * pooled shared_ptr costs zero heap traffic after warmup. The allocator
+ * copy stored in each control block co-owns the pool's State, which is
+ * what makes pooled shared_ptrs safe past the pool's destruction.
+ */
+template <typename T>
+struct PoolAllocator
+{
+    using value_type = T;
+
+    explicit PoolAllocator(BlockPool *pool) noexcept : state(pool->state()) {}
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &other) noexcept : state(other.state)
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        SDF_CHECK_MSG(n == 1, "PoolAllocator serves single objects");
+        return static_cast<T *>(state->Alloc(sizeof(T)));
+    }
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        state->Free(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &o) const noexcept
+    {
+        return state == o.state;
+    }
+    template <typename U>
+    bool
+    operator!=(const PoolAllocator<U> &o) const noexcept
+    {
+        return state != o.state;
+    }
+
+    std::shared_ptr<BlockPool::State> state;
+};
+
+/**
+ * allocate_shared through @p pool. One pool instance per (T, call site):
+ * the node size must stay constant, which SDF_CHECKs if violated.
+ */
+template <typename T, typename... Args>
+std::shared_ptr<T>
+MakePooledShared(BlockPool &pool, Args &&...args)
+{
+    return std::allocate_shared<T>(PoolAllocator<T>(&pool),
+                                   std::forward<Args>(args)...);
+}
+
+}  // namespace sdf::sim
+
+#endif  // SDF_SIM_POOL_H

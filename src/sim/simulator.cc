@@ -1,10 +1,77 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <cstring>
+#include <limits>
 #include <utility>
 
 #include "util/assert.h"
 
 namespace sdf::sim {
+
+namespace {
+
+/** Process-wide default for default-constructed Simulators. */
+EngineKind &
+MutableDefaultEngine()
+{
+    static EngineKind kind = EngineKind::kCalendar;
+    return kind;
+}
+
+}  // namespace
+
+const char *
+EngineName(EngineKind kind)
+{
+    return kind == EngineKind::kHeap ? "heap" : "calendar";
+}
+
+bool
+ParseEngineName(const char *name, EngineKind *out)
+{
+    if (std::strcmp(name, "heap") == 0) {
+        *out = EngineKind::kHeap;
+        return true;
+    }
+    if (std::strcmp(name, "calendar") == 0) {
+        *out = EngineKind::kCalendar;
+        return true;
+    }
+    return false;
+}
+
+EngineKind
+DefaultEngine()
+{
+    return MutableDefaultEngine();
+}
+
+void
+SetDefaultEngine(EngineKind kind)
+{
+    MutableDefaultEngine() = kind;
+}
+
+Simulator::Simulator(EngineKind engine) : Simulator(engine, CalendarConfig{})
+{
+}
+
+Simulator::Simulator(EngineKind engine, const CalendarConfig &calendar)
+    : engine_(engine),
+      width_log2_(calendar.bucket_width_log2),
+      bucket_count_(calendar.bucket_count)
+{
+    if (engine_ == EngineKind::kCalendar) {
+        SDF_CHECK_MSG(bucket_count_ > 0 &&
+                          (bucket_count_ & (bucket_count_ - 1)) == 0,
+                      "calendar bucket count must be a power of two");
+        SDF_CHECK_MSG(width_log2_ > 0 && width_log2_ < 32,
+                      "calendar bucket width out of range");
+        buckets_.resize(bucket_count_);
+        occupied_.resize((bucket_count_ + 63) / 64, 0);
+    }
+}
 
 EventId
 Simulator::Schedule(TimeNs delay, Callback cb)
@@ -17,56 +84,314 @@ EventId
 Simulator::ScheduleAt(TimeNs when, Callback cb)
 {
     SDF_CHECK_MSG(when >= now_, "scheduling into the past");
-    const EventId id = next_id_++;
-    queue_.push(Entry{when, id, std::move(cb)});
-    live_.insert(id);
-    return id;
+    ++live_count_;
+    if (engine_ == EngineKind::kHeap) {
+        const uint64_t id = next_seq_++;
+        heap_.push_back(HeapEntry{when, id, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+        heap_live_.insert(id);
+        return id;
+    }
+    const uint32_t idx = AcquireSlot();
+    Slot &s = slots_[idx];
+    s.when = when;
+    s.seq = next_seq_++;
+    s.next = kNil;
+    s.armed = true;
+    s.cb = std::move(cb);
+    CalendarInsert(idx);
+    return IdOf(idx);
+}
+
+void
+Simulator::Post(Callback cb)
+{
+    ring_.push_back(RingItem{next_seq_++, std::move(cb)});
 }
 
 void
 Simulator::Cancel(EventId id)
 {
-    // Erasing from the live set is naturally idempotent: cancelling an id
-    // that already fired (or a garbage id) is a no-op rather than a
-    // permanent bookkeeping leak.
-    live_.erase(id);
+    if (engine_ == EngineKind::kHeap) {
+        // Erasing from the live set is naturally idempotent: cancelling an
+        // id that already fired (or a garbage id) is a no-op rather than a
+        // permanent bookkeeping leak. The heap entry itself is discarded
+        // lazily when it reaches the top.
+        if (heap_live_.erase(id) != 0) --live_count_;
+        return;
+    }
+    // Calendar ids are (slot+1, generation); a stale or foreign id fails
+    // one of the checks below and cancels nothing. The slot stays in its
+    // bucket/heap as a tombstone (discarded at pop), but the callback's
+    // resources are released immediately.
+    const uint64_t slot_part = id >> 32;
+    if (slot_part == 0 || slot_part > slots_.size()) return;
+    Slot &s = slots_[static_cast<uint32_t>(slot_part - 1)];
+    if (s.gen != static_cast<uint32_t>(id) || !s.armed) return;
+    s.armed = false;
+    s.cb = nullptr;
+    --live_count_;
+}
+
+uint32_t
+Simulator::AcquireSlot()
+{
+    if (free_slots_.empty()) {
+        slots_.emplace_back();
+        return static_cast<uint32_t>(slots_.size() - 1);
+    }
+    const uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
 }
 
 void
-Simulator::Step()
+Simulator::FreeSlot(uint32_t idx)
 {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (live_.erase(e.id) == 0) return;  // cancelled
-    now_ = e.when;
+    Slot &s = slots_[idx];
+    ++s.gen;  // Stale EventIds for this slot stop matching.
+    s.armed = false;
+    s.next = kNil;
+    free_slots_.push_back(idx);
+}
+
+EventId
+Simulator::IdOf(uint32_t idx) const
+{
+    return (static_cast<uint64_t>(idx) + 1) << 32 | slots_[idx].gen;
+}
+
+void
+Simulator::CalendarInsert(uint32_t slot_idx)
+{
+    const Slot &s = slots_[slot_idx];
+    const TimeNs span = static_cast<TimeNs>(bucket_count_) << width_log2_;
+    if (s.when >= window_start_ + span) {
+        overflow_.push_back(HeapRef{s.when, s.seq, slot_idx});
+        std::push_heap(overflow_.begin(), overflow_.end(), RefLater{});
+        return;
+    }
+    // The window can sit ahead of the clock right after a rotation (the
+    // earliest event then was far in the future); anything scheduled
+    // before it joins the near heap, which tolerates any timestamp.
+    const uint64_t bucket =
+        s.when < window_start_
+            ? 0
+            : static_cast<uint64_t>(s.when - window_start_) >> width_log2_;
+    if (bucket <= cur_bucket_) {
+        near_.push_back(HeapRef{s.when, s.seq, slot_idx});
+        std::push_heap(near_.begin(), near_.end(), RefLater{});
+        return;
+    }
+    Bucket &b = buckets_[bucket];
+    if (b.tail == kNil) {
+        b.head = b.tail = slot_idx;
+        occupied_[bucket >> 6] |= uint64_t{1} << (bucket & 63);
+    } else {
+        slots_[b.tail].next = slot_idx;
+        b.tail = slot_idx;
+    }
+    ++wheel_count_;
+}
+
+bool
+Simulator::CalendarSettle()
+{
+    for (;;) {
+        // Tombstones (cancelled slots) are discarded here so the heap top
+        // is always a live event — PendingEvents() never depends on them.
+        while (!near_.empty() && !slots_[near_.front().slot].armed) {
+            std::pop_heap(near_.begin(), near_.end(), RefLater{});
+            FreeSlot(near_.back().slot);
+            near_.pop_back();
+        }
+        if (!near_.empty()) return true;
+        if (wheel_count_ > 0) {
+            // Skip-scan the occupancy bitmap to the next loaded bucket,
+            // then splice its whole list into the near heap at once.
+            uint64_t b = cur_bucket_ + 1;
+            uint64_t word_idx = b >> 6;
+            uint64_t word = occupied_[word_idx] & (~uint64_t{0} << (b & 63));
+            while (word == 0) {
+                ++word_idx;
+                SDF_CHECK_MSG(word_idx < occupied_.size(),
+                              "calendar occupancy desynced");
+                word = occupied_[word_idx];
+            }
+            b = (word_idx << 6) +
+                static_cast<uint64_t>(__builtin_ctzll(word));
+            cur_bucket_ = static_cast<uint32_t>(b);
+            Bucket &bucket = buckets_[b];
+            for (uint32_t idx = bucket.head; idx != kNil;) {
+                const Slot &s = slots_[idx];
+                near_.push_back(HeapRef{s.when, s.seq, idx});
+                --wheel_count_;
+                idx = s.next;
+            }
+            bucket.head = bucket.tail = kNil;
+            occupied_[word_idx] &= ~(uint64_t{1} << (b & 63));
+            std::make_heap(near_.begin(), near_.end(), RefLater{});
+            continue;
+        }
+        if (!overflow_.empty()) {
+            RotateWindow();
+            continue;
+        }
+        return false;
+    }
+}
+
+void
+Simulator::RotateWindow()
+{
+    // The wheel is empty; restart it at the earliest far-future event and
+    // migrate everything that now fits. Migration is a single O(n)
+    // partition of the raw overflow vector — a rotation typically moves
+    // a large fraction of the heap, so per-event pop_heap (k log n) loses
+    // badly. Migration order is arbitrary; FIFO correctness never depends
+    // on bucket-list order — the near heap's (when, seq) comparator is
+    // the single source of ordering truth.
+    const TimeNs width_mask = (TimeNs{1} << width_log2_) - 1;
+    window_start_ = overflow_.front().when & ~width_mask;
+    cur_bucket_ = 0;
+    const TimeNs span = static_cast<TimeNs>(bucket_count_) << width_log2_;
+    const TimeNs window_end = window_start_ + span;
+    size_t keep = 0;
+    for (const HeapRef ref : overflow_) {
+        if (!slots_[ref.slot].armed) {
+            FreeSlot(ref.slot);  // Tombstone: drop it during the sweep.
+        } else if (ref.when < window_end) {
+            CalendarInsert(ref.slot);
+        } else {
+            overflow_[keep++] = ref;
+        }
+    }
+    overflow_.resize(keep);
+    std::make_heap(overflow_.begin(), overflow_.end(), RefLater{});
+}
+
+bool
+Simulator::PeekTimed(TimeNs *when, uint64_t *seq)
+{
+    if (engine_ == EngineKind::kHeap) {
+        HeapDropCancelledHead();
+        if (heap_.empty()) return false;
+        *when = heap_.front().when;
+        *seq = heap_.front().seq;
+        return true;
+    }
+    if (!CalendarSettle()) return false;
+    *when = near_.front().when;
+    *seq = near_.front().seq;
+    return true;
+}
+
+void
+Simulator::HeapDropCancelledHead()
+{
+    while (!heap_.empty() && heap_live_.count(heap_.front().seq) == 0) {
+        std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+        heap_.pop_back();
+    }
+}
+
+void
+Simulator::FireTimedHead()
+{
+    if (engine_ == EngineKind::kHeap) {
+        // The owned vector heap is what lets dispatch MOVE the entry out;
+        // the seed's priority_queue::top() is const and forced a copy of
+        // every callback here.
+        std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+        HeapEntry e = std::move(heap_.back());
+        heap_.pop_back();
+        heap_live_.erase(e.seq);
+        --live_count_;
+        now_ = e.when;
+        ++events_processed_;
+        if (e.cb) e.cb();
+        return;
+    }
+    std::pop_heap(near_.begin(), near_.end(), RefLater{});
+    const HeapRef ref = near_.back();
+    near_.pop_back();
+    Slot &s = slots_[ref.slot];
+    now_ = ref.when;
     ++events_processed_;
-    e.cb();
+    --live_count_;
+    // Free the slot before invoking so the callback can recycle it; its
+    // own EventId goes stale first, making self-cancel a harmless no-op.
+    Callback cb = std::move(s.cb);
+    FreeSlot(ref.slot);
+    if (cb) cb();
+}
+
+void
+Simulator::FireRingHead()
+{
+    RingItem item = std::move(ring_[ring_head_]);
+    ++ring_head_;
+    if (ring_head_ == ring_.size()) {
+        ring_.clear();
+        ring_head_ = 0;
+    }
+    ++events_processed_;
+    if (item.cb) item.cb();
+}
+
+bool
+Simulator::PopNext()
+{
+    const bool have_ring = ring_head_ < ring_.size();
+    TimeNs when = 0;
+    uint64_t seq = 0;
+    const bool have_timed = PeekTimed(&when, &seq);
+    if (!have_ring && !have_timed) return false;
+    // Ring items are due at the current time; a timed event wins only if
+    // it is also due now and was scheduled earlier (smaller sequence).
+    if (have_ring &&
+        (!have_timed || when > now_ || seq > ring_[ring_head_].seq)) {
+        FireRingHead();
+    } else {
+        FireTimedHead();
+    }
+    return true;
 }
 
 void
 Simulator::Run()
 {
-    while (!queue_.empty()) Step();
+    while (PopNext()) {
+    }
 }
 
 bool
 Simulator::RunUntil(TimeNs deadline)
 {
-    while (!queue_.empty() && queue_.top().when <= deadline) Step();
-    if (deadline > now_) now_ = deadline;
-    // Drop cancelled entries at the head so "events remain" is accurate.
-    while (!queue_.empty() && live_.count(queue_.top().id) == 0) {
-        queue_.pop();
+    for (;;) {
+        const bool have_ring = ring_head_ < ring_.size();
+        TimeNs when = 0;
+        uint64_t seq = 0;
+        const bool have_timed = PeekTimed(&when, &seq);
+        const bool ring_due = have_ring && now_ <= deadline;
+        const bool timed_due = have_timed && when <= deadline;
+        if (!ring_due && !timed_due) break;
+        if (ring_due &&
+            (!timed_due || when > now_ || seq > ring_[ring_head_].seq)) {
+            FireRingHead();
+        } else {
+            FireTimedHead();
+        }
     }
-    return !queue_.empty();
+    if (deadline > now_) now_ = deadline;
+    return PendingEvents() > 0;
 }
 
 bool
 Simulator::RunWhileNot(const std::function<bool()> &predicate)
 {
     while (!predicate()) {
-        if (queue_.empty()) return false;
-        Step();
+        if (!PopNext()) return false;
     }
     return true;
 }

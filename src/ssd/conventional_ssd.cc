@@ -175,7 +175,7 @@ ConventionalSsd::Admit(PendingRequest req)
     if (req.length == 0 || req.offset % page != 0 || req.length % page != 0 ||
         req.offset + req.length > user_capacity_) {
         if (req.done) {
-            sim_.Schedule(0, [done = std::move(req.done)]() { done(false); });
+            sim_.Post([done = std::move(req.done)]() { done(false); });
         }
         return;
     }
@@ -321,8 +321,9 @@ ConventionalSsd::StartWrite(PendingRequest req)
     const uint8_t *data = req.data;
     auto done = std::move(req.done);
 
-    firmware_.Submit(config_.fw_cost_per_write_request, [this, offset, length,
-                                                         data, done]() mutable {
+    firmware_.Submit(config_.fw_cost_per_write_request,
+                     [this, offset, length, data,
+                      done = std::move(done)]() mutable {
         link_->TransferToDevice(sim_.Now(), length, [this, offset, length,
                                                      data,
                                                      done = std::move(done)]() mutable {

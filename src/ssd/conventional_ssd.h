@@ -34,6 +34,7 @@
 #include "ftl/striping.h"
 #include "ftl/wear_leveler.h"
 #include "nand/flash_array.h"
+#include "sim/callback.h"
 #include "sim/fifo_resource.h"
 #include "sim/simulator.h"
 
@@ -46,7 +47,7 @@ namespace sdf::ssd {
 using util::TimeNs;
 
 /** Completion callback: ok=false on device-level failure. */
-using IoCallback = std::function<void(bool ok)>;
+using IoCallback = sim::Func<void(bool ok)>;
 
 /** GC victim selection policy (ablation knob). */
 enum class GcPolicy : uint8_t

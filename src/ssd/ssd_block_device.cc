@@ -60,7 +60,7 @@ SsdBlockDevice::Read(uint32_t channel, uint32_t unit, uint64_t offset,
         offset + length > caps_.unit_bytes ||
         offset % caps_.read_unit_bytes != 0 ||
         length % caps_.read_unit_bytes != 0) {
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             done(core::IoStatus(core::IoError::kContractViolation));
         });
         return;
@@ -81,7 +81,7 @@ SsdBlockDevice::WriteUnit(uint32_t channel, uint32_t unit,
     (void)span;
     if (!ValidUnit(channel, unit) ||
         unit_state(channel, unit) != core::UnitState::kErased) {
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             done(core::IoStatus(core::IoError::kContractViolation));
         });
         return;
@@ -102,7 +102,7 @@ SsdBlockDevice::EraseUnit(uint32_t channel, uint32_t unit,
 {
     (void)span;
     if (!ValidUnit(channel, unit)) {
-        sim_.Schedule(0, [done = std::move(done)]() {
+        sim_.Post([done = std::move(done)]() {
             done(core::IoStatus(core::IoError::kContractViolation));
         });
         return;
@@ -115,7 +115,7 @@ SsdBlockDevice::EraseUnit(uint32_t channel, uint32_t unit,
     ++synthetic_erases_;
     const uint64_t idx = uint64_t{channel} * caps_.units_per_channel + unit;
     units_[idx] = core::UnitState::kErased;
-    sim_.Schedule(0, [done = std::move(done)]() { done(core::IoStatus()); });
+    sim_.Post([done = std::move(done)]() { done(core::IoStatus()); });
 }
 
 core::UnitState

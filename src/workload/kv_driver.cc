@@ -146,11 +146,12 @@ RunSequentialScan(sim::Simulator &sim, const std::vector<kv::Slice *> &slices,
                     const uint64_t id =
                         (*patch_ids)[(*cursor)++ % patch_ids->size()];
                     const uint64_t bytes = 8 * util::kMiB;
-                    slice->ReadPatchFully(
-                        id, [meter, bytes, done = std::move(done)](bool ok) {
-                            if (ok && meter->measuring) meter->bytes += bytes;
-                            done();
-                        });
+                    auto dp =
+                        std::make_shared<sim::Callback>(std::move(done));
+                    slice->ReadPatchFully(id, [meter, bytes, dp](bool ok) {
+                        if (ok && meter->measuring) meter->bytes += bytes;
+                        (*dp)();
+                    });
                 }));
         }
     }
@@ -306,7 +307,7 @@ RunMixedLoad(sim::Simulator &sim, const KvService &svc,
         }
     };
     for (uint32_t a = 0; a < cfg.actors; ++a) {
-        sim.Schedule(0, [&step, a]() { step(a); });
+        sim.Post([&step, a]() { step(a); });
     }
     sim.RunUntil(t_end);
     sim.Run();  // Drain the last in-flight op of every actor.
@@ -424,7 +425,7 @@ RunOpenLoad(sim::Simulator &sim, const KvService &svc,
         if (gap == 0) gap = 1;  // Never two arrivals at the same tick.
         sim.Schedule(gap, arrive);
     };
-    sim.Schedule(0, [&arrive]() { arrive(); });
+    sim.Post([&arrive]() { arrive(); });
     sim.RunUntil(t_end);
     sim.Run();  // Drain everything still in flight (or pending shed).
 

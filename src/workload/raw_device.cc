@@ -135,9 +135,12 @@ RunSdfRandomReads(sim::Simulator &sim, core::SdfDevice &device,
                 stack.Issue(
                     [&device, ch, unit, offset, request_bytes,
                      span](sim::Callback d) {
+                        // Device callbacks are copyable std::functions;
+                        // box the move-only stack completion.
+                        auto dp =
+                            std::make_shared<sim::Callback>(std::move(d));
                         device.Read(ch, unit, offset, request_bytes,
-                                    [d = std::move(d)](bool) { d(); },
-                                    nullptr, span);
+                                    [dp](bool) { (*dp)(); }, nullptr, span);
                     },
                     [&sim, meter, aobs, request_bytes,
                      done = std::move(done)]() {
@@ -182,9 +185,12 @@ RunSdfSequentialReads(sim::Simulator &sim, core::SdfDevice &device,
                 stack.Issue(
                     [&device, ch, unit, offset, request_bytes,
                      span](sim::Callback d) {
+                        // Device callbacks are copyable std::functions;
+                        // box the move-only stack completion.
+                        auto dp =
+                            std::make_shared<sim::Callback>(std::move(d));
                         device.Read(ch, unit, offset, request_bytes,
-                                    [d = std::move(d)](bool) { d(); },
-                                    nullptr, span);
+                                    [dp](bool) { (*dp)(); }, nullptr, span);
                     },
                     [&sim, meter, aobs, request_bytes,
                      done = std::move(done)]() {
@@ -227,16 +233,18 @@ RunSdfWrites(sim::Simulator &sim, core::SdfDevice &device,
                 if (span != nullptr) span->Start(start);
                 stack.Issue(
                     [&device, ch, unit, span](sim::Callback d) {
+                        auto dp =
+                            std::make_shared<sim::Callback>(std::move(d));
                         // Explicit erase immediately before the write.
                         device.EraseUnit(
                             ch, unit,
-                            [&device, ch, unit, span,
-                             d = std::move(d)](bool ok) {
+                            [&device, ch, unit, span, dp](bool ok) {
                                 if (!ok) {
-                                    d();
+                                    (*dp)();
                                     return;
                                 }
-                                device.WriteUnit(ch, unit, [d](bool) { d(); },
+                                device.WriteUnit(ch, unit,
+                                                 [dp](bool) { (*dp)(); },
                                                  nullptr, span);
                             },
                             span);
@@ -300,12 +308,14 @@ RunConv(sim::Simulator &sim, ssd::ConventionalSsd &device,
                 stack.Issue(
                     [&device, offset, request_bytes, is_write](
                         sim::Callback d) {
+                        auto dp =
+                            std::make_shared<sim::Callback>(std::move(d));
                         if (is_write) {
                             device.Write(offset, request_bytes,
-                                         [d = std::move(d)](bool) { d(); });
+                                         [dp](bool) { (*dp)(); });
                         } else {
                             device.Read(offset, request_bytes,
-                                        [d = std::move(d)](bool) { d(); });
+                                        [dp](bool) { (*dp)(); });
                         }
                     },
                     [&sim, meter, result, aobs, request_bytes, start,

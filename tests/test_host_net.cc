@@ -30,7 +30,9 @@ TEST(IoStack, AddsIssueAndCompletionLatency)
     host::IoStack stack(sim, host::KernelIoStackSpec(), 1);
     util::TimeNs done_at = 0;
     stack.Issue(
-        [&sim](sim::Callback done) { sim.Schedule(util::UsToNs(100), done); },
+        [&sim](sim::Callback done) {
+            sim.Schedule(util::UsToNs(100), std::move(done));
+        },
         [&]() { done_at = sim.Now(); });
     sim.Run();
     EXPECT_EQ(done_at, util::UsToNs(100) + util::UsToNs(3.8) +
