@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Regenerate the machine-readable perf snapshot (BENCH_pr9.json by default)
-# from a fixed set of sdfsim runs with --stats-json. Every run is on the
-# simulated clock with a fixed seed, so the snapshot is deterministic and
-# diffs meaningfully across PRs: counters, per-stage latency means, and
-# derived throughput for the canonical workloads, including the open-loop
-# overload runs (storm goodput, typed sheds, hedge/breaker accounting).
-# The overload runs also capture --stats-series windowed timelines, which
+# Regenerate the machine-readable perf snapshot (BENCH_pr10.json by
+# default) from a fixed set of sdfsim runs with --stats-json. Every run is
+# on the simulated clock with a fixed seed, so the snapshot is
+# deterministic and diffs meaningfully across PRs: counters, per-stage
+# latency means, and derived throughput for the canonical workloads,
+# including the open-loop overload runs (storm goodput, typed sheds,
+# hedge/breaker accounting) and the YCSB runs (Zipfian skew, phased
+# arrivals, cluster range scans, per-phase p99/SLO accounting; the
+# bench/ycsb_suite export rides along as the ycsb_suite run).
+# The time-axis runs also capture --stats-series windowed timelines, which
 # are merged into the snapshot under each run's "series" key so the storm
 # and fail-slow windows are diffable across PRs too. The bench/sim_engine
 # microbench (calendar queue vs reference heap, wall-clock events/sec) is
@@ -16,10 +19,11 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 
 cmake -B build -S . > /dev/null
-cmake --build build -j --target sdfsim --target sim_engine > /dev/null
+cmake --build build -j --target sdfsim --target sim_engine \
+    --target ycsb_suite > /dev/null
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -51,6 +55,15 @@ run cluster_restart  --workload=cluster --nodes=4 --replication=2 --duration=0.5
 run cluster_rebal    --workload=cluster --nodes=4 --replication=2 --duration=0.5 --kill-node=0 --rebalance
 run_series overload_storm   --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=60000 --storm=2.0
 run_series overload_failslow --workload=overload --nodes=3 --replication=2 --duration=0.3 --arrival-rate=20000 --fail-slow-node=1 --fail-slow-factor=4
+# YCSB: skewed phased traffic (per-phase p99/SLO in derived result.phase.*)
+# and the scan-heavy profile E through the cluster front door.
+run_series ycsb_storm --workload=ycsb --profile=storm --nodes=3 --replication=2 --duration=0.3 --arrival-rate=40000
+run_series ycsb_diurnal --workload=ycsb --profile=diurnal --nodes=3 --replication=2 --duration=0.3 --arrival-rate=30000
+run ycsb_e --workload=ycsb --profile=e --nodes=3 --replication=2 --duration=0.3 --arrival-rate=400 --keys=200
+
+echo "bench_to_json: ycsb_suite (+series)"
+./build/bench/ycsb_suite --stats-json="$tmp/ycsb_suite.json" \
+    --stats-series="$tmp/ycsb_suite.series.json" > /dev/null
 
 echo "bench_to_json: sim_engine microbench"
 ./build/bench/sim_engine --json="$tmp/sim_engine.bench.json" > /dev/null

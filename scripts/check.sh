@@ -75,6 +75,32 @@ python3 tools/validate_stats.py "$obs_tmp/o1.json" \
 ./build/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
     --duration=0.2 --fail-slow-node=1 --fail-slow-factor=4 > /dev/null
 
+echo "== ycsb smoke =="
+# Skewed phased traffic with range scans through the client front door:
+# same seed => byte-identical stats/trace/series; the scan critical path
+# (client.path.scan) is attributed, and per-phase counts sum exactly to
+# the run totals (--check-phases).
+./build/tools/sdfsim --workload=ycsb --profile=e --nodes=3 --replication=2 \
+    --duration=0.2 --arrival-rate=400 --keys=200 \
+    --stats-json="$obs_tmp/y1.json" --trace="$obs_tmp/y1.trace.json" \
+    --stats-series="$obs_tmp/y1.series.json" > /dev/null
+./build/tools/sdfsim --workload=ycsb --profile=e --nodes=3 --replication=2 \
+    --duration=0.2 --arrival-rate=400 --keys=200 \
+    --stats-json="$obs_tmp/y2.json" --trace="$obs_tmp/y2.trace.json" \
+    --stats-series="$obs_tmp/y2.series.json" > /dev/null
+cmp "$obs_tmp/y1.json" "$obs_tmp/y2.json"  # Same seed => byte-identical.
+cmp "$obs_tmp/y1.trace.json" "$obs_tmp/y2.trace.json"
+cmp "$obs_tmp/y1.series.json" "$obs_tmp/y2.series.json"
+python3 tools/validate_stats.py "$obs_tmp/y1.json" \
+    --trace="$obs_tmp/y1.trace.json" --series="$obs_tmp/y1.series.json" \
+    --require-op=client.path.scan --check-phases
+# The storm profile's flash crowd: per-phase accounting over a schedule
+# with a hot-range spike (3 labelled series segments).
+./build/tools/sdfsim --workload=ycsb --profile=storm --nodes=3 \
+    --replication=2 --duration=0.3 --arrival-rate=40000 \
+    --stats-json="$obs_tmp/ystorm.json" > /dev/null
+python3 tools/validate_stats.py "$obs_tmp/ystorm.json" --check-phases
+
 echo "== engine cross-check (heap vs calendar) =="
 # The two event engines must produce byte-identical runs: same seed, same
 # dispatch order, same stats/trace/series exports. The overload workload
@@ -89,11 +115,21 @@ for eng in heap calendar; do
     ./build/tools/sdfsim --workload=cluster --nodes=3 --replication=2 \
         --duration=0.3 --engine="$eng" \
         --stats-json="$obs_tmp/xc-$eng.json" > /dev/null
+    # The ycsb storm adds phased arrivals + cluster scans to the
+    # cross-checked surface (per-phase p99s and SLO counters must be
+    # byte-identical across engines too).
+    ./build/tools/sdfsim --workload=ycsb --profile=storm --nodes=3 \
+        --replication=2 --duration=0.2 --arrival-rate=30000 \
+        --engine="$eng" \
+        --stats-json="$obs_tmp/xy-$eng.json" \
+        --stats-series="$obs_tmp/xy-$eng.series.json" > /dev/null
 done
 cmp "$obs_tmp/x-heap.json" "$obs_tmp/x-calendar.json"
 cmp "$obs_tmp/x-heap.trace.json" "$obs_tmp/x-calendar.trace.json"
 cmp "$obs_tmp/x-heap.series.json" "$obs_tmp/x-calendar.series.json"
 cmp "$obs_tmp/xc-heap.json" "$obs_tmp/xc-calendar.json"
+cmp "$obs_tmp/xy-heap.json" "$obs_tmp/xy-calendar.json"
+cmp "$obs_tmp/xy-heap.series.json" "$obs_tmp/xy-calendar.series.json"
 
 echo "== warnings-as-errors build =="
 cmake -B build-werror -S . -DSDF_WERROR=ON > /dev/null
@@ -120,6 +156,13 @@ cmake --build build-asan -j
 # calendar engine; this covers the reference heap path too).
 ./build-asan/tools/sdfsim --workload=overload --nodes=3 --replication=2 \
     --duration=0.2 --arrival-rate=60000 --storm=2.0 --engine=heap \
+    > /dev/null
+# The ycsb storm under the sanitizers: phased arrivals, hot-range skew,
+# cluster scan fan-out/merge, and per-phase accounting.
+./build-asan/tools/sdfsim --workload=ycsb --profile=storm --nodes=3 \
+    --replication=2 --duration=0.2 --arrival-rate=30000 > /dev/null
+./build-asan/tools/sdfsim --workload=ycsb --profile=e --nodes=3 \
+    --replication=2 --duration=0.2 --arrival-rate=400 --keys=200 \
     > /dev/null
 
 echo "All checks passed."

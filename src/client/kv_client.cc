@@ -22,6 +22,7 @@ KvClient::KvClient(sim::Simulator &sim, cluster::ClusterRouter &router,
         metric_prefix_ = m.UniquePrefix("client");
         m.RegisterCounter(metric_prefix_ + ".puts", &stats_.puts);
         m.RegisterCounter(metric_prefix_ + ".gets", &stats_.gets);
+        m.RegisterCounter(metric_prefix_ + ".scans", &stats_.scans);
         m.RegisterCounter(metric_prefix_ + ".shed_queue_full",
                           &stats_.shed_queue_full);
         m.RegisterCounter(metric_prefix_ + ".queued", &stats_.queued);
@@ -162,6 +163,45 @@ KvClient::Get(uint64_t key, GetDone done)
     op.get_done = std::move(done);
     BeginPath(op);
     Submit(order.front(), std::move(op));
+}
+
+void
+KvClient::Scan(uint64_t start_key, uint32_t limit, ScanDone done)
+{
+    ++stats_.scans;
+    kv::OpContext ctx;
+    ctx.deadline = DeadlineFromNow();
+    std::shared_ptr<obs::IoSpan> span;
+    if (hub_ != nullptr) {
+        ctx.trace.trace_id = next_trace_id_++;
+        span = sim::MakePooledShared<obs::IoSpan>(span_pool_);
+        span->Start(sim_.Now());
+        span->Enter(obs::Stage::kClientQueue, sim_.Now());
+        // Dispatch is immediate (no window), so the queue stage is a
+        // zero-length cut and the wire stage opens right away; the span
+        // rides the fan-out's first member RPC (single-writer rule).
+        span->Enter(obs::Stage::kRpcWire, sim_.Now());
+        ctx.path = span;
+    }
+    router_.Scan(start_key, limit, ctx,
+                 [this, span, trace_id = ctx.trace.trace_id,
+                  done = std::move(done)](kv::ScanResult r) {
+                     FinishPath(span, "scan", "client.path.scan", trace_id);
+                     if (r.ok) {
+                         ++stats_.ok;
+                     } else {
+                         switch (r.status) {
+                             case kv::OpStatus::kOverloaded:
+                                 ++stats_.overloaded;
+                                 break;
+                             case kv::OpStatus::kDeadlineExceeded:
+                                 ++stats_.deadline_exceeded;
+                                 break;
+                             default: ++stats_.errors; break;
+                         }
+                     }
+                     if (done) done(std::move(r));
+                 });
 }
 
 void
@@ -459,6 +499,11 @@ KvClient::Service()
     };
     svc.get = [this](uint64_t key, kv::GetCallback done) {
         Get(key, std::move(done));
+    };
+    svc.scan = [this](uint64_t start_key, uint32_t limit,
+                      std::function<void(const kv::ScanResult &)> done) {
+        Scan(start_key, limit,
+             [done = std::move(done)](kv::ScanResult r) { done(r); });
     };
     return svc;
 }

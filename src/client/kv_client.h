@@ -83,6 +83,7 @@ struct ClientStats
 {
     uint64_t puts = 0;
     uint64_t gets = 0;
+    uint64_t scans = 0;
     uint64_t shed_queue_full = 0;  ///< Client-side typed kOverloaded.
     uint64_t queued = 0;           ///< Submits that waited for a slot.
     uint64_t batches = 0;          ///< Coalesced BatchGet RPCs issued.
@@ -114,6 +115,7 @@ class KvClient
   public:
     using PutDone = kv::PutStatusCallback;
     using GetDone = kv::GetCallback;
+    using ScanDone = cluster::StorageNode::ScanDoneCallback;
 
     KvClient(sim::Simulator &sim, cluster::ClusterRouter &router,
              const KvClientConfig &cfg = {});
@@ -131,6 +133,15 @@ class KvClient
      * walk when the primary cannot serve.
      */
     void Get(uint64_t key, GetDone done);
+
+    /**
+     * Async range scan (see ClusterRouter::Scan). Scans bypass the
+     * per-node window and queue — they fan out to every live node, so no
+     * single destination window applies and they are never coalesced —
+     * but they carry the same deadline, a trace id, and their own
+     * critical-path span recorded under `client.path.scan`.
+     */
+    void Scan(uint64_t start_key, uint32_t limit, ScanDone done);
 
     /** The front door as a generic workload target. */
     workload::KvService Service();

@@ -442,6 +442,70 @@ StorageNode::BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
 }
 
 void
+StorageNode::Scan(uint64_t start_key, uint32_t limit,
+                  std::function<bool(uint64_t)> owned, kv::OpContext ctx,
+                  ScanDoneCallback done)
+{
+    const uint32_t client = next_client_++ % clients_;
+    // The request carries (start_key, limit) plus the caller's owned
+    // vnode ranges; the range list is modeled at a flat 256 bytes.
+    const uint64_t request_bytes = kRpcHeaderBytes + 16 + 256;
+    auto result = std::make_shared<kv::ScanResult>();
+    net_->RpcTyped(
+        client, request_bytes, ctx.deadline,
+        [this, start_key, limit, owned = std::move(owned), result,
+         span = ctx.path, trace_id = ctx.trace.trace_id](
+            util::TimeNs /*deadline*/, net::Network::TypedReply reply) {
+            if (!running_) return;
+            const util::TimeNs t0 = sim_.Now();
+            // Like a batch, the whole scan costs one admission slot: it
+            // is one request however many keys it touches.
+            if (!Admit()) {
+                EmitServerEvent("server.scan", t0, trace_id);
+                reply(kNackBytes, net::RpcCode::kOverloaded);
+                return;
+            }
+            const uint64_t inc = incarnation_;
+            if (span) span->Enter(obs::Stage::kStorage, t0);
+            store().Scan(
+                start_key, limit,
+                [this, inc, t0, result, span, trace_id,
+                 reply = std::move(reply)](const kv::ScanResult &r) {
+                    Release(inc);
+                    if (!running_) return;
+                    if (span) {
+                        span->Enter(obs::Stage::kServerHandle, sim_.Now());
+                    }
+                    *result = r;
+                    // The response streams the scanned values plus 16
+                    // bytes of (key, size) framing per entry.
+                    const uint64_t bytes =
+                        r.ok ? kRpcHeaderBytes + r.scanned_bytes +
+                                   16 * r.entries.size()
+                             : kNackBytes;
+                    Slowed(t0, [this, reply, bytes, t0, trace_id]() {
+                        if (running_) {
+                            EmitServerEvent("server.scan", t0, trace_id);
+                            reply(bytes, net::RpcCode::kOk);
+                        }
+                    });
+                },
+                owned);
+        },
+        [result, done = std::move(done)](net::RpcCode code) {
+            if (code != net::RpcCode::kOk) {
+                kv::ScanResult fail;
+                fail.ok = false;
+                fail.status = CodeToStatus(code);
+                done(std::move(fail));
+            } else {
+                done(std::move(*result));
+            }
+        },
+        ctx.path);
+}
+
+void
 StorageNode::FlushAll()
 {
     if (!running_) return;
@@ -490,6 +554,10 @@ ClusterRouter::ClusterRouter(sim::Simulator &sim,
                           &st.epoch_restarts);
         m.RegisterCounter(metric_prefix_ + ".no_replica_rejects",
                           &st.no_replica_rejects);
+        m.RegisterCounter(metric_prefix_ + ".scans", &scans_);
+        m.RegisterCounter(metric_prefix_ + ".scan_keys", &scan_keys_);
+        m.RegisterCounter(metric_prefix_ + ".scan_failures",
+                          &scan_failures_);
         m.RegisterGauge(metric_prefix_ + ".epoch", [this]() {
             return static_cast<double>(epoch_);
         });
@@ -553,6 +621,80 @@ ClusterRouter::BatchGetAt(uint32_t node, std::vector<uint64_t> keys,
             if (!shed) breaker_.Record(node, sim_.Now() - t0);
             done(std::move(results));
         });
+}
+
+void
+ClusterRouter::Scan(uint64_t start_key, uint32_t limit, kv::OpContext ctx,
+                    StorageNode::ScanDoneCallback done)
+{
+    ++scans_;
+    const std::vector<uint32_t> members = ring_.node_ids();
+    if (members.empty() || limit == 0) {
+        kv::ScanResult r;
+        if (members.empty()) {
+            r.ok = false;
+            r.status = kv::OpStatus::kError;
+            ++scan_failures_;
+        }
+        sim_.Post([done = std::move(done), r]() mutable {
+            done(std::move(r));
+        });
+        return;
+    }
+    const uint64_t start_epoch = epoch_;
+    auto merged = std::make_shared<std::map<uint64_t, uint32_t>>();
+    auto ok = std::make_shared<bool>(true);
+    auto status = std::make_shared<kv::OpStatus>(kv::OpStatus::kOk);
+    auto remaining = std::make_shared<size_t>(members.size());
+    auto boxed = std::make_shared<StorageNode::ScanDoneCallback>(
+        std::move(done));
+    for (size_t i = 0; i < members.size(); ++i) {
+        const uint32_t node = members[i];
+        kv::OpContext member_ctx = ctx;
+        // Single span writer: the critical path rides the first member
+        // RPC; the rest keep the trace id only.
+        if (i != 0) member_ctx.path = nullptr;
+        nodes_[node]->Scan(
+            start_key, limit,
+            [this, node](uint64_t key) {
+                return ring_.PrimaryOf(key) == node;
+            },
+            member_ctx,
+            [this, merged, ok, status, remaining, boxed, start_epoch,
+             limit](kv::ScanResult r) {
+                if (!r.ok) {
+                    *ok = false;
+                    *status = kv::WorseStatus(*status, r.status);
+                } else {
+                    for (const kv::ScanEntry &e : r.entries)
+                        (*merged)[e.key] = e.value_size;
+                }
+                if (--*remaining > 0) return;
+                kv::ScanResult out;
+                // Placement moved under the cursor: the per-node
+                // ownership predicates no longer tile the key space, so
+                // the union may have holes — fail typed, caller retries.
+                if (epoch_ != start_epoch) {
+                    *ok = false;
+                    *status = kv::WorseStatus(*status,
+                                              kv::OpStatus::kError);
+                }
+                out.ok = *ok;
+                out.status = *status;
+                if (*ok) {
+                    for (const auto &[key, value_size] : *merged) {
+                        if (out.entries.size() >= limit) break;
+                        out.entries.push_back(
+                            kv::ScanEntry{key, value_size});
+                        out.scanned_bytes += value_size;
+                    }
+                    scan_keys_ += out.entries.size();
+                } else {
+                    ++scan_failures_;
+                }
+                (*boxed)(std::move(out));
+            });
+    }
 }
 
 void
@@ -640,6 +782,11 @@ ClusterRouter::Service()
     };
     svc.get = [this](uint64_t key, kv::GetCallback done) {
         Get(key, std::move(done));
+    };
+    svc.scan = [this](uint64_t start_key, uint32_t limit,
+                      std::function<void(const kv::ScanResult &)> done) {
+        Scan(start_key, limit, kv::OpContext{},
+             [done = std::move(done)](kv::ScanResult r) { done(r); });
     };
     return svc;
 }

@@ -96,6 +96,9 @@ class StorageNode
     using BatchGetCallback =
         std::function<void(std::vector<kv::GetResult> results)>;
 
+    /** Completion of a node- or cluster-level range scan. */
+    using ScanDoneCallback = std::function<void(kv::ScanResult result)>;
+
     StorageNode(sim::Simulator &sim, uint32_t id, const NodeConfig &cfg);
     ~StorageNode();
 
@@ -167,6 +170,19 @@ class StorageNode
      */
     void BatchGet(std::vector<uint64_t> keys, kv::OpContext ctx,
                   BatchGetCallback done);
+
+    /**
+     * Range scan RPC: one request carrying (start_key, limit) plus the
+     * caller's ownership predicate — modeling the owned vnode ranges the
+     * router ships in the request so each key is scanned by exactly one
+     * node cluster-wide. Served by Store::Scan (DRAM index cut + one
+     * device read per selected value), answered with one response whose
+     * size charges the entries' value bytes over the wire. Costs one
+     * admission slot regardless of how many keys match.
+     */
+    void Scan(uint64_t start_key, uint32_t limit,
+              std::function<bool(uint64_t)> owned, kv::OpContext ctx,
+              ScanDoneCallback done);
 
     /**
      * Fail-slow injection: scale everything this node does by
@@ -325,6 +341,22 @@ class ClusterRouter
     void BatchGetAt(uint32_t node, std::vector<uint64_t> keys,
                     kv::OpContext ctx, StorageNode::BatchGetCallback done);
 
+    /**
+     * Cluster range scan: fan one Scan RPC out to every live node, each
+     * carrying the ownership predicate `PrimaryOf(key) == node` so every
+     * live key is scanned by exactly its primary, then merge the per-node
+     * sorted streams and truncate to @p limit. Correct by construction:
+     * a key among the global first `limit` has fewer than `limit` owned
+     * predecessors on its primary, so it is always inside that node's
+     * window. All-or-nothing: any node's typed failure — or a membership
+     * epoch change while the scan is in flight (placement moved under
+     * the cursor) — fails the whole scan with a typed status so the
+     * caller retries against fresh membership. The span in @p ctx rides
+     * the first member RPC only (single-writer rule).
+     */
+    void Scan(uint64_t start_key, uint32_t limit, kv::OpContext ctx,
+              StorageNode::ScanDoneCallback done);
+
     /** The router as a generic workload target. */
     workload::KvService Service();
 
@@ -337,6 +369,11 @@ class ClusterRouter
     /** Requests this router sent to node @p i (placement balance). */
     uint64_t node_puts(uint32_t i) const { return node_puts_[i]; }
     uint64_t node_gets(uint32_t i) const { return node_gets_[i]; }
+
+    /** Cluster scan accounting (also exported as cluster.scan*). */
+    uint64_t scans() const { return scans_; }
+    uint64_t scan_keys() const { return scan_keys_; }
+    uint64_t scan_failures() const { return scan_failures_; }
 
     /** Fail-slow breaker state (trips/resets/reroutes, open nodes). */
     const FailSlowBreaker &breaker() const { return breaker_; }
@@ -351,6 +388,9 @@ class ClusterRouter
     uint64_t epoch_ = 0;
     std::vector<uint64_t> node_puts_;
     std::vector<uint64_t> node_gets_;
+    uint64_t scans_ = 0;
+    uint64_t scan_keys_ = 0;
+    uint64_t scan_failures_ = 0;
     std::vector<StorageNode *> nodes_;
     FailSlowBreaker breaker_;
     /** Unwrapped per-node endpoints for GetAt (engine_ owns its own). */

@@ -119,6 +119,71 @@ Slice::CollectLive(std::map<uint64_t, uint32_t> &out) const
     });
 }
 
+void
+Slice::CollectRange(uint64_t start_key, size_t limit,
+                    std::map<uint64_t, uint32_t> &out,
+                    const std::function<bool(uint64_t)> *filter) const
+{
+    // Same oldest-layer-first merge as CollectLive, bounded below by
+    // start_key. Tombstone erases run unfiltered (erasing an absent key is
+    // a no-op); inserts honor the ownership filter. The trim runs only
+    // after all three layers merged — a memtable tombstone may erase an
+    // indexed key inside the window, pulling a larger key back in.
+    auto add = [&](uint64_t key, uint32_t value_size) {
+        if (key < start_key) return;
+        if (filter && *filter && !(*filter)(key)) return;
+        out[key] = value_size;
+    };
+    for (const auto &[key, e] : index_) {
+        if (e.tombstone) continue;
+        add(key, e.value_size);
+    }
+    for (const auto &[key, i] : imm_index_) {
+        const KvItem &item = imm_items_[i];
+        if (item.tombstone) {
+            out.erase(key);
+        } else {
+            add(key, item.value_size);
+        }
+    }
+    mem_.ForEachNewest([&](const KvItem &item) {
+        if (item.tombstone) {
+            out.erase(item.key);
+        } else {
+            add(item.key, item.value_size);
+        }
+    });
+    while (out.size() > limit) out.erase(std::prev(out.end()));
+}
+
+void
+Slice::ReadValue(uint64_t key, GetCallback done)
+{
+    auto respond_mem = [this, &done](const KvItem &item) {
+        GetResult r;
+        r.found = !item.tombstone;
+        r.value_size = item.value_size;
+        r.payload = item.payload;
+        sim_.Post([done = std::move(done), r]() { done(r); });
+    };
+    if (const KvItem *m = mem_.Lookup(key)) {
+        respond_mem(*m);
+        return;
+    }
+    if (auto it = imm_index_.find(key); it != imm_index_.end()) {
+        respond_mem(imm_items_[it->second]);
+        return;
+    }
+    auto idx = index_.find(key);
+    if (idx == index_.end() || idx->second.tombstone) {
+        sim_.Post([done = std::move(done)]() {
+            done(GetResult{false, true, 0, nullptr});
+        });
+        return;
+    }
+    DoStorageGet(key, std::move(done), 3);
+}
+
 Slice::~Slice()
 {
     if (hub_ != nullptr) hub_->metrics().UnregisterPrefix(metric_prefix_);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <memory>
@@ -137,6 +138,28 @@ class Slice
      * anti-entropy; metadata-only, so it charges no device reads.
      */
     void CollectLive(std::map<uint64_t, uint32_t> &out) const;
+
+    /**
+     * Range-bounded CollectLive for scans: merge live keys >= @p start_key
+     * into @p out, then trim @p out to its @p limit smallest keys. @p out
+     * may already hold other slices' results — the trim bounds the union.
+     * An optional @p filter (ownership predicate shipped in a scan RPC)
+     * drops keys before they count against the limit. Metadata-only: the
+     * DRAM index answers range queries without device reads; the value
+     * reads are charged separately via ReadValue.
+     */
+    void CollectRange(uint64_t start_key, size_t limit,
+                      std::map<uint64_t, uint32_t> &out,
+                      const std::function<bool(uint64_t)> *filter =
+                          nullptr) const;
+
+    /**
+     * Charge the device read a scan pays for @p key's value: free when the
+     * value is memtable-resident, one client-priority storage read when it
+     * lives in a patch. Completion mirrors Get's result shape but does not
+     * count as a get in the slice stats.
+     */
+    void ReadValue(uint64_t key, GetCallback done);
 
     /** Size of the patches this slice writes (the 8 MB unit). */
     uint64_t patch_bytes() const { return storage_.patch_bytes(); }

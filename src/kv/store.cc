@@ -10,7 +10,7 @@ namespace sdf::kv {
 
 Store::Store(sim::Simulator &sim, PatchStorage &storage,
              const StoreConfig &config, StoreJournal *journal)
-    : ids_(journal ? journal->next_patch_id : 0)
+    : sim_(sim), ids_(journal ? journal->next_patch_id : 0)
 {
     SDF_CHECK(config.slice_count > 0);
     if (journal) {
@@ -34,6 +34,45 @@ Store::Store(sim::Simulator &sim, PatchStorage &storage,
         slices_.push_back(std::make_unique<Slice>(
             sim, storage, ids_, config.slice,
             journal ? &journal->slices[i] : nullptr));
+    }
+}
+
+void
+Store::Scan(uint64_t start_key, uint32_t limit, ScanCallback done,
+            std::function<bool(uint64_t)> filter)
+{
+    // Resolve the key set synchronously — no simulated time passes, so the
+    // result is one consistent cut of the store even with writes in
+    // flight. Each slice trims the shared map to the union's `limit`
+    // smallest, bounding the merge.
+    std::map<uint64_t, uint32_t> merged;
+    for (const auto &s : slices_)
+        s->CollectRange(start_key, limit, merged, &filter);
+
+    auto result = std::make_shared<ScanResult>();
+    result->entries.reserve(merged.size());
+    for (const auto &[key, value_size] : merged) {
+        result->entries.push_back(ScanEntry{key, value_size});
+        result->scanned_bytes += value_size;
+    }
+    if (result->entries.empty()) {
+        sim_.Post([done = std::move(done), result]() { done(*result); });
+        return;
+    }
+    // Charge every selected value its device read; complete on the last.
+    auto remaining = std::make_shared<size_t>(result->entries.size());
+    auto boxed = std::make_shared<ScanCallback>(std::move(done));
+    for (const ScanEntry &e : result->entries) {
+        slice(SliceOf(e.key))
+            .ReadValue(e.key,
+                       [result, remaining, boxed](const GetResult &r) {
+                           if (!r.ok) {
+                               result->ok = false;
+                               result->status = WorseStatus(
+                                   result->status, OpStatus::kError);
+                           }
+                           if (--*remaining == 0) (*boxed)(*result);
+                       });
     }
 }
 

@@ -70,6 +70,18 @@ class Store
         slice(SliceOf(key)).Get(key, std::move(done));
     }
 
+    /**
+     * Range scan: up to @p limit live keys >= @p start_key, ascending,
+     * merged across all slices (keys hash-scatter, so every slice can
+     * contribute). The key set is resolved instantly from the DRAM
+     * indexes — one consistent cut of the store — then each selected
+     * value is charged its device read before @p done fires. An optional
+     * @p filter (the cluster's ownership predicate) drops keys before
+     * they count against the limit.
+     */
+    void Scan(uint64_t start_key, uint32_t limit, ScanCallback done,
+              std::function<bool(uint64_t)> filter = nullptr);
+
     /** Aggregate statistics over all slices. */
     SliceStats TotalStats() const;
 
@@ -88,6 +100,7 @@ class Store
     }
 
   private:
+    sim::Simulator &sim_;
     std::vector<std::unique_ptr<Slice>> slices_;
     IdAllocator ids_;
 };

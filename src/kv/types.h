@@ -110,6 +110,28 @@ using PutCallback = sim::Func<void(bool ok)>;
 /** Typed put completion for admission-aware paths. */
 using PutStatusCallback = sim::Func<void(OpStatus)>;
 
+/** One record returned by a range scan: a live key and its value size. */
+struct ScanEntry
+{
+    uint64_t key = 0;
+    uint32_t value_size = 0;
+};
+
+/**
+ * Completion of a Scan(start_key, limit): up to `limit` live keys >=
+ * start_key in ascending order. `scanned_bytes` sums the entry value
+ * sizes — the bytes a real scan streams back to the client.
+ */
+struct ScanResult
+{
+    bool ok = true;
+    OpStatus status = OpStatus::kOk;
+    std::vector<ScanEntry> entries;
+    uint64_t scanned_bytes = 0;
+};
+
+using ScanCallback = sim::Func<void(const ScanResult &)>;
+
 /**
  * Issues unique 64-bit block IDs. The production system runs a counter
  * service that clients request IDs from (§2.4); consecutive IDs land on

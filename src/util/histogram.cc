@@ -113,6 +113,14 @@ Histogram::Delta(const Histogram &prev, const Histogram &cur)
     d.sum_sq_ = cur.sum_sq_ - prev.sum_sq_;
     d.min_ = BucketLow(lo);
     d.max_ = BucketHigh(hi) - 1;
+    if (d.count_ == 1) {
+        // One-sample window: the sum difference recovers the sample exactly
+        // (integer-valued doubles stay exact below 2^53), so pin min/max to
+        // it — Quantile()'s clamp then reports the true value at every q
+        // instead of a mid-bucket interpolation up to 1/16 off.
+        const auto v = static_cast<int64_t>(std::llround(d.sum_));
+        if (v >= BucketLow(lo) && v < BucketHigh(lo)) d.min_ = d.max_ = v;
+    }
     return d;
 }
 

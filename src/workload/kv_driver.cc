@@ -129,6 +129,7 @@ RunSequentialScan(sim::Simulator &sim, const std::vector<kv::Slice *> &slices,
     {
         bool measuring = false;
         uint64_t bytes = 0;
+        uint64_t requests = 0;
     };
     auto meter = std::make_shared<Meter>();
 
@@ -149,7 +150,10 @@ RunSequentialScan(sim::Simulator &sim, const std::vector<kv::Slice *> &slices,
                     auto dp =
                         std::make_shared<sim::Callback>(std::move(done));
                     slice->ReadPatchFully(id, [meter, bytes, dp](bool ok) {
-                        if (ok && meter->measuring) meter->bytes += bytes;
+                        if (ok && meter->measuring) {
+                            meter->bytes += bytes;
+                            ++meter->requests;
+                        }
                         (*dp)();
                     });
                 }));
@@ -167,6 +171,10 @@ RunSequentialScan(sim::Simulator &sim, const std::vector<kv::Slice *> &slices,
     KvRunResult result;
     result.client_mbps = util::BandwidthMBps(meter->bytes, run.duration);
     result.device_read_mbps = result.client_mbps;
+    result.requests = meter->requests;
+    result.scanned_bytes = meter->bytes;
+    result.ops_per_sec = static_cast<double>(meter->requests) /
+                         (static_cast<double>(run.duration) * 1e-9);
     return result;
 }
 
@@ -244,6 +252,13 @@ ServiceFor(kv::Store &store)
     };
     svc.get = [&store](uint64_t key, kv::GetCallback done) {
         store.Get(key, std::move(done));
+    };
+    svc.scan = [&store](uint64_t start_key, uint32_t limit,
+                        std::function<void(const kv::ScanResult &)> done) {
+        store.Scan(start_key, limit,
+                   [done = std::move(done)](const kv::ScanResult &r) {
+                       done(r);
+                   });
     };
     return svc;
 }

@@ -39,6 +39,11 @@ struct KvRunResult
     double device_read_mbps = 0.0;  ///< Compaction/scan reads at the store.
     double device_write_mbps = 0.0; ///< Patch writes (flush + compaction).
     uint64_t requests = 0;
+    /** Scan drivers: completed requests per second and the bytes they
+     *  scanned, so scan profiles stay comparable across value-size
+     *  distributions (bytes/sec) and batch shapes (ops/sec) at once. */
+    double ops_per_sec = 0.0;
+    uint64_t scanned_bytes = 0;
 };
 
 /** Run parameters shared by the KV drivers. */
@@ -100,6 +105,14 @@ struct KvService
     std::function<void(uint64_t key, uint32_t value_size,
                        kv::PutStatusCallback done)>
         put_typed;
+    /**
+     * Range scan: up to `limit` live keys >= start_key in ascending
+     * order (see kv::ScanResult). Optional — drivers treat a missing
+     * scan as an error outcome for scan ops.
+     */
+    std::function<void(uint64_t start_key, uint32_t limit,
+                       std::function<void(const kv::ScanResult &)> done)>
+        scan;
 };
 
 /** KvService over a local Store (no network). */

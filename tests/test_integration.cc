@@ -168,6 +168,14 @@ TEST(Integration, ScanDriverReadsWholePatches)
     const KvRunResult r = workload::RunSequentialScan(sim, {&slice}, 6, run);
     EXPECT_GT(r.client_mbps, 0.0);
     EXPECT_GT(device.stats().page_reads, 0u);
+    // Scan throughput is reported in both units: completed patch reads
+    // per second and the bytes they scanned, and the two agree with the
+    // aggregate MB/s over the measurement window.
+    EXPECT_GT(r.ops_per_sec, 0.0);
+    EXPECT_GT(r.scanned_bytes, 0u);
+    EXPECT_NEAR(static_cast<double>(r.scanned_bytes) /
+                    util::NsToSec(run.duration) / util::kMB,
+                r.client_mbps, r.client_mbps * 0.01 + 1e-9);
 }
 
 TEST(Integration, WriteDriverGeneratesCompactionTraffic)

@@ -224,6 +224,48 @@ TEST(Histogram, ResetClears)
     EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(Histogram, DeltaRecoversWindowBetweenSnapshots)
+{
+    Histogram prev;
+    for (int i = 0; i < 100; ++i) prev.Add(10);
+    Histogram cur = prev;
+    for (int i = 0; i < 100; ++i) cur.Add(1000);
+    const Histogram d = Histogram::Delta(prev, cur);
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_NEAR(d.Mean(), 1000.0, 1e-9);
+    EXPECT_NEAR(d.Quantile(0.5), 1000.0, 1000.0 / 16.0 + 1);
+}
+
+TEST(Histogram, DeltaSingleSampleWindowIsExactAtEveryQuantile)
+{
+    // Regression: a window containing exactly one sample used to report
+    // mid-bucket interpolations (up to one bucket width off) for every
+    // quantile. The sum difference recovers the sample exactly, so the
+    // delta must pin min/max/quantiles to it.
+    Histogram prev;
+    for (int i = 0; i < 50; ++i) prev.Add(123456);
+    Histogram cur = prev;
+    cur.Add(99999);  // The only sample in the window.
+    const Histogram d = Histogram::Delta(prev, cur);
+    ASSERT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.min(), 99999);
+    EXPECT_EQ(d.max(), 99999);
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(d.Quantile(q), 99999.0) << "q=" << q;
+    }
+}
+
+TEST(Histogram, DeltaWithResetInBetweenReturnsCurrent)
+{
+    Histogram prev;
+    prev.Add(500);
+    Histogram cur;  // Fresh (simulates a Reset between snapshots).
+    cur.Add(7);
+    const Histogram d = Histogram::Delta(prev, cur);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.min(), 7);
+}
+
 // ---------------------------------------------------------------------------
 // ThroughputMeter / LatencyRecorder
 // ---------------------------------------------------------------------------

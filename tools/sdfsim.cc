@@ -28,6 +28,7 @@
 #include "cluster/rebalancer.h"
 #include "fault_common.h"
 #include "util/table_printer.h"
+#include "workload/ycsb.h"
 
 namespace sdf {
 namespace {
@@ -86,6 +87,11 @@ struct Options
     uint32_t admission_cap = 128;    // Server inflight cap per node.
     bool breaker = true;             // Fail-slow circuit breaker.
 
+    // YCSB workload (--workload=ycsb).
+    std::string profile = "b";       // a|b|c|e|storm|diurnal.
+    double theta = 0.99;             // Zipfian exponent.
+    uint32_t scan_limit = 50;        // Max keys per range scan.
+
     // Observability exports (--stats-json/--stats-csv/--trace).
     bench::ObsCli obs;
 };
@@ -98,6 +104,7 @@ PrintHelp()
         "\n"
         "  --device=sdf|huawei|intel|memblaze   device model (default sdf)\n"
         "  --workload=seqread|randread|write|randwrite|kvread|kvwrite|scan\n"
+        "             |faults|cluster|overload|ycsb\n"
         "  --request=<n>[k|m]   request size (default 8m)\n"
         "  --channels=<n>       SDF sync threads, 1-44 (default 44)\n"
         "  --qd=<n>             conventional-device queue depth (default 64)\n"
@@ -151,6 +158,15 @@ PrintHelp()
         "  --queue-cap=<n>      client pending queue per node (default 256)\n"
         "  --admission-cap=<n>  server inflight cap per node (default 128)\n"
         "  --no-breaker         disable the fail-slow circuit breaker\n"
+        "\n"
+        "ycsb (--workload=ycsb; also honors the overload/cluster knobs):\n"
+        "  --profile=a|b|c|e|storm|diurnal   op mix + phase schedule:\n"
+        "                       a 50/50 read/update Zipfian, b 95/5,\n"
+        "                       c read-only, e 95% scans / 5% inserts,\n"
+        "                       storm flash-crowd spike on a hot range,\n"
+        "                       diurnal rate ramp + evening write shift\n"
+        "  --theta=<f>          Zipfian exponent (default 0.99)\n"
+        "  --scan-limit=<n>     max keys per range scan (default 50)\n"
         "\n");
     std::puts(bench::ObsCli::HelpText());
     std::puts(
@@ -273,6 +289,12 @@ ParseArgs(int argc, char **argv, Options &opt)
             opt.admission_cap = static_cast<uint32_t>(std::stoul(val));
         } else if (key == "--no-breaker") {
             opt.breaker = false;
+        } else if (key == "--profile") {
+            opt.profile = val;
+        } else if (key == "--theta") {
+            opt.theta = std::stod(val);
+        } else if (key == "--scan-limit") {
+            opt.scan_limit = static_cast<uint32_t>(std::stoul(val));
         } else if (!opt.obs.TryFlag(key, val)) {
             std::fprintf(stderr, "unknown flag: %s (try --help)\n",
                          key.c_str());
@@ -975,6 +997,197 @@ RunOverload(Options &opt)
     return lost == 0 ? 0 : 1;
 }
 
+/**
+ * --workload=ycsb: a named YCSB profile through the async client front
+ * door — Zipfian/latest/hot-range key skew, mixed ops including cluster
+ * range scans, and a dynamic phase schedule (flash crowd, diurnal ramp)
+ * over open-loop Poisson arrivals. Each phase opens its own labelled
+ * series segment and exports per-phase tails + SLO counters, so a storm's
+ * violations land in the storm's numbers, not the run average. Exits
+ * nonzero if any acked write is lost.
+ */
+int
+RunYcsb(Options &opt)
+{
+    sim::Simulator sim;
+    InstallHub(opt, sim);
+
+    cluster::ClusterConfig cc;
+    cc.nodes = opt.nodes;
+    cc.replication = opt.replication;
+    cc.node.kv.stack.backend =
+        opt.device == "huawei"  ? testbed::Backend::kHuaweiGen3
+        : opt.device == "intel" ? testbed::Backend::kIntel320
+                                : testbed::Backend::kBaiduSdf;
+    cc.node.kv.stack.ssd_through_block_layer = true;
+    cc.node.kv.stack.capacity_scale = opt.scale;
+    cc.node.kv.stack.tune_sdf = [&opt](core::SdfConfig &dc) {
+        ApplyErrorOverrides(dc, opt);
+    };
+    cc.node.kv.store.slice_count = opt.slices;
+    cc.node.admission_cap = opt.admission_cap;
+    cc.breaker.enabled = opt.breaker;
+    cluster::Cluster cl(sim, cc);
+
+    const uint32_t value_bytes =
+        (opt.value_explicit ? opt.value_kib : 4) * util::kKiB;
+    uint64_t loaded = 0;
+    std::vector<uint64_t> keys;
+    for (uint32_t k = 0; k < opt.keys; ++k) {
+        const uint64_t key = k + 1;
+        keys.push_back(key);
+        cl.router().Put(key, value_bytes,
+                        [&loaded](bool ok) { loaded += ok ? 1 : 0; });
+    }
+    sim.Run();
+    cl.FlushAll();
+    sim.Run();
+    if (loaded != opt.keys) {
+        std::fprintf(stderr, "preload: only %llu/%u keys acked\n",
+                     static_cast<unsigned long long>(loaded), opt.keys);
+        return 1;
+    }
+
+    client::KvClientConfig kc;
+    kc.window_per_node = opt.window;
+    kc.queue_cap = opt.queue_cap;
+    kc.batch_max = opt.coalesce;
+    kc.deadline = opt.deadline_ms > 0 ? util::MsToNs(opt.deadline_ms) : 0;
+    kc.hedge_reads = opt.hedge;
+    client::KvClient client(sim, cl.router(), kc);
+
+    workload::YcsbConfig base;
+    base.arrival_rate = opt.arrival_rate;
+    base.duration = util::SecToNs(opt.duration);
+    base.seed = opt.seed;
+    base.theta = opt.theta;
+    base.value_bytes = value_bytes;
+    base.scan_limit_max = opt.scan_limit;
+    base.slo = util::MsToNs(opt.deadline_ms > 0 ? opt.deadline_ms : 5.0);
+    // One labelled series segment per phase: windowed metrics cut exactly
+    // at the schedule's boundaries (no-op without --stats-series).
+    base.on_phase_start = [&opt, &sim](size_t, const workload::YcsbPhase &p,
+                                       util::TimeNs, util::TimeNs dur) {
+        opt.obs.StartSeries(sim, "ycsb." + p.name, dur);
+    };
+    const workload::YcsbConfig cfg = workload::YcsbProfile(opt.profile, base);
+
+    const workload::YcsbResult r =
+        workload::RunYcsb(sim, client.Service(), keys, cfg);
+
+    std::printf("ycsb-%s: %u nodes, R=%u, %.0f base arrivals/s, "
+                "theta %.2f, value %u KiB, %zu phases\n",
+                opt.profile.c_str(), opt.nodes, opt.replication,
+                opt.arrival_rate, opt.theta,
+                value_bytes / static_cast<uint32_t>(util::kKiB),
+                cfg.phases.size());
+    std::printf("offered %.0f ops/s, goodput %.0f ops/s "
+                "(%llu issued, %llu completed)\n",
+                r.offered_ops_per_sec, r.goodput_ops_per_sec,
+                static_cast<unsigned long long>(r.issued),
+                static_cast<unsigned long long>(r.completed));
+    std::printf("outcomes: %llu reads, %llu updates, %llu inserts, "
+                "%llu scans (%llu keys, %.1f MiB), %llu misses\n",
+                static_cast<unsigned long long>(r.ok_reads),
+                static_cast<unsigned long long>(r.ok_updates),
+                static_cast<unsigned long long>(r.ok_inserts),
+                static_cast<unsigned long long>(r.ok_scans),
+                static_cast<unsigned long long>(r.scanned_keys),
+                static_cast<double>(r.scanned_bytes) / (1 << 20),
+                static_cast<unsigned long long>(r.misses));
+    std::printf("shed: %llu overloaded, %llu deadline, %llu errors; "
+                "SLO violations %llu; p50 %.3f ms, p99 %.3f ms, "
+                "p99.9 %.3f ms\n",
+                static_cast<unsigned long long>(r.shed_overloaded),
+                static_cast<unsigned long long>(r.shed_deadline),
+                static_cast<unsigned long long>(r.errors),
+                static_cast<unsigned long long>(r.slo_violations),
+                r.p50_ms, r.p99_ms, r.p999_ms);
+
+    util::TablePrinter table("per-phase breakdown");
+    table.SetHeader({"phase", "issued", "completed", "shed", "slo viol",
+                     "p50 ms", "p99 ms", "p99.9 ms"});
+    char buf[32];
+    auto fmt = [&buf](double v) {
+        std::snprintf(buf, sizeof buf, "%.3f", v);
+        return std::string(buf);
+    };
+    for (const workload::YcsbPhaseResult &p : r.phases) {
+        table.AddRow({p.name, std::to_string(p.issued),
+                      std::to_string(p.completed),
+                      std::to_string(p.shed_overloaded + p.shed_deadline),
+                      std::to_string(p.slo_violations), fmt(p.p50_ms),
+                      fmt(p.p99_ms), fmt(p.p999_ms)});
+    }
+    table.Print();
+
+    // Same audit as overload: skew and storms may shed ops, but every
+    // acked write must stay readable.
+    uint64_t lost = 0, audited = 0;
+    size_t next = 0;
+    std::function<void()> audit_step = [&]() {
+        if (next >= r.acked_writes.size()) return;
+        const uint64_t key = r.acked_writes[next++];
+        cl.router().Get(key, [&, key](const kv::GetResult &res) {
+            ++audited;
+            if (!res.ok || !res.found) {
+                ++lost;
+                if (lost <= 10) {
+                    std::fprintf(stderr, "lost acked key %llu\n",
+                                 static_cast<unsigned long long>(key));
+                }
+            }
+            audit_step();
+        });
+    };
+    for (uint32_t s = 0; s < 8; ++s) audit_step();
+    sim.Run();
+    std::printf("consistency audit: %llu acked writes, %llu lost\n",
+                static_cast<unsigned long long>(audited),
+                static_cast<unsigned long long>(lost));
+
+    AddCommonMeta(opt);
+    opt.obs.AddMeta("profile", opt.profile);
+    opt.obs.AddMeta("theta", std::to_string(opt.theta));
+    opt.obs.AddMeta("nodes", std::to_string(opt.nodes));
+    opt.obs.AddMeta("replication", std::to_string(opt.replication));
+    opt.obs.AddMeta("arrival_rate", std::to_string(opt.arrival_rate));
+    opt.obs.AddDerived("result.issued", static_cast<double>(r.issued));
+    opt.obs.AddDerived("result.completed",
+                       static_cast<double>(r.completed));
+    opt.obs.AddDerived("result.offered_ops_per_sec", r.offered_ops_per_sec);
+    opt.obs.AddDerived("result.goodput_ops_per_sec", r.goodput_ops_per_sec);
+    opt.obs.AddDerived("result.p50_ms", r.p50_ms);
+    opt.obs.AddDerived("result.p99_ms", r.p99_ms);
+    opt.obs.AddDerived("result.p999_ms", r.p999_ms);
+    opt.obs.AddDerived("result.ok_scans", static_cast<double>(r.ok_scans));
+    opt.obs.AddDerived("result.scanned_keys",
+                       static_cast<double>(r.scanned_keys));
+    opt.obs.AddDerived("result.scanned_bytes",
+                       static_cast<double>(r.scanned_bytes));
+    opt.obs.AddDerived("result.misses", static_cast<double>(r.misses));
+    opt.obs.AddDerived("result.shed_overloaded",
+                       static_cast<double>(r.shed_overloaded));
+    opt.obs.AddDerived("result.shed_deadline",
+                       static_cast<double>(r.shed_deadline));
+    opt.obs.AddDerived("result.errors", static_cast<double>(r.errors));
+    opt.obs.AddDerived("result.slo_violations",
+                       static_cast<double>(r.slo_violations));
+    opt.obs.AddDerived("result.lost_acked_writes",
+                       static_cast<double>(lost));
+    for (const workload::YcsbPhaseResult &p : r.phases) {
+        const std::string pre = "result.phase." + p.name + ".";
+        opt.obs.AddDerived(pre + "issued", static_cast<double>(p.issued));
+        opt.obs.AddDerived(pre + "completed",
+                           static_cast<double>(p.completed));
+        opt.obs.AddDerived(pre + "p99_ms", p.p99_ms);
+        opt.obs.AddDerived(pre + "slo_violations",
+                           static_cast<double>(p.slo_violations));
+    }
+    if (const int rc = opt.obs.Export(); rc != 0) return rc;
+    return lost == 0 ? 0 : 1;
+}
+
 int
 RunKv(Options &opt)
 {
@@ -1037,6 +1250,7 @@ main(int argc, char **argv)
     if (opt.workload == "faults") return sdf::RunFaults(opt);
     if (opt.workload == "cluster") return sdf::RunCluster(opt);
     if (opt.workload == "overload") return sdf::RunOverload(opt);
+    if (opt.workload == "ycsb") return sdf::RunYcsb(opt);
     if (opt.workload.rfind("kv", 0) == 0 || opt.workload == "scan") {
         return sdf::RunKv(opt);
     }

@@ -16,10 +16,17 @@ count, carries the expected per-channel tracks) and a --series export
 Usage:
     validate_stats.py STATS.json [--trace=TRACE.json] [--channels=N]
                       [--series=SERIES.json] [--require-op=OP]...
-                      [--tolerance=0.01]
+                      [--check-phases] [--tolerance=0.01]
 
 --require-op fails unless stages.OP is present with count > 0 (used by
 check.sh to prove the cluster path attribution actually ran).
+
+--check-phases validates a phased workload export (sdfsim
+--workload=ycsb): derived must carry at least one
+result.phase.<name>.issued section, and the per-phase issued/completed/
+slo_violations must sum exactly to the run-level result.* totals —
+attribution by issue time makes the phase boundary accounting exact, so
+any mismatch is a real bug, not rounding.
 
 Exit status 0 when every check passes; 1 with a message per failure.
 """
@@ -88,6 +95,47 @@ def check_stats(path, tolerance, require_ops=()):
         for key in ("count", "min", "max", "mean", "p50", "p99", "p999"):
             if key not in h:
                 rc |= fail("%s: histograms.%s missing %r" % (path, name, key))
+    return rc
+
+
+def check_phases(path):
+    """Exact per-phase accounting in a phased workload's derived keys."""
+    rc = 0
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail("%s: %s" % (path, e))
+
+    derived = doc.get("derived", {})
+    phases = {}
+    for key, value in derived.items():
+        m = re.fullmatch(r"result\.phase\.([^.]+)\.(\w+)", key)
+        if m:
+            phases.setdefault(m.group(1), {})[m.group(2)] = value
+    if not phases:
+        return fail("%s: no result.phase.* sections in derived" % path)
+
+    for name, section in sorted(phases.items()):
+        for want in ("issued", "completed", "p99_ms", "slo_violations"):
+            if want not in section:
+                rc |= fail("%s: phase %r missing derived key %r"
+                           % (path, name, want))
+    if rc:
+        return rc
+
+    for total_key in ("issued", "completed", "slo_violations"):
+        total = derived.get("result.%s" % total_key)
+        if total is None:
+            rc |= fail("%s: missing derived result.%s" % (path, total_key))
+            continue
+        phase_sum = sum(s[total_key] for s in phases.values())
+        if phase_sum != total:
+            rc |= fail("%s: per-phase %s sums to %s but result.%s is %s"
+                       % (path, total_key, phase_sum, total_key, total))
+    if rc == 0:
+        print("validate_stats: %s: phases ok (%d phases, counts sum "
+              "exactly to totals)" % (path, len(phases)))
     return rc
 
 
@@ -182,6 +230,7 @@ def main(argv):
     require_ops = []
     channels = 0
     tolerance = 0.01
+    phases = False
     for arg in argv[1:]:
         if arg.startswith("--trace="):
             trace_path = arg.split("=", 1)[1]
@@ -193,6 +242,8 @@ def main(argv):
             channels = int(arg.split("=", 1)[1])
         elif arg.startswith("--tolerance="):
             tolerance = float(arg.split("=", 1)[1])
+        elif arg == "--check-phases":
+            phases = True
         elif arg.startswith("--"):
             print(__doc__)
             return 2
@@ -203,6 +254,8 @@ def main(argv):
         return 2
 
     rc = check_stats(stats_path, tolerance, require_ops)
+    if phases:
+        rc |= check_phases(stats_path)
     if trace_path is not None:
         rc |= check_trace(trace_path, channels)
     if series_path is not None:
